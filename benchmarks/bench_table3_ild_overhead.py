@@ -1,0 +1,12 @@
+"""Table 3: worst-case ILD runtime overhead per hour."""
+
+from repro.experiments import table3_ild_overhead
+
+
+def test_table3_ild_overhead(record_experiment):
+    table = record_experiment("table3", table3_ild_overhead.run)
+    measurement = float(table.rows[0][0].strip("+ s/hr"))
+    total = float(table.rows[0][1].strip("+ s/hr"))
+    assert 50 <= measurement <= 80  # paper: +72 s/hr
+    assert total >= measurement
+    assert total <= 120  # paper: +91 s/hr with a reboot

@@ -1,0 +1,71 @@
+"""The Mars global-localization use case (§3.2, Fig 6, deployed in §5).
+
+A rover localizes by matching an orbital template against every window
+of its terrain map. Each window is an EMR dataset; the template is the
+replicated "common data"; overlapping windows form the conflict graph.
+An SEU is injected into the shared L2 mid-run to show voting at work.
+
+Run:  python examples/global_localization.py
+"""
+
+import numpy as np
+
+from repro.core.emr import EmrConfig, EmrRuntime, sequential_3mr
+from repro.core.emr.runtime import EmrHooks
+from repro.radiation.seu import flip_l2
+from repro.sim import Machine
+from repro.workloads import ImageProcessingWorkload
+
+
+class StrikeMidRun(EmrHooks):
+    """One ionizing particle into the shared cache, mid-mission."""
+
+    def __init__(self, machine, at_job: int = 40, seed: int = 99):
+        self.machine = machine
+        self.at_job = at_job
+        self.rng = np.random.default_rng(seed)
+        self.record = None
+        self._count = 0
+
+    def before_job(self, runtime, job):
+        if self._count == self.at_job:
+            self.record = flip_l2(self.machine, self.rng)
+        self._count += 1
+
+
+def main() -> None:
+    workload = ImageProcessingWorkload(map_size=128, template_size=32, stride=16)
+    spec = workload.build(np.random.default_rng(7))
+    golden = workload.reference_outputs(spec)
+    true_ncc, true_row, true_col = ImageProcessingWorkload.best_match(golden)
+    print(f"terrain map 128x128, template 32x32, "
+          f"{len(spec.datasets)} candidate windows")
+    print(f"ground truth: window ({true_row}, {true_col}), NCC {true_ncc:.3f}")
+
+    machine = Machine.rpi_zero2w()
+    hooks = StrikeMidRun(machine)
+    config = EmrConfig(replication_threshold=0.2)
+    runtime = EmrRuntime(machine, workload, config=config, hooks=hooks)
+    result = runtime.run(spec=spec)
+
+    ncc, row, col = ImageProcessingWorkload.best_match(result.outputs)
+    print(f"\nEMR localization: window ({row}, {col}), NCC {ncc:.3f}")
+    print(f"  SEU injected: {hooks.record.detail if hooks.record else 'missed (no resident line)'}")
+    print(f"  vote corrections: {result.stats.vote_corrections}, "
+          f"detected errors: {len(result.stats.detected_faults)}")
+    assert result.outputs == golden, "voting failed to mask the strike!"
+    print("  every window's result matches the fault-free reference")
+
+    seq = sequential_3mr(Machine.rpi_zero2w(), workload, spec=spec, config=config)
+    ratio = result.wall_seconds / seq.wall_seconds
+    print(f"\nruntime: EMR {result.wall_seconds * 1e3:.2f} ms vs "
+          f"3-MR {seq.wall_seconds * 1e3:.2f} ms "
+          f"({ratio * 100:.0f}% — the flight deployment reports 26% of the "
+          "hardened baseline)")
+    print(f"jobsets: {result.stats.jobsets}, conflict edges: "
+          f"{result.stats.conflict_edges}, template replicated "
+          f"{result.stats.replicated_bytes} B per executor")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: protect a workload with EMR and watch for latchups with ILD.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.emr import EmrConfig, EmrRuntime, sequential_3mr
+from repro.core.ild import train_ild
+from repro.sim import CurrentStep, Machine, TelemetryConfig, TraceGenerator
+from repro.workloads import MatmulWorkload, navigation_schedule
+
+
+def protect_compute() -> None:
+    """EMR: the same result as 3-MR at a fraction of the runtime."""
+    print("== EMR: efficient modular redundancy ==")
+    workload = MatmulWorkload(size=32, block_rows=8)
+    spec = workload.build(np.random.default_rng(0))
+    golden = workload.reference_outputs(spec)
+
+    config = EmrConfig(replication_threshold=0.2)
+    emr = EmrRuntime(Machine.rpi_zero2w(), workload, config=config).run(spec=spec)
+    seq = sequential_3mr(Machine.rpi_zero2w(), workload, spec=spec, config=config)
+
+    assert emr.outputs == golden and seq.outputs == golden
+    print(f"  outputs verified against a fault-free reference ({len(golden)} blocks)")
+    print(f"  EMR   : {emr.wall_seconds * 1e3:8.3f} ms simulated, "
+          f"{emr.energy.total_joules:6.3f} J, {emr.stats.jobsets} jobsets")
+    print(f"  3-MR  : {seq.wall_seconds * 1e3:8.3f} ms simulated, "
+          f"{seq.energy.total_joules:6.3f} J (sequential)")
+    print(f"  speedup over 3-MR: {seq.wall_seconds / emr.wall_seconds:.2f}x")
+    print(f"  replicated {emr.stats.replicated_bytes} B "
+          f"(the shared B matrix), {emr.stats.conflict_edges} conflicts")
+
+
+def watch_for_latchups() -> None:
+    """ILD: train on the ground, catch a 0.07 A micro-latchup in orbit."""
+    print("\n== ILD: idle latchup detection ==")
+    generator = TraceGenerator(TelemetryConfig(tick=2e-3))
+    rng = np.random.default_rng(1)
+
+    ground = generator.generate(navigation_schedule(900, rng=rng), rng=rng)
+    detector = train_ild(ground, max_instruction_rate=generator.max_instruction_rate)
+    print(f"  trained the linear current model on "
+          f"{detector.model.trained_on_samples} quiescent ground samples")
+
+    onset = 300.0
+    flight = generator.generate(
+        navigation_schedule(600, rng=np.random.default_rng(2)),
+        rng=rng,
+        current_steps=[CurrentStep(start=onset, delta_amps=0.07)],
+    )
+    detections = detector.process(flight)
+    first = detections[0]
+    print(f"  SEL (+0.07 A) latched at t={onset:.0f}s; "
+          f"ILD alarmed at t={first.time:.1f}s "
+          f"(latency {first.time - onset:.1f}s, residual "
+          f"{first.mean_residual * 1e3:.0f} mA)")
+    print("  -> power cycle now clears the latchup with ~5 min of thermal margin")
+
+
+if __name__ == "__main__":
+    protect_compute()
+    watch_for_latchups()

@@ -1,0 +1,82 @@
+"""Paper-scale experiment runs.
+
+The benchmarks default to minutes-scale simulations so the whole suite
+finishes in under a minute. The paper's headline campaigns are bigger;
+this script runs the same drivers at (or near) paper scale. Budget
+hours of wall time for the full Table 2.
+
+Usage::
+
+    python scripts/run_paper_scale.py table2 [--hours 960] [--tick 1e-3]
+    python scripts/run_paper_scale.py fig10 [--trials 30]
+    python scripts/run_paper_scale.py table7 [--runs 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def run_table2(args: argparse.Namespace) -> None:
+    from repro.experiments.common import SelBenchConfig
+    from repro.experiments.table2_ild_accuracy import run
+
+    episode_seconds = 1800.0  # the paper's 30-minute latchup cadence
+    n_episodes = int(args.hours * 3600 / episode_seconds)
+    config = SelBenchConfig(
+        tick=args.tick,
+        episode_seconds=episode_seconds,
+        n_episodes=n_episodes,
+        training_seconds=3600.0,
+    )
+    print(
+        f"Table 2 at paper scale: {n_episodes} episodes x "
+        f"{episode_seconds:.0f}s at {args.tick * 1e3:g} ms ticks "
+        f"({args.hours:g} simulated hours)"
+    )
+    started = time.time()
+    table = run(config)
+    print(table.render())
+    print(f"wall time: {(time.time() - started) / 60:.1f} minutes")
+
+
+def run_fig10(args: argparse.Namespace) -> None:
+    from repro.experiments.fig10_misdetection import run
+
+    print(f"Fig 10 with {args.trials} trials per current level")
+    print(run(trials_per_delta=args.trials).render())
+
+
+def run_table7(args: argparse.Namespace) -> None:
+    from repro.experiments.table7_fault_injection import run
+
+    print(f"Table 7 with {args.runs} injections per scheme")
+    print(run(runs_per_scheme=args.runs).render())
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    table2 = sub.add_parser("table2")
+    table2.add_argument("--hours", type=float, default=960.0)
+    table2.add_argument("--tick", type=float, default=1e-3)
+    table2.set_defaults(func=run_table2)
+
+    fig10 = sub.add_parser("fig10")
+    fig10.add_argument("--trials", type=int, default=30)
+    fig10.set_defaults(func=run_fig10)
+
+    table7 = sub.add_parser("table7")
+    table7.add_argument("--runs", type=int, default=20)
+    table7.set_defaults(func=run_table7)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

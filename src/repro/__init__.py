@@ -1,0 +1,94 @@
+"""Radshield reproduction: software radiation protection for commodity
+hardware in space.
+
+The library has five layers:
+
+* :mod:`repro.sim` — a simulated spacecraft computer (cores, caches,
+  ECC DRAM/flash, power rail, current sensor, perf counters).
+* :mod:`repro.radiation` — the space environment: SEL and SEU models
+  and a fault-injection campaign driver.
+* :mod:`repro.workloads` — real, from-scratch implementations of the
+  paper's five workload classes (AES-256, DEFLATE, regex matching,
+  image template matching, DNN inference) plus supporting workloads.
+* :mod:`repro.core` — Radshield itself: the ILD latchup detector and
+  the EMR redundancy runtime, with the paper's baselines.
+* :mod:`repro.missions` — whole-mission simulation and the anomaly
+  dataset of §5.
+
+Quick start::
+
+    from repro import Machine, emr_protect
+    from repro.workloads import AesWorkload
+
+    machine = Machine.rpi_zero2w()
+    result = emr_protect(machine, AesWorkload(), seed=7)
+    print(result.wall_seconds, result.stats.jobsets)
+"""
+
+from .core.emr import (
+    EmrConfig,
+    EmrRuntime,
+    Frontier,
+    RunResult,
+    checksum_protected_run,
+    emr_protect,
+    sequential_3mr,
+    single_run,
+    unprotected_parallel_3mr,
+)
+from .core.radshield import Radshield, RadshieldConfig, SelResponse
+from .core.ild import (
+    IldConfig,
+    IldDetector,
+    NaiveBayesBaseline,
+    RandomForestBaseline,
+    StaticThresholdBaseline,
+    train_ild,
+)
+from .errors import (
+    ConfigurationError,
+    DetectedFaultError,
+    HardwareDamagedError,
+    ReproError,
+    SegmentationFault,
+    SimulationError,
+    UncorrectableMemoryError,
+    VotingInconclusiveError,
+    WorkloadError,
+)
+from .sim import Machine, MachineSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DetectedFaultError",
+    "EmrConfig",
+    "EmrRuntime",
+    "Frontier",
+    "HardwareDamagedError",
+    "IldConfig",
+    "IldDetector",
+    "Machine",
+    "MachineSpec",
+    "NaiveBayesBaseline",
+    "Radshield",
+    "RadshieldConfig",
+    "RandomForestBaseline",
+    "ReproError",
+    "RunResult",
+    "SegmentationFault",
+    "SelResponse",
+    "SimulationError",
+    "StaticThresholdBaseline",
+    "UncorrectableMemoryError",
+    "VotingInconclusiveError",
+    "WorkloadError",
+    "checksum_protected_run",
+    "emr_protect",
+    "sequential_3mr",
+    "single_run",
+    "train_ild",
+    "unprotected_parallel_3mr",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2 [--out results.txt]
+    python -m repro run-all [--out-dir results/]
+    python -m repro mission --days 1 --environment deep-space [--csv log.csv]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .experiments import ABLATIONS, EXPERIMENTS, EXTENSIONS
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("ablations:")
+    for name in ABLATIONS:
+        print(f"  ablation:{name}")
+    print("extensions:")
+    for name in EXTENSIONS:
+        print(f"  extension:{name}")
+    print("missions: see `python -m repro mission --help`")
+    return 0
+
+
+def _resolve(name: str):
+    from .experiments import ABLATIONS, EXPERIMENTS, EXTENSIONS
+
+    if name in EXPERIMENTS:
+        return EXPERIMENTS[name]
+    if name.startswith("ablation:") and name.split(":", 1)[1] in ABLATIONS:
+        return ABLATIONS[name.split(":", 1)[1]]
+    if name.startswith("extension:") and name.split(":", 1)[1] in EXTENSIONS:
+        return EXTENSIONS[name.split(":", 1)[1]]
+    known = ", ".join(
+        [
+            *EXPERIMENTS,
+            *(f"ablation:{a}" for a in ABLATIONS),
+            *(f"extension:{e}" for e in EXTENSIONS),
+        ]
+    )
+    raise SystemExit(f"unknown experiment {name!r}; known: {known}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _resolve(args.experiment)
+    rendered = runner().render()
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    results = run_all(include_ablations=not args.no_ablations)
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name, result in results.items():
+        rendered = result.render()
+        if out_dir:
+            safe = name.replace(":", "_")
+            (out_dir / f"{safe}.txt").write_text(rendered + "\n")
+            print(f"wrote {out_dir / (safe + '.txt')}")
+        else:
+            print(rendered)
+            print()
+    return 0
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    from .missions import MissionConfig, MissionSimulator
+    from .radiation import ENVIRONMENTS
+
+    if args.environment not in ENVIRONMENTS:
+        raise SystemExit(
+            f"unknown environment {args.environment!r}; "
+            f"known: {', '.join(ENVIRONMENTS)}"
+        )
+    config = MissionConfig(
+        duration_days=args.days,
+        environment=ENVIRONMENTS[args.environment],
+        ild_enabled=not args.no_ild,
+        emr_enabled=not args.no_emr,
+        seed=args.seed,
+    )
+    report = MissionSimulator(config).run()
+    print(report.summary())
+    if args.csv:
+        Path(args.csv).write_text(report.dataset.to_csv())
+        print(f"wrote anomaly dataset: {args.csv}")
+    return 0 if report.survived else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Radshield reproduction: experiments and missions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment")
+    run.add_argument("--out", help="write rendered output to a file")
+    run.set_defaults(func=_cmd_run)
+
+    run_all_cmd = sub.add_parser("run-all", help="run every experiment")
+    run_all_cmd.add_argument("--out-dir", help="write one file per experiment")
+    run_all_cmd.add_argument("--no-ablations", action="store_true")
+    run_all_cmd.set_defaults(func=_cmd_run_all)
+
+    mission = sub.add_parser("mission", help="simulate a mission")
+    mission.add_argument("--days", type=float, default=1.0)
+    mission.add_argument("--environment", default="low-earth-orbit")
+    mission.add_argument("--no-ild", action="store_true")
+    mission.add_argument("--no-emr", action="store_true")
+    mission.add_argument("--seed", type=int, default=0)
+    mission.add_argument("--csv", help="write the anomaly dataset as CSV")
+    mission.set_defaults(func=_cmd_mission)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

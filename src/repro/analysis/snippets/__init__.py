@@ -1,0 +1,1 @@
+"""Paired 3-MR / EMR integration snippets measured by Table 8."""

@@ -1,0 +1,14 @@
+# Hand-rolled 3-MR: compress each log block three times, vote.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import DeflateWorkload
+from repro.core.emr import sequential_3mr
+
+
+def compress_logs(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = DeflateWorkload(block_bytes=1024, blocks=24)
+    spec = workload.build(np.random.default_rng(seed))
+    result = sequential_3mr(machine, workload, spec=spec)
+    return result.outputs

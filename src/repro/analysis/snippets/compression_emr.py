@@ -1,0 +1,16 @@
+# EMR: the block-chain dependency becomes the conflict graph; no
+# region is common enough to replicate.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import DeflateWorkload
+from repro.core.emr import EmrConfig, EmrRuntime
+
+
+def compress_logs(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = DeflateWorkload(block_bytes=1024, blocks=24)
+    spec = workload.build(np.random.default_rng(seed))
+    runtime = EmrRuntime(machine, workload, config=EmrConfig(replication_threshold=0.2))
+    result = runtime.run(spec=spec)
+    return result.outputs

@@ -1,0 +1,15 @@
+# Hand-rolled 3-MR global localization: match every map window three
+# times sequentially and vote per window.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import ImageProcessingWorkload
+from repro.core.emr import sequential_3mr
+
+
+def localize(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = ImageProcessingWorkload(map_size=96, template_size=24, stride=12)
+    spec = workload.build(np.random.default_rng(seed))
+    result = sequential_3mr(machine, workload, spec=spec)
+    return ImageProcessingWorkload.best_match(result.outputs)

@@ -1,0 +1,16 @@
+# EMR global localization: the template replicates per executor; the
+# overlapping windows form the jobset conflict graph.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import ImageProcessingWorkload
+from repro.core.emr import EmrConfig, EmrRuntime
+
+
+def localize(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = ImageProcessingWorkload(map_size=96, template_size=24, stride=12)
+    spec = workload.build(np.random.default_rng(seed))
+    config = EmrConfig(replication_threshold=0.2)
+    result = EmrRuntime(machine, workload, config=config).run(spec=spec)
+    return ImageProcessingWorkload.best_match(result.outputs)

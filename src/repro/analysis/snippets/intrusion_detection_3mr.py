@@ -1,0 +1,16 @@
+# Hand-rolled 3-MR packet scanning: scan the capture three times, vote
+# on the per-packet match masks.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import IntrusionDetectionWorkload
+from repro.core.emr import sequential_3mr
+
+
+def scan_packets(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = IntrusionDetectionWorkload(packet_bytes=512, packets=40)
+    spec = workload.build(np.random.default_rng(seed))
+    result = sequential_3mr(machine, workload, spec=spec)
+    flagged = [i for i, mask in enumerate(result.outputs) if int.from_bytes(mask, "little")]
+    return flagged

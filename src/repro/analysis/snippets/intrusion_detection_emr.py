@@ -1,0 +1,18 @@
+# EMR packet scanning: the signature set replicates per executor;
+# packets are disjoint, so jobsets parallelize fully.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import IntrusionDetectionWorkload
+from repro.core.emr import EmrConfig, EmrRuntime
+
+
+def scan_packets(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = IntrusionDetectionWorkload(packet_bytes=512, packets=40)
+    spec = workload.build(np.random.default_rng(seed))
+    config = EmrConfig(replication_threshold=0.2)
+    runtime = EmrRuntime(machine, workload, config=config)
+    result = runtime.run(spec=spec)
+    flagged = [i for i, mask in enumerate(result.outputs) if int.from_bytes(mask, "little")]
+    return flagged

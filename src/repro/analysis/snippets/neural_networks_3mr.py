@@ -1,0 +1,16 @@
+# Hand-rolled 3-MR inference: classify each sensor window three times
+# and vote on the labels.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import DnnWorkload
+from repro.core.emr import sequential_3mr
+
+
+def classify_stream(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = DnnWorkload(window_samples=64, stride=16, windows=36)
+    spec = workload.build(np.random.default_rng(seed))
+    result = sequential_3mr(machine, workload, spec=spec)
+    labels = [int.from_bytes(out[:4], "little") for out in result.outputs]
+    return labels

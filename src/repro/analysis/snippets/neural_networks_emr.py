@@ -1,0 +1,17 @@
+# EMR inference: weights and biases replicate per executor; overlapping
+# input windows form a dense conflict graph the scheduler untangles.
+import numpy as np
+
+from repro.sim import Machine
+from repro.workloads import DnnWorkload
+from repro.core.emr import EmrConfig, EmrRuntime
+
+
+def classify_stream(seed: int = 0):
+    machine = Machine.rpi_zero2w()
+    workload = DnnWorkload(window_samples=64, stride=16, windows=36)
+    spec = workload.build(np.random.default_rng(seed))
+    config = EmrConfig(replication_threshold=0.2)
+    result = EmrRuntime(machine, workload, config=config).run(spec=spec)
+    labels = [int.from_bytes(out[:4], "little") for out in result.outputs]
+    return labels

@@ -1,0 +1,1 @@
+"""Radshield's two components: EMR (SEU mitigation) and ILD (SEL detection)."""

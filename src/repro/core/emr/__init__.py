@@ -1,0 +1,55 @@
+"""EMR: Efficient Modular Redundancy (§3.2)."""
+
+from .baselines import sequential_3mr, single_run, unprotected_parallel_3mr
+from .checksum import ChecksumGuard, checksum_protected_run, crc32
+from .conflicts import ConflictGraph, detect_conflicts
+from .frontier import Frontier, FrontierCosts, validate_frontier
+from .jobs import Job, JobResult, JobSet
+from .materialize import MaterializedWorkload
+from .replication import ReplicationPlan, plan_replication
+from .runtime import (
+    EmrConfig,
+    EmrHooks,
+    EmrRuntime,
+    JobEngine,
+    RunResult,
+    RunStats,
+    emr_protect,
+)
+from .scheduler import build_jobsets, order_jobs, schedule_summary, validate_jobsets
+from .voting import VoteOutcome, VoteStatus, vote, vote_or_raise
+
+__all__ = [
+    "ChecksumGuard",
+    "ConflictGraph",
+    "checksum_protected_run",
+    "crc32",
+    "EmrConfig",
+    "EmrHooks",
+    "EmrRuntime",
+    "Frontier",
+    "FrontierCosts",
+    "Job",
+    "JobEngine",
+    "JobResult",
+    "JobSet",
+    "MaterializedWorkload",
+    "ReplicationPlan",
+    "RunResult",
+    "RunStats",
+    "VoteOutcome",
+    "VoteStatus",
+    "build_jobsets",
+    "detect_conflicts",
+    "emr_protect",
+    "order_jobs",
+    "plan_replication",
+    "schedule_summary",
+    "sequential_3mr",
+    "single_run",
+    "unprotected_parallel_3mr",
+    "validate_frontier",
+    "validate_jobsets",
+    "vote",
+    "vote_or_raise",
+]

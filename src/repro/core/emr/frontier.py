@@ -1,0 +1,50 @@
+"""The reliability frontier (§3.2, Fig 3).
+
+"We define the reliability frontier as the last layer of a system that
+has hardware protections and can be trusted." Everything inside the
+frontier (ECC flash, ECC DRAM where present) holds single copies;
+everything outside (CPU pipelines, caches, non-ECC DRAM) must be
+covered by replication + voting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+from ...sim.machine import Machine
+
+
+class Frontier(enum.Enum):
+    """Where the trusted boundary sits."""
+
+    DRAM = "dram"  # ECC DRAM: inputs/outputs live in memory
+    STORAGE = "storage"  # no ECC DRAM: only flash is trusted
+
+    @classmethod
+    def for_machine(cls, machine: Machine) -> "Frontier":
+        """The widest trusted frontier this machine supports."""
+        return cls.DRAM if machine.memory.has_ecc else cls.STORAGE
+
+
+def validate_frontier(machine: Machine, frontier: Frontier) -> None:
+    """Reject configurations that would trust unprotected hardware."""
+    if frontier is Frontier.DRAM and not machine.memory.has_ecc:
+        raise ConfigurationError(
+            f"machine {machine.spec.name!r} has no ECC DRAM; the reliability "
+            "frontier cannot sit at DRAM (use Frontier.STORAGE)"
+        )
+
+
+@dataclass(frozen=True)
+class FrontierCosts:
+    """Analytic costs of crossing the frontier (simulated seconds)."""
+
+    #: Memory-allocation cost per byte staged/allocated (mmap + page
+    #: faulting large input buffers; Table 6 charges this separately).
+    alloc_seconds_per_byte: float = 2.6e-9
+    #: Orchestrator overhead per jobset barrier (futex-class sync).
+    barrier_seconds: float = 4e-6
+    #: Voting cost per output byte compared (3-way compare).
+    vote_seconds_per_byte: float = 1.2e-9

@@ -1,0 +1,435 @@
+"""The EMR runtime: orchestrator + three executors (§3.2).
+
+Execution model, mirroring the paper's runtime implementation:
+
+* Each executor owns one core group; its jobs run sequentially at max
+  frequency. Jobs of a jobset run concurrently across executors, so a
+  jobset's wall time is the slowest executor's total (plus serialized
+  flash access on the storage frontier).
+* "After a job completes, the worker flushes the cache lines related
+  to that job" — amortized into the executor's own timeline.
+* At each jobset barrier the orchestrator votes every dataset whose
+  three replicas have all completed, commits the majority output
+  inside the frontier, and (on the storage frontier) drops staged
+  pages.
+* Pipeline SEUs: a job computed on a poisoned core emits a corrupted
+  output (and the transient clears). Pointer SEUs: a corrupted job
+  pointer raises a :class:`SegmentationFault` — a detected error the
+  other two replicas out-vote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import (
+    ConfigurationError,
+    DetectedFaultError,
+)
+from ...radiation.seu import corrupt_bytes
+from ...sim.clock import Stopwatch
+from ...sim.machine import Machine
+from ...sim.power import EnergyReport
+from ...workloads.base import Workload, WorkloadSpec
+from .conflicts import ConflictGraph, detect_conflicts
+from .frontier import Frontier, FrontierCosts, validate_frontier
+from .jobs import Job, JobResult, JobSet
+from .materialize import MaterializedWorkload
+from .replication import ReplicationPlan, plan_replication
+from .scheduler import build_jobsets, order_jobs, validate_jobsets
+from .voting import VoteStatus, vote
+
+
+@dataclass(frozen=True)
+class EmrConfig:
+    """Tunables of the EMR runtime."""
+
+    replication_threshold: float = 0.01
+    frontier: "Frontier | None" = None  # None = widest the machine supports
+    n_executors: int = 3
+    ordering: str = "rotated"
+    flush_cycles_per_line: int = 60
+    validate_schedule: bool = True
+    raise_on_inconclusive: bool = True
+    costs: FrontierCosts = field(default_factory=FrontierCosts)
+
+    def __post_init__(self) -> None:
+        if self.n_executors < 2:
+            raise ConfigurationError("redundancy needs >= 2 executors")
+        if self.flush_cycles_per_line < 0:
+            raise ConfigurationError("flush_cycles_per_line must be >= 0")
+
+
+class EmrHooks:
+    """Fault-injection (and observation) points. Subclass and override."""
+
+    def before_job(self, runtime: "EmrRuntime", job: Job) -> None:
+        """Called before a job fetches its inputs."""
+
+    def after_job_output(
+        self, runtime: "EmrRuntime", job: Job, output: bytes
+    ) -> bytes:
+        """May replace a job's output (models in-flight corruption)."""
+        return output
+
+    def after_jobset(self, runtime: "EmrRuntime", jobset: JobSet) -> None:
+        """Called at each jobset barrier."""
+
+
+@dataclass
+class RunStats:
+    """Counters the experiments report."""
+
+    jobs: int = 0
+    jobsets: int = 0
+    conflict_edges: int = 0
+    replicated_bytes: int = 0
+    memory_bytes: int = 0
+    flushed_lines: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    memory_fills: int = 0
+    vote_corrections: int = 0
+    unanimous_votes: int = 0
+    detected_faults: "list[str]" = field(default_factory=list)
+    disk_ios: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything one protected (or baseline) run produced."""
+
+    scheme: str
+    workload: str
+    outputs: "list[bytes]"
+    wall_seconds: float
+    breakdown: "dict[str, float]"
+    energy: EnergyReport
+    stats: RunStats
+    frontier: Frontier
+
+    @property
+    def corrected(self) -> bool:
+        return self.stats.vote_corrections > 0
+
+    @property
+    def had_detected_error(self) -> bool:
+        return bool(self.stats.detected_faults)
+
+    def matches(self, golden: "list[bytes]") -> bool:
+        """True when committed outputs equal the golden reference."""
+        return self.outputs == golden
+
+
+class JobEngine:
+    """Executes individual jobs with full fault semantics. Shared by
+    the EMR runtime and the 3-MR baselines so every scheme sees the
+    same machine behaviour."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        workload: Workload,
+        materialized: MaterializedWorkload,
+        hooks: "EmrHooks | None",
+        rng: np.random.Generator,
+        flush_cycles_per_line: int,
+        stats: RunStats,
+    ) -> None:
+        self.machine = machine
+        self.workload = workload
+        self.materialized = materialized
+        self.hooks = hooks
+        self.rng = rng
+        self.flush_cycles_per_line = flush_cycles_per_line
+        self.stats = stats
+
+    def run_job(
+        self,
+        job: Job,
+        core_id: int,
+        runtime: "EmrRuntime | None" = None,
+        flush_after: bool = True,
+    ) -> "tuple[JobResult, dict]":
+        """Returns (result, seconds-by-bucket for this job)."""
+        machine = self.machine
+        core = machine.cores[core_id]
+        timings = {"compute": 0.0, "cache_clear": 0.0, "disk_read": 0.0}
+        if self.hooks is not None:
+            self.hooks.before_job(runtime, job)
+        inputs: "dict[str, bytes]" = {}
+        l1_hits = l2_hits = fills = 0
+        try:
+            for role in job.dataset.regions:
+                fetched = self.materialized.fetch(job, role)
+                inputs[role] = fetched.data
+                l1_hits += fetched.trace.l1_hits
+                l2_hits += fetched.trace.l2_hits
+                fills += fetched.trace.memory_fills
+                timings["disk_read"] += fetched.disk_seconds
+                self.stats.disk_ios += fetched.disk_ios
+            output = self.workload.run_job(inputs, dict(job.dataset.params))
+            self.workload.validate_output(output)
+        except DetectedFaultError as exc:
+            self.stats.detected_faults.append(
+                f"ds={job.dataset_index} exec={job.executor_id}: {exc}"
+            )
+            # The failed fetch/compute still burned time on the core.
+            cost = core.execute(
+                self.workload.instructions_per_job(job.dataset) // 2,
+                l1_hits=l1_hits, l2_hits=l2_hits, memory_fills=fills,
+            )
+            timings["compute"] += cost.seconds
+            return (
+                JobResult(job.dataset_index, job.executor_id, None, fault=str(exc)),
+                timings,
+            )
+        # A transient latched in this core's datapath corrupts the
+        # result in flight, then dissipates.
+        if core.poisoned:
+            output = corrupt_bytes(output, self.rng, bits=1)
+            core.poisoned = False
+        if self.hooks is not None:
+            output = self.hooks.after_job_output(runtime, job, output)
+        cost = core.execute(
+            self.workload.instructions_per_job(job.dataset),
+            l1_hits=l1_hits,
+            l2_hits=l2_hits,
+            memory_fills=fills,
+        )
+        timings["compute"] += cost.seconds
+        timings["compute"] += self.materialized.store_replica_output(job, output)
+        self.stats.l1_hits += l1_hits
+        self.stats.l2_hits += l2_hits
+        self.stats.memory_fills += fills
+        if flush_after:
+            flushed = self.materialized.flush_job_regions(job)
+            self.stats.flushed_lines += flushed
+            timings["cache_clear"] += (
+                flushed * self.flush_cycles_per_line / core.freq
+            )
+        self.stats.jobs += 1
+        return (
+            JobResult(job.dataset_index, job.executor_id, output),
+            timings,
+        )
+
+
+class EmrRuntime:
+    """Plans and runs one workload under EMR on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        workload: Workload,
+        config: "EmrConfig | None" = None,
+        hooks: "EmrHooks | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.workload = workload
+        self.config = config or EmrConfig()
+        self.hooks = hooks
+        self.seed = seed
+        frontier = self.config.frontier or Frontier.for_machine(machine)
+        validate_frontier(machine, frontier)
+        self.frontier = frontier
+        # Populated by plan()/run():
+        self.spec: "WorkloadSpec | None" = None
+        self.plan_: "ReplicationPlan | None" = None
+        self.conflicts_: "ConflictGraph | None" = None
+        self.jobsets_: "list[JobSet] | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_protected(self) -> bool:
+        """ECC covers the caches: shared lines cannot silently alias,
+        so jobset isolation, flushes, and replication buy nothing.
+        "EMR simply reverts to 3-MR" (§3.2) — plain protected parallel
+        triple execution with voting."""
+        return self.machine.spec.cache_ecc
+
+    def plan(self, spec: "WorkloadSpec | None" = None,
+             rng: "np.random.Generator | None" = None) -> "list[JobSet]":
+        """Build replication plan, conflict graph, and jobset schedule."""
+        rng = rng or np.random.default_rng(self.seed)
+        self.spec = spec or self.workload.build(rng)
+        if self.cache_protected:
+            self.plan_ = plan_replication(self.spec.datasets, threshold=1.5)
+            self.conflicts_ = ConflictGraph(neighbours={})
+            jobs = order_jobs(
+                self.spec.datasets, self.config.n_executors, self.config.ordering
+            )
+            jobset = JobSet(jobset_id=0)
+            for job in jobs:
+                jobset.add(job)
+            self.jobsets_ = [jobset]
+            return self.jobsets_
+        self.plan_ = plan_replication(
+            self.spec.datasets, self.config.replication_threshold
+        )
+        self.conflicts_ = detect_conflicts(
+            self.spec.datasets,
+            set(self.plan_.replicated),
+            line_size=self.machine.spec.line_size,
+        )
+        jobs = order_jobs(
+            self.spec.datasets, self.config.n_executors, self.config.ordering
+        )
+        self.jobsets_ = build_jobsets(jobs, self.conflicts_)
+        if self.config.validate_schedule:
+            validate_jobsets(self.jobsets_, self.conflicts_)
+        return self.jobsets_
+
+    # ------------------------------------------------------------------
+    def run(self, spec: "WorkloadSpec | None" = None,
+            rng: "np.random.Generator | None" = None) -> RunResult:
+        rng = rng or np.random.default_rng(self.seed)
+        if spec is not None or self.jobsets_ is None:
+            self.plan(spec, rng)
+        machine = self.machine
+        cfg = self.config
+        stats = RunStats(
+            conflict_edges=self.conflicts_.edge_count,
+            replicated_bytes=self.plan_.replicated_bytes,
+        )
+        stopwatch = Stopwatch(machine.clock)
+        start_time = machine.clock.now
+        mem_stats_before = (
+            machine.memory.stats.bytes_read + machine.memory.stats.bytes_written
+        )
+        groups = machine.default_core_groups(cfg.n_executors)
+        for group in groups:
+            for core_id in group.core_ids:
+                machine.cores[core_id].set_freq(machine.spec.core_spec.max_freq)
+
+        materialized = MaterializedWorkload(
+            machine, self.spec, self.frontier, self.plan_,
+            cfg.n_executors, stopwatch, cfg.costs,
+        )
+        stats.memory_bytes = materialized.allocated_input_bytes
+        engine = JobEngine(
+            machine, self.workload, materialized, self.hooks, rng,
+            cfg.flush_cycles_per_line, stats,
+        )
+
+        executor_busy = [0.0] * cfg.n_executors
+        replica_results: "dict[int, list]" = {}
+        pending_votes: "set[int]" = set()
+
+        for jobset in self.jobsets_:
+            per_executor = {e: {"compute": 0.0, "cache_clear": 0.0, "disk_read": 0.0}
+                            for e in range(cfg.n_executors)}
+            for executor in range(cfg.n_executors):
+                core_id = groups[executor].core_ids[0]
+                for job in jobset.jobs_for_executor(executor):
+                    result, timings = engine.run_job(
+                        job, core_id, runtime=self,
+                        flush_after=not self.cache_protected,
+                    )
+                    replica_results.setdefault(job.dataset_index, []).append(result)
+                    if len(replica_results[job.dataset_index]) == cfg.n_executors:
+                        pending_votes.add(job.dataset_index)
+                    for bucket, seconds in timings.items():
+                        per_executor[executor][bucket] += seconds
+            # Jobset wall time: slowest executor, but flash is one
+            # device — serialized disk time is a floor.
+            executor_totals = [
+                sum(buckets.values()) for buckets in per_executor.values()
+            ]
+            total_disk = sum(b["disk_read"] for b in per_executor.values())
+            wall = max(max(executor_totals), total_disk)
+            straggler = int(np.argmax(executor_totals))
+            for bucket in ("compute", "cache_clear", "disk_read"):
+                stopwatch.add(bucket, per_executor[straggler][bucket])
+            if wall > executor_totals[straggler]:
+                stopwatch.add("disk_read", wall - executor_totals[straggler])
+            machine.clock.advance(wall)
+            for executor in range(cfg.n_executors):
+                executor_busy[executor] += sum(per_executor[executor].values())
+            # Barrier + votes.
+            machine.clock.advance(cfg.costs.barrier_seconds)
+            stopwatch.add("orchestration", cfg.costs.barrier_seconds)
+            self._vote_pending(
+                pending_votes, replica_results, materialized, stats, stopwatch
+            )
+            materialized.end_of_jobset()
+            if self.hooks is not None:
+                self.hooks.after_jobset(self, jobset)
+
+        stats.jobsets = len(self.jobsets_)
+        wall_seconds = machine.clock.now - start_time
+        dram_bytes = (
+            machine.memory.stats.bytes_read + machine.memory.stats.bytes_written
+            - mem_stats_before
+        )
+        energy = machine.energy_meter.measure(
+            wall_seconds, executor_busy, dram_bytes=dram_bytes,
+            disk_ios=stats.disk_ios,
+        )
+        return RunResult(
+            scheme="emr",
+            workload=self.workload.name,
+            outputs=materialized.final_outputs(),
+            wall_seconds=wall_seconds,
+            breakdown=stopwatch.breakdown(),
+            energy=energy,
+            stats=stats,
+            frontier=self.frontier,
+        )
+
+    def _vote_pending(self, pending, replica_results, materialized, stats,
+                      stopwatch) -> None:
+        from ...errors import VotingInconclusiveError
+
+        for dataset_index in sorted(pending):
+            results = replica_results.pop(dataset_index)
+            # The orchestrator reads replica outputs back from inside
+            # the frontier — the authoritative copies, not the python
+            # objects (a DRAM SEU on a slot shows up here).
+            refreshed = []
+            for result in results:
+                if result.ok:
+                    stored = materialized.load_replica_output(
+                        dataset_index, result.executor_id
+                    )
+                    refreshed.append(
+                        JobResult(dataset_index, result.executor_id, stored)
+                    )
+                else:
+                    refreshed.append(result)
+            outcome = vote(refreshed)
+            compare_bytes = sum(
+                len(r.output) for r in refreshed if r.output is not None
+            )
+            vote_seconds = compare_bytes * self.config.costs.vote_seconds_per_byte
+            self.machine.clock.advance(vote_seconds)
+            stopwatch.add("orchestration", vote_seconds)
+            if outcome.status is VoteStatus.INCONCLUSIVE:
+                stats.detected_faults.append(
+                    f"ds={dataset_index}: inconclusive vote"
+                )
+                if self.config.raise_on_inconclusive:
+                    raise VotingInconclusiveError(
+                        f"dataset {dataset_index}: no majority"
+                    )
+                materialized.commit_output(dataset_index, b"")
+            else:
+                if outcome.status is VoteStatus.CORRECTED:
+                    stats.vote_corrections += 1
+                else:
+                    stats.unanimous_votes += 1
+                materialized.commit_output(dataset_index, outcome.output)
+        pending.clear()
+
+
+def emr_protect(
+    machine: Machine,
+    workload: Workload,
+    config: "EmrConfig | None" = None,
+    seed: int = 0,
+) -> RunResult:
+    """One-call convenience: build, plan, and run a workload under EMR."""
+    return EmrRuntime(machine, workload, config=config, seed=seed).run()

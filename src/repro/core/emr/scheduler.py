@@ -1,0 +1,118 @@
+"""Greedy jobset construction (§3.2).
+
+"EMR greedily creates jobsets by assigning jobs to the first available
+jobset without conflicts."
+
+Two jobs conflict when their datasets conflict *or* they are replicas
+of the same dataset (replicas read identical non-replicated regions by
+definition, and must land in different jobsets so a cache SEU can only
+ever taint one of the three).
+
+Job ordering matters for balance: the naive order (all of dataset 0's
+replicas, then dataset 1's, ...) packs each jobset with a single
+executor's jobs and serializes the machine. The default ``rotated``
+order emits replica-round r of every dataset with the executor rotated
+by the dataset index — a Latin-square-like pattern that keeps all
+executors busy in every jobset. The naive order is kept for the
+scheduling ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...workloads.base import DatasetSpec
+from .conflicts import ConflictGraph
+from .jobs import Job, JobSet
+
+
+def order_jobs(
+    datasets: "list[DatasetSpec]",
+    n_executors: int,
+    strategy: str = "rotated",
+) -> "list[Job]":
+    """Emit the 3N replica jobs in scheduling order."""
+    if n_executors < 1:
+        raise ConfigurationError("need at least one executor")
+    if strategy == "rotated":
+        jobs = []
+        for round_index in range(n_executors):
+            for position, ds in enumerate(datasets):
+                executor = (position + round_index) % n_executors
+                jobs.append(Job(dataset=ds, executor_id=executor))
+        return jobs
+    if strategy == "naive":
+        return [
+            Job(dataset=ds, executor_id=e)
+            for ds in datasets
+            for e in range(n_executors)
+        ]
+    raise ConfigurationError(f"unknown ordering strategy {strategy!r}")
+
+
+def build_jobsets(
+    jobs: "list[Job]",
+    conflicts: ConflictGraph,
+) -> "list[JobSet]":
+    """First-fit greedy: each job joins the earliest jobset where no
+    member conflicts with it."""
+    jobsets: "list[JobSet]" = []
+    members: "list[set]" = []  # dataset indices per jobset
+    blocked: "list[set]" = []  # dataset indices conflicting with members
+    for job in jobs:
+        index = job.dataset_index
+        placed = False
+        for jobset, present, barred in zip(jobsets, members, blocked):
+            if index in present or index in barred:
+                continue
+            jobset.add(job)
+            present.add(index)
+            barred.update(conflicts.neighbours.get(index, frozenset()))
+            placed = True
+            break
+        if not placed:
+            jobset = JobSet(jobset_id=len(jobsets))
+            jobset.add(job)
+            jobsets.append(jobset)
+            members.append({index})
+            blocked.append(set(conflicts.neighbours.get(index, frozenset())))
+    return jobsets
+
+
+def validate_jobsets(jobsets: "list[JobSet]", conflicts: ConflictGraph) -> None:
+    """Invariant check used by tests and the runtime's debug mode:
+    no jobset may contain two replicas of one dataset or two
+    conflicting datasets."""
+    for jobset in jobsets:
+        indices = [job.dataset_index for job in jobset.jobs]
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError(
+                f"jobset {jobset.jobset_id} holds duplicate dataset replicas"
+            )
+        unique = list(set(indices))
+        for i, a in enumerate(unique):
+            for b in unique[i + 1 :]:
+                if conflicts.conflicts(a, b):
+                    raise ConfigurationError(
+                        f"jobset {jobset.jobset_id} holds conflicting "
+                        f"datasets {a} and {b}"
+                    )
+
+
+def schedule_summary(jobsets: "list[JobSet]", n_executors: int) -> "dict[str, float]":
+    """Balance metrics for the scheduling ablation."""
+    if not jobsets:
+        return {"jobsets": 0, "mean_jobs": 0.0, "balance": 1.0}
+    total_jobs = sum(len(js) for js in jobsets)
+    # Balance: mean over jobsets of (busy executors / executors).
+    utilizations = []
+    for jobset in jobsets:
+        loads = [len(jobset.jobs_for_executor(e)) for e in range(n_executors)]
+        peak = max(loads)
+        utilizations.append(
+            (sum(loads) / (peak * n_executors)) if peak else 0.0
+        )
+    return {
+        "jobsets": len(jobsets),
+        "mean_jobs": total_jobs / len(jobsets),
+        "balance": sum(utilizations) / len(utilizations),
+    }

@@ -1,0 +1,95 @@
+"""Majority voting across replica outputs.
+
+"the machines ... do a tiebreaker vote if the results differ" (§2.2).
+Outcomes follow Table 7's taxonomy: unanimous agreement, a corrected
+2-of-1 disagreement (the minority replica was hit), a replica fault
+(crash/segfault, still correctable if the other two agree), or an
+inconclusive three-way split (a detected error — EMR aborts rather
+than emit unverified data).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError, VotingInconclusiveError
+from .jobs import JobResult
+
+
+class VoteStatus(enum.Enum):
+    UNANIMOUS = "unanimous"
+    CORRECTED = "corrected"  # one replica out-voted
+    INCONCLUSIVE = "inconclusive"  # no majority
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    dataset_index: int
+    status: VoteStatus
+    output: "bytes | None"
+    dissenting_executors: "tuple[int, ...]" = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not VoteStatus.INCONCLUSIVE
+
+
+def vote(results: "list[JobResult]") -> VoteOutcome:
+    """Majority-vote one dataset's replica results.
+
+    Faulted replicas (segfault, ECC-detected error) count as dissent:
+    two healthy agreeing replicas still carry the vote; two faults (or
+    a three-way output split) make the vote inconclusive.
+    """
+    if len(results) < 2:
+        raise ConfigurationError("voting needs at least two replicas")
+    index = results[0].dataset_index
+    if any(r.dataset_index != index for r in results):
+        raise ConfigurationError("vote mixes results from different datasets")
+
+    tally: "dict[bytes, list]" = {}
+    faulted = []
+    for result in results:
+        if result.ok:
+            tally.setdefault(result.output, []).append(result.executor_id)
+        else:
+            faulted.append(result.executor_id)
+
+    majority_needed = len(results) // 2 + 1
+    winner = None
+    for output, executors in tally.items():
+        if len(executors) >= majority_needed:
+            winner = (output, executors)
+            break
+    if winner is None:
+        return VoteOutcome(
+            dataset_index=index,
+            status=VoteStatus.INCONCLUSIVE,
+            output=None,
+            dissenting_executors=tuple(
+                r.executor_id for r in results
+            ),
+        )
+    output, executors = winner
+    dissenters = tuple(
+        r.executor_id for r in results if r.executor_id not in executors
+    )
+    status = VoteStatus.UNANIMOUS if not dissenters else VoteStatus.CORRECTED
+    return VoteOutcome(
+        dataset_index=index,
+        status=status,
+        output=output,
+        dissenting_executors=dissenters,
+    )
+
+
+def vote_or_raise(results: "list[JobResult]") -> VoteOutcome:
+    """Like :func:`vote` but raising on inconclusive splits."""
+    outcome = vote(results)
+    if not outcome.ok:
+        raise VotingInconclusiveError(
+            f"dataset {outcome.dataset_index}: all replicas disagree "
+            f"(executors {outcome.dissenting_executors})"
+        )
+    return outcome

@@ -1,0 +1,48 @@
+"""ILD: the Idle Latchup Detector (§3.1)."""
+
+from .baselines import (
+    NaiveBayesBaseline,
+    RandomForestBaseline,
+    StaticThresholdBaseline,
+)
+from .blackbox import SelDiagnostic, TelemetryBlackBox, TelemetryRow
+from .calibration import (
+    CalibrationResult,
+    LabelledTrace,
+    ThresholdScore,
+    sweep_thresholds,
+)
+from .detector import Detection, IldConfig, IldDetector, train_ild
+from .model import CurrentModel, FeatureSelection, select_features
+from .quiescence import (
+    BubblePolicy,
+    QuiescenceDetector,
+    bubble_overhead,
+    inject_bubbles,
+)
+from .rolling_filter import RollingMinimumFilter
+
+__all__ = [
+    "BubblePolicy",
+    "CalibrationResult",
+    "CurrentModel",
+    "Detection",
+    "FeatureSelection",
+    "IldConfig",
+    "IldDetector",
+    "LabelledTrace",
+    "NaiveBayesBaseline",
+    "QuiescenceDetector",
+    "RandomForestBaseline",
+    "RollingMinimumFilter",
+    "SelDiagnostic",
+    "StaticThresholdBaseline",
+    "TelemetryBlackBox",
+    "TelemetryRow",
+    "ThresholdScore",
+    "bubble_overhead",
+    "inject_bubbles",
+    "select_features",
+    "sweep_thresholds",
+    "train_ild",
+]

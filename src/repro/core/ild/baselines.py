@@ -1,0 +1,147 @@
+"""Black-box SEL-detection baselines (§4.1.2).
+
+Both treat the computer as a black box — they see only measured
+current, never the perf counters — which is precisely why they fail:
+a 0.07 A latchup is invisible under amp-scale activity swings, and
+activity looks exactly like a latchup to a current-only model.
+
+* :class:`StaticThresholdBaseline` — the classical protection circuit:
+  alarm when current exceeds a fixed level.
+* :class:`RandomForestBaseline` — the ML state of the art [30]:
+  a random-forest classifier "trained solely on current draw and not
+  on performance counters ... no temporal element".
+* :class:`NaiveBayesBaseline` — the paper's other discarded
+  classifier, kept for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...ml.naive_bayes import GaussianNaiveBayes
+from ...ml.random_forest import RandomForest
+from ...sim.telemetry import TelemetryTrace
+from .detector import Detection
+
+
+def _sustained_mask(
+    positive: np.ndarray, persistence_ticks: int, majority: float = 0.8
+) -> np.ndarray:
+    """Alarm decisions: at least ``majority`` of the trailing window's
+    ticks positive. (A plain all-ticks rule would be defeated by a
+    single noisy sample; real protection circuits integrate.)"""
+    positive = positive.astype(float)
+    if persistence_ticks > 1 and len(positive) >= persistence_ticks:
+        kernel = np.ones(persistence_ticks) / persistence_ticks
+        fraction = np.convolve(positive, kernel, mode="valid")
+        sustained = np.zeros(len(positive), dtype=bool)
+        sustained[persistence_ticks - 1 :] = fraction >= majority
+        return sustained
+    return positive.astype(bool)
+
+
+def _onsets_from_mask(sustained: np.ndarray, times: np.ndarray) -> "list[Detection]":
+    previous = np.concatenate([[False], sustained[:-1]])
+    onsets = np.nonzero(sustained & ~previous)[0]
+    return [Detection(time=float(times[i]), mean_residual=0.0) for i in onsets]
+
+
+class StaticThresholdBaseline:
+    """Fixed current threshold with a short persistence requirement."""
+
+    def __init__(
+        self,
+        threshold_amps: float,
+        persistence_seconds: float = 1.0,
+    ) -> None:
+        if threshold_amps <= 0:
+            raise ConfigurationError("threshold must be positive")
+        self.threshold_amps = threshold_amps
+        self.persistence_seconds = persistence_seconds
+        self.alarm_ticks = 0
+        self.evaluated_ticks = 0
+        self.last_alarm_mask: "np.ndarray | None" = None
+
+    def process(self, trace: TelemetryTrace) -> "list[Detection]":
+        # Black box: raw measured current, no rolling-min filtering
+        # (the filter is part of Radshield, not prior art).
+        current = trace.measured_per_tick()
+        positive = current > self.threshold_amps
+        ticks = max(1, int(round(self.persistence_seconds / trace.config.tick)))
+        sustained = _sustained_mask(positive, ticks)
+        self.last_alarm_mask = sustained
+        self.alarm_ticks += int(sustained.sum())
+        self.evaluated_ticks += trace.n_ticks
+        return _onsets_from_mask(sustained, trace.times())
+
+
+class _CurrentOnlyClassifier:
+    """Shared harness for the ML baselines: instantaneous current in,
+    nominal/SEL class out, persistence-gated alarms."""
+
+    def __init__(self, persistence_seconds: float = 1.0) -> None:
+        self.persistence_seconds = persistence_seconds
+        self._model = None
+        self.alarm_ticks = 0
+        self.evaluated_ticks = 0
+        self.last_alarm_mask: "np.ndarray | None" = None
+
+    def _make_model(self):
+        raise NotImplementedError
+
+    def train(self, nominal_current: np.ndarray, sel_current: np.ndarray) -> None:
+        """Fit on labelled current samples — the black-box training set:
+        quiescent draw vs. quiescent-draw-plus-latchup."""
+        X = np.concatenate([nominal_current, sel_current]).reshape(-1, 1)
+        y = np.concatenate(
+            [np.zeros(len(nominal_current)), np.ones(len(sel_current))]
+        )
+        self._model = self._make_model()
+        self._model.fit(X, y)
+
+    def _predict_class(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def process(self, trace: TelemetryTrace) -> "list[Detection]":
+        if self._model is None:
+            raise ConfigurationError("baseline is not trained")
+        current = trace.measured_per_tick()
+        positive = self._predict_class(current.reshape(-1, 1)).astype(bool)
+        ticks = max(1, int(round(self.persistence_seconds / trace.config.tick)))
+        sustained = _sustained_mask(positive, ticks)
+        self.last_alarm_mask = sustained
+        self.alarm_ticks += int(sustained.sum())
+        self.evaluated_ticks += trace.n_ticks
+        return _onsets_from_mask(sustained, trace.times())
+
+
+class RandomForestBaseline(_CurrentOnlyClassifier):
+    """The Dorise et al. style classifier [30], current-only."""
+
+    def __init__(self, n_trees: int = 20, seed: int = 0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n_trees = n_trees
+        self.seed = seed
+
+    def _make_model(self):
+        return RandomForest(
+            n_trees=self.n_trees,
+            max_depth=6,
+            max_features=None,
+            task="classification",
+            seed=self.seed,
+        )
+
+    def _predict_class(self, X: np.ndarray) -> np.ndarray:
+        return self._model.predict_class(X)
+
+
+class NaiveBayesBaseline(_CurrentOnlyClassifier):
+    """Gaussian NB on current only (the paper's discarded alternative)."""
+
+    def _make_model(self):
+        return GaussianNaiveBayes()
+
+    def _predict_class(self, X: np.ndarray) -> np.ndarray:
+        return self._model.predict(X).astype(int)

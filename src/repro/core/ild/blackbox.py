@@ -1,0 +1,141 @@
+"""Telemetry black box for ground diagnosis (§5).
+
+"We designed ILD to provide additional insight into these errors by
+recording fine-grained telemetry which allows ground operators to
+definitively trace a potential issue to a SEL." Before ILD, a SmallSat
+latchup looked like "the commodity computer simply stops responding";
+operators needed a separate radiation-hardened monitor to attribute
+the loss.
+
+The black box keeps a bounded ring of downsampled telemetry rows
+(filtered current, model prediction, residual, quiescence) and, on
+each alarm, freezes a :class:`SelDiagnostic` containing the
+before/after windows and the estimated current step — the artifact a
+ground team would downlink.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...sim.telemetry import TelemetryTrace
+from .detector import Detection, IldDetector
+
+
+@dataclass(frozen=True)
+class TelemetryRow:
+    """One downsampled telemetry sample."""
+
+    time: float
+    measured_amps: float
+    predicted_amps: float
+    residual_amps: float
+    quiescent: bool
+
+
+@dataclass(frozen=True)
+class SelDiagnostic:
+    """The downlink packet for one alarm."""
+
+    detection: Detection
+    rows: "tuple[TelemetryRow, ...]"
+    baseline_residual_amps: float
+    post_alarm_residual_amps: float
+
+    @property
+    def estimated_step_amps(self) -> float:
+        """The latchup's apparent current delta — what the operators
+        compare against known micro-SEL signatures."""
+        return self.post_alarm_residual_amps - self.baseline_residual_amps
+
+    def summary(self) -> str:
+        return (
+            f"alarm t={self.detection.time:.1f}s: residual stepped "
+            f"{self.baseline_residual_amps * 1e3:+.0f} -> "
+            f"{self.post_alarm_residual_amps * 1e3:+.0f} mA "
+            f"(ΔI ≈ {self.estimated_step_amps * 1e3:.0f} mA) over "
+            f"{len(self.rows)} recorded samples"
+        )
+
+
+class TelemetryBlackBox:
+    """Bounded recorder wired next to an :class:`IldDetector`."""
+
+    def __init__(
+        self,
+        capacity_rows: int = 4096,
+        downsample_seconds: float = 0.25,
+    ) -> None:
+        if capacity_rows < 16:
+            raise ConfigurationError("black box needs >= 16 rows")
+        if downsample_seconds <= 0:
+            raise ConfigurationError("downsample period must be positive")
+        self.capacity_rows = capacity_rows
+        self.downsample_seconds = downsample_seconds
+        self._rows: "deque[TelemetryRow]" = deque(maxlen=capacity_rows)
+        self.diagnostics: "list[SelDiagnostic]" = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> "tuple[TelemetryRow, ...]":
+        return tuple(self._rows)
+
+    def observe(
+        self,
+        detector: IldDetector,
+        trace: TelemetryTrace,
+        detections: "list[Detection]",
+    ) -> "list[SelDiagnostic]":
+        """Record one processed chunk and freeze diagnostics per alarm."""
+        stride = max(1, int(round(self.downsample_seconds / trace.config.tick)))
+        measured = detector.filtered_current(trace)
+        predicted = detector.model.predict(trace.counters)
+        residual = measured - predicted
+        quiescent = detector.quiescence.mask(trace.counters)
+        times = trace.times()
+        for i in range(0, trace.n_ticks, stride):
+            self._rows.append(
+                TelemetryRow(
+                    time=float(times[i]),
+                    measured_amps=float(measured[i]),
+                    predicted_amps=float(predicted[i]),
+                    residual_amps=float(residual[i]),
+                    quiescent=bool(quiescent[i]),
+                )
+            )
+        fresh = []
+        for detection in detections:
+            diagnostic = self._freeze(detection)
+            self.diagnostics.append(diagnostic)
+            fresh.append(diagnostic)
+        return fresh
+
+    def _freeze(self, detection: Detection) -> SelDiagnostic:
+        rows = tuple(self._rows)
+        quiescent_rows = [r for r in rows if r.quiescent]
+        before = [
+            r.residual_amps for r in quiescent_rows
+            if r.time < detection.time - 1.0
+        ]
+        after = [
+            r.residual_amps for r in quiescent_rows
+            if r.time >= detection.time - 1.0
+        ]
+        baseline = float(np.median(before[-200:])) if before else 0.0
+        post = float(np.median(after[:200])) if after else detection.mean_residual
+        # Keep a focused window around the alarm.
+        window = tuple(
+            r for r in rows if abs(r.time - detection.time) <= 60.0
+        ) or rows[-16:]
+        return SelDiagnostic(
+            detection=detection,
+            rows=window,
+            baseline_residual_amps=baseline,
+            post_alarm_residual_amps=post,
+        )

@@ -1,0 +1,160 @@
+"""ILD's current-draw model (§3.1).
+
+A ridge linear model mapping the Table 1 perf-counter features to
+expected board current. It is trained *on the ground*, on an identical
+copy of the flight hardware, over quiescent telemetry — exactly the
+deployment story the paper describes: "Satellite operators typically
+test programs on an Earth-based identical copy of the hardware onboard
+a satellite, which allows for ILD to be trained before the satellite
+is launched."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...ml.linreg import LinearRegression
+from ...ml.random_forest import RandomForest
+from ...sim.perfcounters import CounterFrame, feature_names
+
+
+@dataclass(frozen=True)
+class FeatureSelection:
+    """Result of the random-forest feature-importance pass the paper
+    uses to justify the Table 1 metric set."""
+
+    importances: np.ndarray
+    names: tuple
+    top_indices: np.ndarray
+
+    def top_names(self) -> "tuple[str, ...]":
+        return tuple(self.names[i] for i in self.top_indices)
+
+
+def select_features(
+    frame: CounterFrame,
+    current: np.ndarray,
+    n_top: int = 12,
+    n_trees: int = 12,
+    max_samples: int = 4000,
+    seed: int = 0,
+) -> FeatureSelection:
+    """Rank counters by random-forest importance for predicting current.
+
+    The paper: "These counters were chosen by first creating a random
+    forest to model current draw, and then selecting the most important
+    features ... instruction completion rate, bus cycle rate, and CPU
+    frequency were by far the most correlated."
+    """
+    X = frame.feature_matrix()
+    y = np.asarray(current, dtype=float)
+    if len(X) != len(y):
+        raise ConfigurationError(f"{len(X)} feature rows vs {len(y)} currents")
+    forest = RandomForest(
+        n_trees=n_trees,
+        max_depth=7,
+        max_features=None,
+        max_samples=min(max_samples, len(X)),
+        task="regression",
+        seed=seed,
+    ).fit(X, y)
+    names = feature_names(frame.n_cores)
+    return FeatureSelection(
+        importances=forest.feature_importances_,
+        names=names,
+        top_indices=forest.top_features(min(n_top, len(names))),
+    )
+
+
+class CurrentModel:
+    """The deployed linear estimator: counters -> expected amps."""
+
+    def __init__(self, alpha: float = 1e-4,
+                 feature_indices: "np.ndarray | None" = None) -> None:
+        self._regression = LinearRegression(alpha=alpha)
+        self.feature_indices = feature_indices
+        self.trained_on_samples = 0
+
+    def _design(self, frame: CounterFrame) -> np.ndarray:
+        X = frame.feature_matrix()
+        if self.feature_indices is not None:
+            X = X[:, self.feature_indices]
+        return X
+
+    def fit(self, frame: CounterFrame, current: np.ndarray) -> "CurrentModel":
+        """Train on (typically quiescent, rolling-min filtered) data."""
+        X = self._design(frame)
+        y = np.asarray(current, dtype=float)
+        if len(X) != len(y):
+            raise ConfigurationError(f"{len(X)} feature rows vs {len(y)} currents")
+        self._regression.fit(X, y)
+        self.trained_on_samples = len(X)
+        return self
+
+    def predict(self, frame: CounterFrame) -> np.ndarray:
+        return self._regression.predict(self._design(frame))
+
+    def residuals(self, frame: CounterFrame, measured: np.ndarray) -> np.ndarray:
+        """measured − predicted: positive residuals mean unexplained
+        current — the SEL signature."""
+        return np.asarray(measured, dtype=float) - self.predict(frame)
+
+    def score(self, frame: CounterFrame, measured: np.ndarray) -> float:
+        return self._regression.score(self._design(frame), np.asarray(measured))
+
+    # ------------------------------------------------------------------
+    # Serialization: the deployment flow is "train on the ground copy,
+    # uplink the coefficients" — a model must survive a radio link.
+    # ------------------------------------------------------------------
+    _MAGIC = b"ILDM\x01"
+
+    def to_bytes(self) -> bytes:
+        """Pack coefficients, intercept, and feature indices into a
+        CRC-protected blob (uplink format)."""
+        import struct
+
+        from ..emr.checksum import crc32
+
+        if self._regression.coef_ is None:
+            raise ConfigurationError("cannot serialize an unfitted model")
+        coef = np.asarray(self._regression.coef_, dtype="<f8")
+        indices = (
+            np.asarray(self.feature_indices, dtype="<i4")
+            if self.feature_indices is not None
+            else np.empty(0, dtype="<i4")
+        )
+        body = bytearray(self._MAGIC)
+        body += struct.pack("<dII", self._regression.intercept_, len(coef), len(indices))
+        body += coef.tobytes()
+        body += indices.tobytes()
+        body += struct.pack("<I", crc32(bytes(body)))
+        return bytes(body)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CurrentModel":
+        """Inverse of :meth:`to_bytes`; rejects corrupted blobs."""
+        import struct
+
+        from ..emr.checksum import crc32
+
+        if len(blob) < len(cls._MAGIC) + 16 + 4:
+            raise ConfigurationError("model blob truncated")
+        payload, crc_bytes = blob[:-4], blob[-4:]
+        if crc32(payload) != struct.unpack("<I", crc_bytes)[0]:
+            raise ConfigurationError("model blob failed CRC (corrupted uplink?)")
+        if not payload.startswith(cls._MAGIC):
+            raise ConfigurationError("bad model magic/version")
+        offset = len(cls._MAGIC)
+        intercept, n_coef, n_indices = struct.unpack_from("<dII", payload, offset)
+        offset += 16
+        coef = np.frombuffer(payload, dtype="<f8", count=n_coef, offset=offset).copy()
+        offset += n_coef * 8
+        indices = np.frombuffer(payload, dtype="<i4", count=n_indices, offset=offset)
+        model = cls(feature_indices=indices.copy() if n_indices else None)
+        model._regression.coef_ = coef
+        model._regression.intercept_ = float(intercept)
+        model.trained_on_samples = -1  # unknown after round-trip
+        return model

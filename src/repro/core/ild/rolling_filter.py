@@ -1,0 +1,59 @@
+"""Rolling-minimum transient suppression (§3.1).
+
+"ILD tracks a rolling minimum current across the 250 µs before and
+after the measurement. This lowers the standard deviation of current
+recordings during quiescence from .14 A to .02 A ... While this incurs
+a delay of 2.5 ms for each measurement ..."
+
+Compute transients are brief *positive* excursions, while an SEL is a
+persistent step — so a windowed minimum kills the spikes but passes the
+step after one window of delay. The filter operates on the sensor's
+fine sample stream and then decimates to the 1 ms metric tick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import minimum_filter1d
+
+from ...errors import ConfigurationError
+
+
+class RollingMinimumFilter:
+    """Symmetric windowed minimum over fine sensor samples."""
+
+    def __init__(self, halfwidth_samples: int = 4) -> None:
+        if halfwidth_samples < 0:
+            raise ConfigurationError("halfwidth must be >= 0")
+        self.halfwidth = halfwidth_samples
+
+    @property
+    def window(self) -> int:
+        return 2 * self.halfwidth + 1
+
+    def delay_seconds(self, sample_period: float) -> float:
+        """Decision latency the look-ahead half of the window costs."""
+        return self.halfwidth * sample_period
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Filtered stream, same length as the input."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ConfigurationError("expected a 1-D sample stream")
+        if self.halfwidth == 0 or len(samples) == 0:
+            return samples.copy()
+        return minimum_filter1d(samples, size=self.window, mode="nearest")
+
+    def per_tick(self, fine_samples: np.ndarray, samples_per_tick: int) -> np.ndarray:
+        """Filter, then decimate to one value per metric tick (the
+        filtered sample at each tick's center)."""
+        if samples_per_tick <= 0:
+            raise ConfigurationError("samples_per_tick must be positive")
+        filtered = self.apply(fine_samples)
+        center = samples_per_tick // 2
+        return filtered[center::samples_per_tick]
+
+    def noise_reduction(self, samples: np.ndarray) -> "tuple[float, float]":
+        """(raw σ, filtered σ) — the paper's 0.14 A -> 0.02 A check."""
+        samples = np.asarray(samples, dtype=float)
+        return float(samples.std()), float(self.apply(samples).std())

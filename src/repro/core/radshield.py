@@ -1,0 +1,169 @@
+"""The Radshield facade: ILD + EMR wired onto one machine.
+
+This is the unit the paper deploys (and what Fig 14 measures as
+"Radshield"): EMR protecting the compute, ILD watching the rails, a
+telemetry black box recording diagnostics, and the power-cycle response
+closing the loop. The mission simulator uses the same pieces; this
+class packages them behind one API for operators:
+
+    shield = Radshield.for_machine(machine, ground_trace)
+    result = shield.run_protected(workload)        # EMR
+    events = shield.process_telemetry(trace)       # ILD closed loop
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.machine import Machine
+from ..sim.telemetry import TelemetryTrace
+from ..workloads.base import Workload, WorkloadSpec
+from .emr import EmrConfig, EmrRuntime, RunResult
+from .ild import (
+    IldConfig,
+    IldDetector,
+    SelDiagnostic,
+    TelemetryBlackBox,
+    train_ild,
+)
+
+
+@dataclass(frozen=True)
+class RadshieldConfig:
+    emr: EmrConfig = field(default_factory=lambda: EmrConfig(replication_threshold=0.2))
+    ild: IldConfig = field(default_factory=IldConfig)
+    #: Power cycle automatically when ILD alarms (the flight behaviour;
+    #: the paper's LEO deployment currently runs observation-only).
+    auto_power_cycle: bool = True
+
+
+@dataclass(frozen=True)
+class SelResponse:
+    """One closed-loop detection event."""
+
+    detection_time: float
+    mean_residual_amps: float
+    power_cycled: bool
+    diagnostic: "SelDiagnostic | None"
+
+
+class Radshield:
+    """Both protection components, deployed together."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        detector: IldDetector,
+        config: "RadshieldConfig | None" = None,
+    ) -> None:
+        self.machine = machine
+        self.detector = detector
+        self.config = config or RadshieldConfig()
+        self.blackbox = TelemetryBlackBox()
+        self.responses: "list[SelResponse]" = []
+        self.protected_runs: "list[RunResult]" = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_machine(
+        cls,
+        machine: Machine,
+        ground_trace: TelemetryTrace,
+        max_instruction_rate: "float | None" = None,
+        config: "RadshieldConfig | None" = None,
+    ) -> "Radshield":
+        """Ground calibration: fit the ILD model on testbed telemetry
+        from an identical copy of the flight hardware."""
+        config = config or RadshieldConfig()
+        detector = train_ild(
+            ground_trace,
+            config=config.ild,
+            max_instruction_rate=max_instruction_rate,
+        )
+        return cls(machine, detector, config)
+
+    @classmethod
+    def from_uplinked_model(
+        cls,
+        machine: Machine,
+        model_blob: bytes,
+        max_instruction_rate: float,
+        config: "RadshieldConfig | None" = None,
+    ) -> "Radshield":
+        """Deploy from a serialized (ground-trained) current model —
+        the CRC-checked uplink format of
+        :meth:`~repro.core.ild.CurrentModel.to_bytes`."""
+        from .ild.model import CurrentModel
+
+        config = config or RadshieldConfig()
+        model = CurrentModel.from_bytes(model_blob)
+        detector = IldDetector(model, max_instruction_rate, config.ild)
+        return cls(machine, detector, config)
+
+    # ------------------------------------------------------------------
+    # SEU side
+    # ------------------------------------------------------------------
+    def run_protected(
+        self,
+        workload: Workload,
+        spec: "WorkloadSpec | None" = None,
+        seed: int = 0,
+    ) -> RunResult:
+        """Run one workload under EMR on the shielded machine."""
+        runtime = EmrRuntime(
+            self.machine, workload, config=self.config.emr, seed=seed
+        )
+        result = runtime.run(spec=spec)
+        self.protected_runs.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # SEL side
+    # ------------------------------------------------------------------
+    def process_telemetry(
+        self,
+        trace: TelemetryTrace,
+        app_quiescent: "np.ndarray | None" = None,
+    ) -> "list[SelResponse]":
+        """One telemetry chunk through the closed loop: detect, record
+        a diagnostic, and (if configured) power-cycle the machine —
+        which clears any latched short via the machine's hooks."""
+        detections = self.detector.process(trace, app_quiescent=app_quiescent)
+        diagnostics = self.blackbox.observe(self.detector, trace, detections)
+        responses = []
+        for index, detection in enumerate(detections):
+            power_cycled = False
+            if self.config.auto_power_cycle:
+                self.machine.clock.advance_to(detection.time)
+                self.machine.power_cycle()
+                self.detector.reset()
+                power_cycled = True
+            responses.append(
+                SelResponse(
+                    detection_time=detection.time,
+                    mean_residual_amps=detection.mean_residual,
+                    power_cycled=power_cycled,
+                    diagnostic=diagnostics[index] if index < len(diagnostics) else None,
+                )
+            )
+            if power_cycled:
+                # Later detections in this chunk belong to the same
+                # (now-cleared) latchup; one response is enough.
+                break
+        self.responses.extend(responses)
+        return responses
+
+    # ------------------------------------------------------------------
+    def status(self) -> "dict[str, object]":
+        """Operator-facing health snapshot."""
+        corrections = sum(r.stats.vote_corrections for r in self.protected_runs)
+        return {
+            "machine": self.machine.spec.name,
+            "power_cycles": self.machine.power_cycles,
+            "sel_responses": len(self.responses),
+            "protected_runs": len(self.protected_runs),
+            "seu_corrections": corrections,
+            "detector_samples_trained": self.detector.model.trained_on_samples,
+        }

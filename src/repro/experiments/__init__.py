@@ -1,0 +1,71 @@
+"""One driver per paper table/figure, plus ablations.
+
+Each module exposes ``run(...) -> Table | Series`` with bench-scale
+defaults; the benchmarks print the rendered result, and
+``run_all()`` regenerates everything for EXPERIMENTS.md.
+"""
+
+from . import (
+    ablations,
+    extensions,
+    fig01_launch_costs,
+    fig02_sel_current_trace,
+    fig05_current_correlation,
+    fig10_misdetection,
+    fig11_emr_runtime,
+    fig12_input_size,
+    fig13_replication_sweep,
+    fig14_energy,
+    table2_ild_accuracy,
+    table3_ild_overhead,
+    table4_protected_area,
+    table5_workloads,
+    table6_breakdown,
+    table7_fault_injection,
+    table8_dev_overhead,
+)
+
+#: experiment id -> zero-argument runner (bench-scale defaults).
+EXPERIMENTS = {
+    "fig1": fig01_launch_costs.run,
+    "fig2": fig02_sel_current_trace.run,
+    "fig5": fig05_current_correlation.run,
+    "table2": table2_ild_accuracy.run,
+    "fig10": fig10_misdetection.run,
+    "table3": table3_ild_overhead.run,
+    "table4": table4_protected_area.run,
+    "table5": table5_workloads.run,
+    "fig11": fig11_emr_runtime.run,
+    "fig12": fig12_input_size.run,
+    "table6": table6_breakdown.run,
+    "fig13": fig13_replication_sweep.run,
+    "fig14": fig14_energy.run,
+    "table7": table7_fault_injection.run,
+    "table8": table8_dev_overhead.run,
+}
+
+ABLATIONS = {
+    "scheduling_order": ablations.scheduling_order,
+    "rolling_window": ablations.rolling_window,
+    "bubble_cadence": ablations.bubble_cadence,
+    "redundancy_level": ablations.redundancy_level,
+}
+
+EXTENSIONS = {
+    "checksum_comparison": extensions.checksum_comparison,
+    "physics_rates": extensions.physics_rates,
+    "flightsw_ild": extensions.flightsw_ild_accuracy,
+    "feature_selection": extensions.feature_selection,
+    "mission_survival": extensions.mission_survival,
+}
+
+
+def run_all(include_ablations: bool = True) -> "dict[str, object]":
+    """Run every experiment at bench scale; id -> Table/Series."""
+    results = {name: runner() for name, runner in EXPERIMENTS.items()}
+    if include_ablations:
+        for name, runner in ABLATIONS.items():
+            results[f"ablation:{name}"] = runner()
+        for name, runner in EXTENSIONS.items():
+            results[f"extension:{name}"] = runner()
+    return results

@@ -1,0 +1,159 @@
+"""Ablation experiments beyond the paper's figures.
+
+DESIGN.md calls out three design choices worth isolating:
+
+* jobset **ordering** — the rotated (Latin-square-like) job order vs.
+  the naive per-dataset order, which serializes executors;
+* the rolling-minimum **window** — filter halfwidth vs. quiescent
+  noise floor and decision delay;
+* the **bubble cadence** — overhead vs. worst-case detection latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Table
+from ..core.emr import EmrConfig, EmrRuntime, Frontier, schedule_summary
+from ..core.ild import BubblePolicy, RollingMinimumFilter
+from ..sim.machine import Machine
+from ..sim.telemetry import TelemetryConfig, TraceGenerator, quiescent_segment
+from ..workloads import AesWorkload
+
+
+def scheduling_order(seed: int = 0) -> Table:
+    """Rotated vs. naive job ordering: jobset count, balance, runtime."""
+    workload = AesWorkload(chunk_bytes=128, chunks=30)
+    spec = workload.build(np.random.default_rng(seed))
+    table = Table(
+        title="Ablation: jobset ordering strategy",
+        columns=["ordering", "jobsets", "balance", "runtime (s)"],
+    )
+    for ordering in ("rotated", "naive"):
+        config = EmrConfig(
+            replication_threshold=workload.default_replication_threshold,
+            frontier=Frontier.DRAM,
+            ordering=ordering,
+        )
+        runtime = EmrRuntime(Machine.rpi_zero2w(), workload, config=config)
+        jobsets = runtime.plan(spec)
+        summary = schedule_summary(jobsets, config.n_executors)
+        result = runtime.run()
+        table.add_row(
+            ordering,
+            summary["jobsets"],
+            round(summary["balance"], 3),
+            round(result.wall_seconds, 5),
+        )
+    table.notes = "naive ordering packs jobsets per executor and serializes"
+    return table
+
+
+def rolling_window(seed: int = 0, duration: float = 60.0) -> Table:
+    """Filter halfwidth vs. residual noise floor and decision delay."""
+    generator = TraceGenerator(TelemetryConfig())
+    rng = np.random.default_rng(seed)
+    trace = generator.generate(
+        [quiescent_segment(duration)], rng=rng, housekeeping=None
+    )
+    table = Table(
+        title="Ablation: rolling-minimum window halfwidth",
+        columns=["halfwidth (samples)", "filtered sigma (A)", "delay (ms)"],
+    )
+    for halfwidth in (0, 1, 2, 4, 8, 16):
+        filt = RollingMinimumFilter(halfwidth)
+        _, sigma = filt.noise_reduction(trace.fine_samples)
+        delay_ms = filt.delay_seconds(250e-6) * 1e3
+        table.add_row(halfwidth, round(sigma, 4), round(delay_ms, 2))
+    table.notes = (
+        "sigma must fall below ~threshold/2 (0.0275 A) for reliable 0.055 A "
+        "residual detection; delay stays negligible vs. the 3-minute window"
+    )
+    return table
+
+
+def redundancy_level(seed: int = 0, injection_runs: int = 8) -> Table:
+    """Generalizing EMR's modular redundancy: 2 (detect-only DMR),
+    3 (the paper's vote-and-correct), and 5 executors.
+
+    DMR halves the compute cost but can only *detect* a divergence —
+    a disagreement aborts the dataset instead of out-voting the bad
+    replica. 5-MR tolerates two simultaneous faults at ~5/3 the cost.
+    """
+    from ..sim.machine import MachineSpec
+
+    workload = AesWorkload(chunk_bytes=128, chunks=24)
+    spec = workload.build(np.random.default_rng(seed))
+    table = Table(
+        title="Ablation: modular-redundancy level",
+        columns=["executors", "runtime (s)", "energy (J)",
+                 "poisoned replica outcome"],
+    )
+    for n_executors in (2, 3, 5):
+        machine = Machine(MachineSpec(n_cores=max(4, n_executors + 1)))
+        config = EmrConfig(
+            replication_threshold=workload.default_replication_threshold,
+            n_executors=n_executors,
+            raise_on_inconclusive=False,
+        )
+        clean = EmrRuntime(machine, workload, config=config).run(spec=spec)
+
+        # One pipeline poison mid-run: what does the vote do?
+        from ..core.emr.runtime import EmrHooks
+
+        strike_machine = Machine(MachineSpec(n_cores=max(4, n_executors + 1)))
+
+        class PoisonOnce(EmrHooks):
+            fired = False
+
+            def before_job(self, runtime, job):
+                if not self.fired and job.dataset_index == 3:
+                    strike_machine.cores[job.group].poisoned = True
+                    self.fired = True
+
+        struck = EmrRuntime(
+            strike_machine, workload, config=config, hooks=PoisonOnce()
+        ).run(spec=spec)
+        if struck.stats.vote_corrections:
+            outcome = "corrected (out-voted)"
+        elif struck.stats.detected_faults:
+            outcome = "detected (no majority)"
+        elif struck.matches(workload.reference_outputs(spec)):
+            outcome = "no effect"
+        else:
+            outcome = "SDC"
+        table.add_row(
+            n_executors,
+            round(clean.wall_seconds, 5),
+            round(clean.energy.total_joules, 4),
+            outcome,
+        )
+    table.notes = (
+        "2 executors detect but cannot correct; 3 is the paper's "
+        "sweet spot; 5 adds cost for double-fault tolerance"
+    )
+    return table
+
+
+def bubble_cadence() -> Table:
+    """Bubble pause period vs. overhead and worst-case latency."""
+    table = Table(
+        title="Ablation: bubble cadence",
+        columns=[
+            "pause (s)", "bubble (s)", "overhead %", "worst-case gap to quiescence (s)",
+        ],
+    )
+    for pause in (60.0, 120.0, 180.0, 300.0, 600.0):
+        policy = BubblePolicy(bubble_seconds=3.0, pause_seconds=pause)
+        table.add_row(
+            pause,
+            policy.bubble_seconds,
+            round(policy.worst_case_overhead * 100, 2),
+            pause + policy.bubble_seconds,
+        )
+    table.notes = (
+        "the paper's 180 s pause keeps worst-case detection latency inside "
+        "the 3-minute window at ~1.7% overhead; longer pauses risk the "
+        "~5-minute thermal deadline"
+    )
+    return table

@@ -1,0 +1,61 @@
+"""Fig 12: AES-256 runtime vs. input size, EMR and 3-MR on the DRAM
+and disk reliability frontiers.
+
+Paper shape: 3-MR consistently slower than EMR on both frontiers; the
+storage frontier costs more and its gap grows with input size (every
+jobset re-reads flash).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Series
+from ..core.emr import EmrConfig, EmrRuntime, Frontier, sequential_3mr
+from ..sim.machine import Machine
+from ..workloads import AesWorkload
+
+
+def run(
+    scales: "tuple[int, ...]" = (1, 2, 4),
+    chunk_bytes: int = 128,
+    base_chunks: int = 40,
+    seed: int = 0,
+) -> Series:
+    workload = AesWorkload(chunk_bytes=chunk_bytes, chunks=base_chunks)
+    figure = Series(
+        title="Fig 12: AES-256 runtime vs. input size and frontier",
+        x_label="input KiB",
+        y_label="simulated seconds",
+    )
+    curves: "dict[str, list]" = {
+        "EMR (DRAM)": [],
+        "3MR (DRAM)": [],
+        "EMR (disk)": [],
+        "3MR (disk)": [],
+    }
+    sizes = []
+    for scale in scales:
+        spec = workload.build(np.random.default_rng(seed), scale=scale)
+        sizes.append(spec.total_input_bytes / 1024)
+        for frontier, tag in ((Frontier.DRAM, "DRAM"), (Frontier.STORAGE, "disk")):
+            config = EmrConfig(
+                replication_threshold=workload.default_replication_threshold,
+                frontier=frontier,
+            )
+            emr = EmrRuntime(Machine.rpi_zero2w(), workload, config=config).run(spec=spec)
+            seq = sequential_3mr(
+                Machine.rpi_zero2w(), workload, spec=spec,
+                frontier=frontier, config=config,
+            )
+            curves[f"EMR ({tag})"].append(round(emr.wall_seconds, 5))
+            curves[f"3MR ({tag})"].append(round(seq.wall_seconds, 5))
+    for name, values in curves.items():
+        figure.add(name, sizes, values)
+    dram_gap = curves["3MR (DRAM)"][-1] / curves["EMR (DRAM)"][-1]
+    disk_gap = curves["3MR (disk)"][-1] / curves["EMR (disk)"][-1]
+    figure.notes = (
+        f"at the largest size: 3MR/EMR = {dram_gap:.2f}x (DRAM), "
+        f"{disk_gap:.2f}x (disk); disk frontier slower at every size"
+    )
+    return figure

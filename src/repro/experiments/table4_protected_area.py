@@ -1,0 +1,27 @@
+"""Table 4: relative protected circuit area per reliability scheme."""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..analysis.vulnerability import DieModel
+
+
+def run(die: "DieModel | None" = None) -> Table:
+    die = die or DieModel()
+    table = Table(
+        title="Table 4: relative protected circuit area (Snapdragon-845-like die)",
+        columns=["Reliability Scheme", "Relative Area Protected"],
+    )
+    rows = (
+        ("None", "none"),
+        ("Unprotected parallel 3-MR", "unprotected-parallel-3mr"),
+        ("3-MR", "3mr"),
+        ("EMR", "emr"),
+    )
+    for label, scheme in rows:
+        table.add_row(label, f"{die.protected_fraction(scheme) * 100:.0f}%")
+    table.notes = (
+        f"die shares: pipelines {die.pipelines:.0%}, L1 {die.l1_caches:.0%}, "
+        f"shared cache {die.shared_cache:.0%}, uncore {die.uncore:.0%}"
+    )
+    return table

@@ -1,0 +1,52 @@
+"""A miniature F´-style flight-software framework (substrate of §4.1)."""
+
+from .commands import (
+    Command,
+    CommandDispatcher,
+    CommandResponse,
+    Sequencer,
+    TimedCommand,
+)
+from .component import ActivityCost, Component, TickContext
+from .components_std import (
+    AttitudeEstimator,
+    CameraManager,
+    DownlinkManager,
+    PowerMonitor,
+    ThermalController,
+    standard_components,
+)
+from .profile import (
+    activity_to_segments,
+    flight_schedule,
+    ground_pass_sequence,
+)
+from .rategroups import ActivityInterval, RateGroupScheduler, ScheduleResult
+from .telemetry import TelemetryDb, TelemetrySample, build_frame, parse_frame
+
+__all__ = [
+    "ActivityCost",
+    "ActivityInterval",
+    "AttitudeEstimator",
+    "CameraManager",
+    "Command",
+    "CommandDispatcher",
+    "CommandResponse",
+    "Component",
+    "DownlinkManager",
+    "PowerMonitor",
+    "RateGroupScheduler",
+    "ScheduleResult",
+    "Sequencer",
+    "TelemetryDb",
+    "TelemetrySample",
+    "ThermalController",
+    "TickContext",
+    "TimedCommand",
+    "activity_to_segments",
+    "build_frame",
+    "flight_schedule",
+    "ground_pass_sequence",
+    "parse_frame",
+    "standard_components",
+]

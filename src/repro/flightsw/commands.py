@@ -1,0 +1,91 @@
+"""Commanding: dispatcher and stored sequences.
+
+Spacecraft "work in bursts due to the unpredictable and short
+communication windows in space" (§3.1): a ground pass uplinks a
+command sequence, the sequencer plays it back between passes. This is
+the mechanism that produces the bursty duty cycle ILD exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .component import Component
+
+
+@dataclass(frozen=True)
+class Command:
+    """One uplinked command."""
+
+    component: str
+    opcode: str
+    args: "dict" = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CommandResponse:
+    command: Command
+    ok: bool
+    message: str = ""
+
+
+class CommandDispatcher:
+    """Routes commands to components by name."""
+
+    def __init__(self, components: "list[Component]") -> None:
+        self._components: "dict[str, Component]" = {}
+        for component in components:
+            if component.name in self._components:
+                raise ConfigurationError(f"duplicate component {component.name!r}")
+            self._components[component.name] = component
+        self.log: "list[CommandResponse]" = []
+
+    def dispatch(self, command: Command) -> CommandResponse:
+        component = self._components.get(command.component)
+        if component is None:
+            response = CommandResponse(
+                command, ok=False, message=f"no component {command.component!r}"
+            )
+        else:
+            error = component.handle_command(command.opcode, dict(command.args))
+            response = CommandResponse(command, ok=error is None, message=error or "")
+        self.log.append(response)
+        return response
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """A sequence entry: fire ``command`` at ``time`` (mission seconds)."""
+
+    time: float
+    command: Command
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("command time must be >= 0")
+
+
+class Sequencer:
+    """Plays a stored command sequence against the dispatcher."""
+
+    def __init__(self, dispatcher: CommandDispatcher,
+                 sequence: "list[TimedCommand]") -> None:
+        self.dispatcher = dispatcher
+        self.sequence = sorted(sequence, key=lambda tc: tc.time)
+        self._cursor = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self.sequence) - self._cursor
+
+    def advance_to(self, time: float) -> "list[CommandResponse]":
+        """Dispatch every command whose time has arrived."""
+        fired = []
+        while (
+            self._cursor < len(self.sequence)
+            and self.sequence[self._cursor].time <= time
+        ):
+            fired.append(self.dispatcher.dispatch(self.sequence[self._cursor].command))
+            self._cursor += 1
+        return fired

@@ -1,0 +1,76 @@
+"""Flight-software components (an F´-style architecture [75]).
+
+The paper's ground SEL campaign runs "a real-world flight software
+workload" — F´, NASA's component-based flight framework. This package
+reproduces that substrate in miniature: flight software is a set of
+*components* dispatched by *rate groups*, exchanging *commands* and
+emitting *telemetry*. Components report the compute activity each tick
+costs, which is what ties flight software to the simulated machine's
+power draw (and therefore to ILD).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ActivityCost:
+    """Machine activity one component tick consumed."""
+
+    instructions: int = 0
+    dram_bytes: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
+
+    def __add__(self, other: "ActivityCost") -> "ActivityCost":
+        return ActivityCost(
+            self.instructions + other.instructions,
+            self.dram_bytes + other.dram_bytes,
+            self.disk_reads + other.disk_reads,
+            self.disk_writes + other.disk_writes,
+        )
+
+
+@dataclass
+class TickContext:
+    """Everything a component may touch during one dispatch."""
+
+    time: float
+    dt: float
+    telemetry: "object"  # TelemetryDb (duck-typed to avoid a cycle)
+    rng: "object"  # numpy Generator
+
+    def emit(self, channel: str, value: float) -> None:
+        self.telemetry.store(channel, self.time, value)
+
+
+class Component(abc.ABC):
+    """One schedulable flight-software component."""
+
+    #: Dispatch rate in Hz; must divide the scheduler's base rate.
+    rate_hz: float = 1.0
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("component needs a name")
+        self.name = name
+        self.enabled = True
+
+    @abc.abstractmethod
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        """One rate-group dispatch; returns the activity consumed."""
+
+    def handle_command(self, opcode: str, args: "dict") -> "str | None":
+        """Optional command handler; return an error string to fail."""
+        return f"{self.name}: unknown opcode {opcode!r}"
+
+    def telemetry_channels(self) -> "tuple[str, ...]":
+        """Channels this component emits (for downlink dictionaries)."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.rate_hz:g} Hz)"

@@ -1,0 +1,172 @@
+"""Stock flight-software components.
+
+A representative SmallSat component set: light housekeeping that runs
+forever (the quiescent floor), plus commanded payloads (attitude
+slews, camera captures, downlinks) that create the compute bursts ILD
+must coexist with.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .component import ActivityCost, Component, TickContext
+
+
+class ThermalController(Component):
+    """1 Hz heater-loop housekeeping: tiny, perpetual."""
+
+    rate_hz = 1.0
+
+    def __init__(self, name: str = "thermal") -> None:
+        super().__init__(name)
+        self._temperature = 21.0
+
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        self._temperature += float(ctx.rng.normal(0.0, 0.05))
+        ctx.emit(f"{self.name}.plate_temp_c", self._temperature)
+        return ActivityCost(instructions=60_000, dram_bytes=4_096)
+
+    def handle_command(self, opcode: str, args: dict) -> "str | None":
+        if opcode == "SET_SETPOINT":
+            self._temperature = float(args.get("celsius", 21.0))
+            return None
+        return super().handle_command(opcode, args)
+
+    def telemetry_channels(self):
+        return (f"{self.name}.plate_temp_c",)
+
+
+class PowerMonitor(Component):
+    """1 Hz EPS sampling: reads the current sensor, emits telemetry."""
+
+    rate_hz = 1.0
+
+    def __init__(self, name: str = "power") -> None:
+        super().__init__(name)
+        self.last_current = 1.8
+
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        self.last_current = 1.8 + float(ctx.rng.normal(0.0, 0.01))
+        ctx.emit(f"{self.name}.bus_current_a", self.last_current)
+        ctx.emit(f"{self.name}.bus_voltage_v", 5.0)
+        return ActivityCost(instructions=45_000, disk_writes=1)
+
+    def telemetry_channels(self):
+        return (f"{self.name}.bus_current_a", f"{self.name}.bus_voltage_v")
+
+
+class AttitudeEstimator(Component):
+    """10 Hz ADCS: light while pointing, heavy while slewing."""
+
+    rate_hz = 10.0
+
+    def __init__(self, name: str = "adcs") -> None:
+        super().__init__(name)
+        self._slew_ticks_left = 0
+
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        slewing = self._slew_ticks_left > 0
+        if slewing:
+            self._slew_ticks_left -= 1
+        ctx.emit(f"{self.name}.slewing", float(slewing))
+        if slewing:
+            # Dense matrix math: Kalman update + control law.
+            return ActivityCost(instructions=28_000_000, dram_bytes=2_000_000)
+        return ActivityCost(instructions=350_000, dram_bytes=40_000)
+
+    def handle_command(self, opcode: str, args: dict) -> "str | None":
+        if opcode == "SLEW":
+            seconds = float(args.get("seconds", 30.0))
+            if seconds <= 0:
+                return "slew duration must be positive"
+            self._slew_ticks_left = int(seconds * self.rate_hz)
+            return None
+        return super().handle_command(opcode, args)
+
+    def telemetry_channels(self):
+        return (f"{self.name}.slewing",)
+
+
+class CameraManager(Component):
+    """Commanded capture + processing bursts (the payload)."""
+
+    rate_hz = 1.0
+
+    def __init__(self, name: str = "camera", process_seconds: float = 40.0) -> None:
+        super().__init__(name)
+        if process_seconds <= 0:
+            raise ConfigurationError("process_seconds must be positive")
+        self.process_seconds = process_seconds
+        self._processing_left = 0
+        self.captures = 0
+
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        ctx.emit(f"{self.name}.queue_depth", float(self._processing_left))
+        if self._processing_left > 0:
+            self._processing_left -= 1
+            # Image pipeline: demosaic + compress + index, all cores.
+            return ActivityCost(
+                instructions=5_200_000_000,
+                dram_bytes=400_000_000,
+                disk_writes=40,
+            )
+        return ActivityCost(instructions=25_000)
+
+    def handle_command(self, opcode: str, args: dict) -> "str | None":
+        if opcode == "CAPTURE":
+            frames = int(args.get("frames", 1))
+            if frames < 1:
+                return "need at least one frame"
+            self.captures += frames
+            self._processing_left += int(self.process_seconds * frames)
+            return None
+        return super().handle_command(opcode, args)
+
+    def telemetry_channels(self):
+        return (f"{self.name}.queue_depth",)
+
+
+class DownlinkManager(Component):
+    """Commanded downlink passes: disk-read heavy, modest CPU."""
+
+    rate_hz = 1.0
+
+    def __init__(self, name: str = "downlink") -> None:
+        super().__init__(name)
+        self._pass_ticks_left = 0
+        self.frames_sent = 0
+
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        active = self._pass_ticks_left > 0
+        ctx.emit(f"{self.name}.pass_active", float(active))
+        if active:
+            self._pass_ticks_left -= 1
+            self.frames_sent += 1
+            return ActivityCost(
+                instructions=700_000_000, dram_bytes=60_000_000,
+                disk_reads=120, disk_writes=4,
+            )
+        return ActivityCost(instructions=15_000)
+
+    def handle_command(self, opcode: str, args: dict) -> "str | None":
+        if opcode == "START_PASS":
+            seconds = float(args.get("seconds", 60.0))
+            if seconds <= 0:
+                return "pass duration must be positive"
+            self._pass_ticks_left = int(seconds * self.rate_hz)
+            return None
+        return super().handle_command(opcode, args)
+
+    def telemetry_channels(self):
+        return (f"{self.name}.pass_active",)
+
+
+def standard_components() -> "list[Component]":
+    """The default SmallSat component set."""
+    return [
+        ThermalController(),
+        PowerMonitor(),
+        AttitudeEstimator(),
+        CameraManager(),
+        DownlinkManager(),
+    ]

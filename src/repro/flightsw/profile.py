@@ -1,0 +1,110 @@
+"""Bridging flight software to the machine's telemetry mode.
+
+The rate-group scheduler produces per-interval :class:`ActivityCost`
+totals; this module converts them into the
+:class:`~repro.sim.telemetry.ActivitySegment` stream the trace
+generator consumes — so the current trace ILD watches is driven by
+*actual flight software behaviour* (commanded slews, capture
+processing, downlink passes) rather than a hand-written schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.core import CoreSpec
+from ..sim.telemetry import ActivitySegment
+from .commands import Command, CommandDispatcher, Sequencer, TimedCommand
+from .component import Component
+from .components_std import standard_components
+from .rategroups import RateGroupScheduler, ScheduleResult
+
+
+def activity_to_segments(
+    result: ScheduleResult,
+    n_cores: int = 4,
+    core_spec: "CoreSpec | None" = None,
+    quiescent_core_equivalents: float = 0.12,
+) -> "list[ActivitySegment]":
+    """Convert aggregated activity intervals into activity segments.
+
+    Instructions are spread greedily across cores at max frequency
+    (flight tasks are thread-parallel and the governor boosts under
+    load); DRAM and disk traffic map directly to segment rates.
+    """
+    spec = core_spec or CoreSpec()
+    per_core_rate = spec.base_ipc * spec.max_freq
+    segments: "list[ActivitySegment]" = []
+    for interval in result.intervals:
+        if interval.duration <= 0:
+            raise ConfigurationError("interval with non-positive duration")
+        rate = interval.cost.instructions / interval.duration
+        core_equivalents = rate / per_core_rate
+        utils = []
+        remaining = core_equivalents
+        for _ in range(n_cores):
+            utils.append(float(min(1.0, max(0.0, remaining))))
+            remaining -= utils[-1]
+        quiescent = core_equivalents < quiescent_core_equivalents
+        segments.append(
+            ActivitySegment(
+                duration=interval.duration,
+                core_util=tuple(utils),
+                label="quiescent" if quiescent else "flightsw",
+                quiescent=quiescent,
+                util_jitter=0.015,
+                dram_gbs=interval.cost.dram_bytes / interval.duration / 1e9,
+                disk_read_iops=interval.cost.disk_reads / interval.duration,
+                disk_write_iops=interval.cost.disk_writes / interval.duration,
+            )
+        )
+    return segments
+
+
+def ground_pass_sequence(
+    start: float = 120.0,
+    capture_frames: int = 1,
+    slew_seconds: float = 25.0,
+    downlink_seconds: float = 45.0,
+) -> "list[TimedCommand]":
+    """A typical pass: slew to target, capture, process, downlink."""
+    return [
+        TimedCommand(start, Command("adcs", "SLEW", {"seconds": slew_seconds})),
+        TimedCommand(
+            start + slew_seconds + 2.0,
+            Command("camera", "CAPTURE", {"frames": capture_frames}),
+        ),
+        TimedCommand(
+            start + slew_seconds + 150.0,
+            Command("downlink", "START_PASS", {"seconds": downlink_seconds}),
+        ),
+    ]
+
+
+def flight_schedule(
+    duration: float,
+    rng: "np.random.Generator | None" = None,
+    components: "list[Component] | None" = None,
+    sequence: "list[TimedCommand] | None" = None,
+    n_cores: int = 4,
+) -> "tuple[list[ActivitySegment], ScheduleResult]":
+    """Run flight software for ``duration`` seconds and return both the
+    activity-segment stream and the schedule result (telemetry etc.).
+
+    Without an explicit sequence, ground passes repeat every ~10
+    minutes — the bursty cadence of §3.1.
+    """
+    rng = rng or np.random.default_rng(0)
+    components = components if components is not None else standard_components()
+    if sequence is None:
+        sequence = []
+        pass_start = 120.0
+        while pass_start < duration - 60.0:
+            sequence.extend(ground_pass_sequence(start=pass_start))
+            pass_start += float(rng.uniform(480.0, 720.0))
+    dispatcher = CommandDispatcher(components)
+    sequencer = Sequencer(dispatcher, sequence)
+    scheduler = RateGroupScheduler(components, base_rate_hz=10.0)
+    result = scheduler.run(duration, rng=rng, sequencer=sequencer)
+    return activity_to_segments(result, n_cores=n_cores), result

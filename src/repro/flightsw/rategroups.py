@@ -1,0 +1,127 @@
+"""Rate-group scheduling and the activity timeline.
+
+F´ dispatches components from fixed-rate groups (1 Hz housekeeping,
+10 Hz control, ...). The scheduler here does the same over simulated
+time and aggregates each component's :class:`ActivityCost` into
+per-interval totals — the bridge from flight software to the machine's
+telemetry-mode activity profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .commands import Sequencer
+from .component import ActivityCost, Component, TickContext
+from .telemetry import TelemetryDb
+
+
+@dataclass
+class ActivityInterval:
+    """Aggregated activity over one wall interval."""
+
+    start: float
+    duration: float
+    cost: ActivityCost
+
+
+@dataclass
+class ScheduleResult:
+    intervals: "list[ActivityInterval]"
+    telemetry: TelemetryDb
+    dispatches: int
+
+    @property
+    def total_cost(self) -> ActivityCost:
+        total = ActivityCost()
+        for interval in self.intervals:
+            total = total + interval.cost
+        return total
+
+
+class RateGroupScheduler:
+    """Dispatches components at their rates over a span of time."""
+
+    def __init__(
+        self,
+        components: "list[Component]",
+        base_rate_hz: float = 10.0,
+        aggregate_seconds: float = 1.0,
+    ) -> None:
+        if base_rate_hz <= 0 or aggregate_seconds <= 0:
+            raise ConfigurationError("rates must be positive")
+        self.components = list(components)
+        self.base_rate_hz = base_rate_hz
+        self.aggregate_seconds = aggregate_seconds
+        for component in self.components:
+            if component.rate_hz > base_rate_hz:
+                raise ConfigurationError(
+                    f"{component.name}: rate {component.rate_hz} Hz exceeds "
+                    f"base rate {base_rate_hz} Hz"
+                )
+            cycle = base_rate_hz / component.rate_hz
+            if abs(cycle - round(cycle)) > 1e-9:
+                raise ConfigurationError(
+                    f"{component.name}: rate {component.rate_hz} Hz does not "
+                    f"divide the base rate {base_rate_hz} Hz"
+                )
+
+    def run(
+        self,
+        duration: float,
+        rng: "np.random.Generator | None" = None,
+        sequencer: "Sequencer | None" = None,
+        telemetry: "TelemetryDb | None" = None,
+        start_time: float = 0.0,
+    ) -> ScheduleResult:
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        rng = rng or np.random.default_rng(0)
+        telemetry = telemetry or TelemetryDb()
+        dt = 1.0 / self.base_rate_hz
+        n_ticks = int(round(duration * self.base_rate_hz))
+        ticks_per_interval = max(1, int(round(self.aggregate_seconds / dt)))
+
+        intervals: "list[ActivityInterval]" = []
+        current = ActivityCost()
+        interval_start = start_time
+        dispatches = 0
+        dividers = {
+            component.name: int(round(self.base_rate_hz / component.rate_hz))
+            for component in self.components
+        }
+        for tick_index in range(n_ticks):
+            now = start_time + tick_index * dt
+            if sequencer is not None:
+                sequencer.advance_to(now)
+            ctx = TickContext(time=now, dt=dt, telemetry=telemetry, rng=rng)
+            for component in self.components:
+                if not component.enabled:
+                    continue
+                if tick_index % dividers[component.name]:
+                    continue
+                current = current + component.tick(ctx)
+                dispatches += 1
+            if (tick_index + 1) % ticks_per_interval == 0:
+                intervals.append(
+                    ActivityInterval(
+                        start=interval_start,
+                        duration=ticks_per_interval * dt,
+                        cost=current,
+                    )
+                )
+                current = ActivityCost()
+                interval_start = start_time + (tick_index + 1) * dt
+        if current != ActivityCost():
+            leftover = n_ticks % ticks_per_interval or ticks_per_interval
+            intervals.append(
+                ActivityInterval(
+                    start=interval_start, duration=leftover * dt, cost=current
+                )
+            )
+        return ScheduleResult(
+            intervals=intervals, telemetry=telemetry, dispatches=dispatches
+        )

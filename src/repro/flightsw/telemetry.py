@@ -1,0 +1,109 @@
+"""Telemetry database and downlink framing.
+
+Flight telemetry is the other half of the §5 story: ILD's diagnostics
+ride down in telemetry frames. Channels are bounded ring buffers; a
+downlink frame snapshots the latest value of every channel with a
+CRC32 trailer (the same from-scratch CRC the checksum scheme uses),
+so ground can reject frames corrupted in transit or by an SEU in the
+downlink buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.emr.checksum import crc32
+from ..errors import ConfigurationError, WorkloadError
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    time: float
+    value: float
+
+
+class TelemetryDb:
+    """name -> bounded history of samples."""
+
+    def __init__(self, history_per_channel: int = 2048) -> None:
+        if history_per_channel < 1:
+            raise ConfigurationError("history must be >= 1")
+        self.history_per_channel = history_per_channel
+        self._channels: "dict[str, deque]" = {}
+
+    def store(self, channel: str, time: float, value: float) -> None:
+        buffer = self._channels.get(channel)
+        if buffer is None:
+            buffer = deque(maxlen=self.history_per_channel)
+            self._channels[channel] = buffer
+        buffer.append(TelemetrySample(time, float(value)))
+
+    def channels(self) -> "tuple[str, ...]":
+        return tuple(sorted(self._channels))
+
+    def latest(self, channel: str) -> "TelemetrySample | None":
+        buffer = self._channels.get(channel)
+        return buffer[-1] if buffer else None
+
+    def history(self, channel: str) -> "tuple[TelemetrySample, ...]":
+        return tuple(self._channels.get(channel, ()))
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+
+# ----------------------------------------------------------------------
+# Downlink framing
+# ----------------------------------------------------------------------
+
+_MAGIC = b"RSTL"  # RadShield TeLemetry
+
+
+def build_frame(db: TelemetryDb, frame_time: float) -> bytes:
+    """Snapshot every channel's latest value into one CRC'd frame.
+
+    Layout: magic, f64 time, u16 channel count, then per channel a
+    u8-length-prefixed UTF-8 name + f64 time + f64 value; u32 CRC32 of
+    everything preceding it.
+    """
+    body = bytearray(_MAGIC)
+    body += struct.pack("<d", frame_time)
+    channels = db.channels()
+    body += struct.pack("<H", len(channels))
+    for channel in channels:
+        sample = db.latest(channel)
+        encoded = channel.encode("utf-8")
+        if len(encoded) > 255:
+            raise ConfigurationError(f"channel name too long: {channel!r}")
+        body += struct.pack("<B", len(encoded)) + encoded
+        body += struct.pack("<dd", sample.time, sample.value)
+    body += struct.pack("<I", crc32(bytes(body)))
+    return bytes(body)
+
+
+def parse_frame(frame: bytes) -> "tuple[float, dict]":
+    """Inverse of :func:`build_frame`; raises on CRC or layout errors."""
+    if len(frame) < len(_MAGIC) + 8 + 2 + 4:
+        raise WorkloadError("telemetry frame truncated")
+    payload, crc_bytes = frame[:-4], frame[-4:]
+    if crc32(payload) != struct.unpack("<I", crc_bytes)[0]:
+        raise WorkloadError("telemetry frame failed CRC")
+    if not payload.startswith(_MAGIC):
+        raise WorkloadError("bad frame magic")
+    offset = len(_MAGIC)
+    frame_time = struct.unpack_from("<d", payload, offset)[0]
+    offset += 8
+    count = struct.unpack_from("<H", payload, offset)[0]
+    offset += 2
+    values: "dict[str, tuple]" = {}
+    for _ in range(count):
+        name_length = payload[offset]
+        offset += 1
+        name = payload[offset : offset + name_length].decode("utf-8")
+        offset += name_length
+        sample_time, value = struct.unpack_from("<dd", payload, offset)
+        offset += 16
+        values[name] = (sample_time, value)
+    return frame_time, values

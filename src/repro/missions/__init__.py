@@ -1,0 +1,14 @@
+"""Whole-mission simulation and the anomaly dataset (§5)."""
+
+from .dataset import ACTIONS, EVENT_TYPES, AnomalyDataset, AnomalyRecord
+from .simulator import MissionConfig, MissionReport, MissionSimulator
+
+__all__ = [
+    "ACTIONS",
+    "AnomalyDataset",
+    "AnomalyRecord",
+    "EVENT_TYPES",
+    "MissionConfig",
+    "MissionReport",
+    "MissionSimulator",
+]

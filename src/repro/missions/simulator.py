@@ -1,0 +1,300 @@
+"""End-to-end mission simulation: Radshield flying a whole mission.
+
+Ties every layer together the way the two deployments of §5 do: a
+radiation environment streams SEL and SEU events at a commodity
+computer running a bursty flight workload; ILD watches telemetry and
+power-cycles on latchups; EMR replicates and votes the compute. The
+output is an :class:`~repro.missions.dataset.AnomalyDataset` — the
+paper's planned public data product — plus mission survival stats.
+
+Disable either component (``ild_enabled`` / ``emr_enabled``) to rerun
+the same event stream unprotected and measure what Radshield bought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.ild import train_ild
+from ..errors import ConfigurationError
+from ..radiation.environment import MARS_SURFACE, RadiationEnvironment
+from ..radiation.events import SelEvent, SeuEvent
+from ..radiation.injector import CampaignConfig, FaultInjectionCampaign
+from ..radiation.sel import LatchupInjector
+from ..radiation.thermal import ThermalModel
+from ..sim.machine import Machine
+from ..sim.psu import OcpConfig, OvercurrentProtection
+from ..sim.telemetry import CurrentStep, TelemetryConfig, TraceGenerator
+from ..workloads.aes import AesWorkload
+from ..workloads.navigation import navigation_schedule
+from .dataset import AnomalyDataset, AnomalyRecord
+
+
+@dataclass(frozen=True)
+class MissionConfig:
+    """Scale and protection knobs for one simulated mission."""
+
+    duration_days: float = 1.0
+    environment: RadiationEnvironment = MARS_SURFACE
+    chunk_seconds: float = 900.0
+    tick: float = 8e-3
+    ild_enabled: bool = True
+    emr_enabled: bool = True
+    emr_threshold: float = 0.2
+    #: PSU overcurrent breaker: present on most spacecraft EPS (§3.1),
+    #: it clears classic amp-class SELs regardless of ILD.
+    ocp: "OcpConfig | None" = OcpConfig()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0 or self.chunk_seconds <= 0:
+            raise ConfigurationError("duration and chunk must be positive")
+
+
+@dataclass
+class MissionReport:
+    """What came back from the mission."""
+
+    config: MissionConfig
+    dataset: AnomalyDataset = field(default_factory=AnomalyDataset)
+    survived: bool = True
+    mission_seconds: float = 0.0
+    downtime_seconds: float = 0.0
+    power_cycles: int = 0
+    workload_runs: int = 0
+    silent_corruptions: int = 0
+
+    @property
+    def availability(self) -> float:
+        if self.mission_seconds <= 0:
+            return 0.0
+        return 1.0 - self.downtime_seconds / self.mission_seconds
+
+    def summary(self) -> str:
+        protection = []
+        if self.config.ild_enabled:
+            protection.append("ILD")
+        if self.config.emr_enabled:
+            protection.append("EMR")
+        lines = [
+            f"mission in {self.config.environment.name}, "
+            f"{self.config.duration_days:g} day(s), "
+            f"protection: {'+'.join(protection) or 'none'}",
+            f"survived: {self.survived}; availability "
+            f"{self.availability * 100:.2f}%; power cycles {self.power_cycles}",
+            f"workload runs {self.workload_runs}; "
+            f"silent corruptions {self.silent_corruptions}",
+            self.dataset.summary(),
+        ]
+        return "\n".join(lines)
+
+
+class MissionSimulator:
+    """Runs one mission timeline."""
+
+    def __init__(self, config: "MissionConfig | None" = None,
+                 workload_factory=lambda: AesWorkload(chunk_bytes=64, chunks=10)):
+        self.config = config or MissionConfig()
+        self.workload_factory = workload_factory
+
+    # ------------------------------------------------------------------
+    def run(self) -> MissionReport:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        report = MissionReport(config=cfg)
+        duration = cfg.duration_days * 86400.0
+
+        machine = Machine.rpi_zero2w(seed=cfg.seed)
+        injector = LatchupInjector(machine)
+        thermal = ThermalModel(machine, injector)
+        generator = TraceGenerator(TelemetryConfig(tick=cfg.tick))
+
+        # Sample the event streams first, from the mission seed alone,
+        # so protected and unprotected reruns face identical skies.
+        sel_events = cfg.environment.sample_sel_events(duration, rng)
+        seu_events = cfg.environment.sample_seu_events(duration, rng)
+
+        detector = None
+        if cfg.ild_enabled:
+            ground_rng = np.random.default_rng(cfg.seed + 2)
+            ground = generator.generate(
+                navigation_schedule(1200.0, rng=np.random.default_rng(cfg.seed + 1)),
+                rng=ground_rng,
+            )
+            detector = train_ild(
+                ground, max_instruction_rate=generator.max_instruction_rate
+            )
+        pending_sels = list(sel_events)
+        pending_seus = list(seu_events)
+
+        elapsed = 0.0
+        while elapsed < duration and report.survived:
+            chunk = min(cfg.chunk_seconds, duration - elapsed)
+            elapsed_end = elapsed + chunk
+            # Latchups striking within this chunk.
+            chunk_sels = [e for e in pending_sels if elapsed <= e.time < elapsed_end]
+            pending_sels = [e for e in pending_sels if e.time >= elapsed_end]
+            self._run_telemetry_chunk(
+                machine, injector, thermal, generator, detector,
+                chunk, elapsed, chunk_sels, rng, report,
+            )
+            if not report.survived:
+                break
+            # Upsets striking within this chunk.
+            chunk_seus = [e for e in pending_seus if elapsed <= e.time < elapsed_end]
+            pending_seus = [e for e in pending_seus if e.time >= elapsed_end]
+            for seu in chunk_seus:
+                self._handle_seu(seu, rng, report)
+            elapsed = elapsed_end
+        report.mission_seconds = elapsed
+        report.power_cycles = machine.power_cycles
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_telemetry_chunk(
+        self, machine, injector, thermal, generator, detector,
+        chunk_seconds, chunk_start, chunk_sels, rng, report,
+    ) -> None:
+        cfg = self.config
+        # Latch events at their onset times (current steps local to chunk).
+        steps = []
+        if injector.any_active:
+            steps.append(
+                CurrentStep(start=0.0, delta_amps=injector.total_extra_current)
+            )
+        ocp = OvercurrentProtection(cfg.ocp) if cfg.ocp else None
+        max_load = machine.power_model.max_current(machine.n_cores)
+        for event in chunk_sels:
+            local = event.time - chunk_start
+            machine.clock.advance_to(event.time)
+            if ocp is not None and ocp.would_trip_on(event.delta_amps, max_load):
+                # A classic amp-class SEL: the EPS breaker catches it at
+                # the next compute burst, no software needed.
+                downtime = machine.power_cycle()
+                report.downtime_seconds += downtime
+                report.dataset.add(
+                    AnomalyRecord(
+                        mission_time_s=event.time,
+                        event_type="sel",
+                        detail=_sel_detail(event),
+                        detected=True,
+                        detected_by="psu-ocp",
+                        detection_latency_s=cfg.ocp.blanking_seconds,
+                        outcome="cleared",
+                        action="power_cycle",
+                    )
+                )
+                continue
+            injector.induce(event)
+            steps.append(CurrentStep(start=local, delta_amps=event.delta_amps))
+        trace = generator.generate(
+            navigation_schedule(
+                chunk_seconds, rng=np.random.default_rng(int(chunk_start) + cfg.seed)
+            ),
+            rng=rng,
+            current_steps=steps,
+            start_time=chunk_start,
+        )
+        detections = detector.process(trace) if detector is not None else []
+
+        if injector.any_active:
+            onset = injector.oldest_onset()
+            deadline = onset + thermal.time_to_damage(
+                max(l.event.delta_amps for l in injector.active)
+            )
+            alarm_times = [d.time for d in detections if d.time >= onset]
+            if alarm_times and alarm_times[0] < deadline:
+                detection_time = alarm_times[0]
+                machine.clock.advance_to(detection_time)
+                downtime = machine.power_cycle()
+                report.downtime_seconds += downtime
+                if detector is not None:
+                    detector.reset()
+                for event in list(injector.history):
+                    if event.time <= detection_time and not any(
+                        r.detail == _sel_detail(event) for r in report.dataset
+                    ):
+                        report.dataset.add(
+                            AnomalyRecord(
+                                mission_time_s=event.time,
+                                event_type="sel",
+                                detail=_sel_detail(event),
+                                detected=True,
+                                detected_by="ild",
+                                detection_latency_s=detection_time - event.time,
+                                outcome="cleared",
+                                action="power_cycle",
+                            )
+                        )
+            elif chunk_start + chunk_seconds > deadline:
+                # No alarm before the thermal deadline: the chip cooks.
+                machine.clock.advance_to(deadline)
+                thermal.check()
+                report.survived = False
+                for event in injector.history:
+                    if not any(r.detail == _sel_detail(event) for r in report.dataset):
+                        report.dataset.add(
+                            AnomalyRecord(
+                                mission_time_s=event.time,
+                                event_type="sel",
+                                detail=_sel_detail(event),
+                                detected=False,
+                                detected_by="",
+                                detection_latency_s=-1.0,
+                                outcome="damage",
+                                action="lost",
+                            )
+                        )
+                return
+        machine.clock.advance_to(chunk_start + chunk_seconds)
+
+    # ------------------------------------------------------------------
+    def _handle_seu(self, seu: SeuEvent, rng, report: MissionReport) -> None:
+        """Evaluate one upset by running the flight workload with that
+        strike injected, under the mission's protection scheme."""
+        cfg = self.config
+        workload = self.workload_factory()
+        campaign = FaultInjectionCampaign(
+            workload,
+            CampaignConfig(
+                runs_per_scheme=1,
+                bits=seu.bits,
+                replication_threshold=cfg.emr_threshold,
+                weights={seu.target: 1.0},
+            ),
+            seed=int(seu.time) % (2**31),
+        )
+        scheme = "emr" if cfg.emr_enabled else "none"
+        outcome = campaign.run(schemes=(scheme,))[scheme]
+        report.workload_runs += 1
+        outcome_class = next(iter(outcome))
+        detected_by = ""
+        action = "none"
+        from ..radiation.events import OutcomeClass
+
+        if outcome_class is OutcomeClass.CORRECTED:
+            detected_by = "emr-vote"
+            action = "outvoted"
+        elif outcome_class is OutcomeClass.ERROR:
+            detected_by = "emr-vote" if cfg.emr_enabled else "crash"
+            action = "reboot"
+        elif outcome_class is OutcomeClass.SDC:
+            report.silent_corruptions += 1
+        report.dataset.add(
+            AnomalyRecord(
+                mission_time_s=seu.time,
+                event_type="seu",
+                detail=f"{seu.target.value}{'/mbu' if seu.is_mbu else ''}",
+                detected=outcome_class.value in ("corrected", "error"),
+                detected_by=detected_by,
+                detection_latency_s=0.0 if detected_by else -1.0,
+                outcome=outcome_class.value,
+                action=action,
+            )
+        )
+
+
+def _sel_detail(event: SelEvent) -> str:
+    return f"+{event.delta_amps:.3f}A@t{event.time:.0f}"

@@ -1,0 +1,13 @@
+"""Minimal, from-scratch ML models used by ILD and its baselines."""
+
+from .decision_tree import DecisionTree
+from .linreg import LinearRegression
+from .naive_bayes import GaussianNaiveBayes
+from .random_forest import RandomForest
+
+__all__ = [
+    "DecisionTree",
+    "GaussianNaiveBayes",
+    "LinearRegression",
+    "RandomForest",
+]

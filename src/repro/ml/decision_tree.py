@@ -1,0 +1,177 @@
+"""CART decision trees (regression and classification), numpy-based.
+
+The paper uses tree models twice: a random forest *regression* picks
+which perf counters actually explain current draw ("These counters were
+chosen by first creating a random forest to model current draw, and
+then selecting the most important features", §3.1), and a random forest
+*classifier* trained only on current is the black-box baseline of
+Table 2. Both forests are built from these trees.
+
+Splits are found exactly: per node, each candidate feature is sorted
+and the impurity reduction of every threshold is evaluated with
+cumulative sums, so training is O(features · n log n) per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+    value: float = 0.0  # mean target (regression) or P(class 1)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_sse(x: np.ndarray, y: np.ndarray, min_leaf: int):
+    """Best threshold of one feature by sum-of-squared-error reduction.
+
+    Returns ``(gain, threshold)`` or ``None`` when no legal split exists.
+    """
+    order = np.argsort(x, kind="stable")
+    xs, ys = x[order], y[order]
+    n = len(ys)
+    cumsum = np.cumsum(ys)
+    cumsq = np.cumsum(ys * ys)
+    total_sum, total_sq = cumsum[-1], cumsq[-1]
+    left_counts = np.arange(1, n)
+    left_sum = cumsum[:-1]
+    right_counts = n - left_counts
+    right_sum = total_sum - left_sum
+    # SSE(left) + SSE(right) = Σy² - (Σy_l)²/n_l - (Σy_r)²/n_r
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sse = total_sq - left_sum**2 / left_counts - right_sum**2 / right_counts
+    valid = (xs[1:] > xs[:-1]) & (left_counts >= min_leaf) & (right_counts >= min_leaf)
+    if not valid.any():
+        return None
+    sse_parent = total_sq - total_sum**2 / n
+    sse = np.where(valid, sse, np.inf)
+    best = int(np.argmin(sse))
+    gain = sse_parent - sse[best]
+    if gain <= 1e-12:
+        return None
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    if threshold >= xs[best + 1]:
+        # Adjacent floats: the midpoint rounded up and would put every
+        # sample on one side. Split on the left value instead.
+        threshold = xs[best]
+    return float(gain), float(threshold)
+
+
+class DecisionTree:
+    """A CART tree. ``task='regression'`` minimizes SSE; for
+    ``task='classification'`` targets must be 0/1 and SSE on the labels
+    is equivalent to the Gini criterion."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 5,
+        max_features: "int | None" = None,
+        task: str = "regression",
+    ) -> None:
+        if task not in ("regression", "classification"):
+            raise ConfigurationError(f"unknown task {task!r}")
+        if max_depth < 1 or min_samples_leaf < 1:
+            raise ConfigurationError("max_depth and min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.task = task
+        self._root: "._Node | None" = None
+        self.feature_importances_: "np.ndarray | None" = None
+        self.n_features_: int = 0
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, rng: "np.random.Generator | None" = None
+    ) -> "DecisionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ConfigurationError(f"bad training shapes X={X.shape} y={y.shape}")
+        if self.task == "classification" and not np.isin(y, (0.0, 1.0)).all():
+            raise ConfigurationError("classification targets must be 0/1")
+        rng = rng or np.random.default_rng()
+        self.n_features_ = X.shape[1]
+        self._importance = np.zeros(self.n_features_)
+        self._root = self._grow(X, y, depth=0, rng=rng)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        return self
+
+    def _grow(self, X, y, depth, rng) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        if np.all(y == y[0]):
+            return node
+        n_features = X.shape[1]
+        k = self.max_features or n_features
+        candidates = (
+            rng.choice(n_features, size=min(k, n_features), replace=False)
+            if k < n_features
+            else np.arange(n_features)
+        )
+        best = None
+        for feature in candidates:
+            found = _best_split_sse(X[:, feature], y, self.min_samples_leaf)
+            if found and (best is None or found[0] > best[0]):
+                best = (found[0], found[1], int(feature))
+        if best is None:
+            return node
+        gain, threshold, feature = best
+        self._importance[feature] += gain
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean target (regression) or P(class 1) (classification)."""
+        if self._root is None:
+            raise ConfigurationError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X))
+        # Iterative vectorized descent: route index sets level by level.
+        stack = [(self._root, np.arange(len(X)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            go_left = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[go_left]))
+            stack.append((node.right, idx[~go_left]))
+        return out
+
+    def predict_class(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        if self.task != "classification":
+            raise ConfigurationError("predict_class requires a classification tree")
+        return (self.predict(X) >= threshold).astype(int)
+
+    def depth(self) -> int:
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise ConfigurationError("tree is not fitted")
+        return walk(self._root)

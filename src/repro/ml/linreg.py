@@ -1,0 +1,76 @@
+"""Ridge-regularized linear regression.
+
+"In the end, we adopted a simple linear model which was both efficient
+and accurate" (§3.1) — ILD's current estimator is exactly this class,
+fit on quiescent ground-testbed data with the Table 1 counters as
+features. Inputs are standardized internally so the ridge penalty is
+scale-free and the learned coefficients are comparable across features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class LinearRegression:
+    """Least squares with optional L2 penalty and intercept.
+
+    Solves ``min_w ||Xs w - y||² + alpha ||w||²`` on standardized
+    features ``Xs``, then folds the standardization back so
+    :meth:`predict` works on raw inputs.
+    """
+
+    def __init__(self, alpha: float = 1e-6) -> None:
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.coef_: "np.ndarray | None" = None
+        self.intercept_: float = 0.0
+        self._mean: "np.ndarray | None" = None
+        self._scale: "np.ndarray | None" = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ConfigurationError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ConfigurationError(f"{len(X)} rows of X vs {len(y)} targets")
+        if len(X) == 0:
+            raise ConfigurationError("cannot fit on zero samples")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0  # constant features contribute nothing
+        self._scale = scale
+        Xs = (X - self._mean) / scale
+        y_mean = y.mean()
+        yc = y - y_mean
+        n_features = X.shape[1]
+        gram = Xs.T @ Xs + self.alpha * np.eye(n_features)
+        w = np.linalg.solve(gram, Xs.T @ yc)
+        self.coef_ = w / scale
+        self.intercept_ = float(y_mean - self._mean @ self.coef_)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise ConfigurationError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_
+
+    def residuals(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``measured - predicted``: the quantity ILD thresholds on."""
+        return np.asarray(y, dtype=float) - self.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R² on the given data."""
+        y = np.asarray(y, dtype=float)
+        resid = self.residuals(X, y)
+        ss_res = float(resid @ resid)
+        centered = y - y.mean()
+        ss_tot = float(centered @ centered)
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot

@@ -1,0 +1,102 @@
+"""Random forests over :class:`~repro.ml.decision_tree.DecisionTree`.
+
+Two roles in the reproduction:
+
+* **Feature selection** (§3.1): a regression forest models current draw
+  from all candidate counters; impurity-based importances pick the
+  Table 1 feature set.
+* **Black-box baseline** (Table 2): a classification forest trained
+  *only on current draw* — "this model treats the system as a black box
+  and is trained solely on current draw and not on performance
+  counters" — which is exactly why it misdetects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .decision_tree import DecisionTree
+
+
+class RandomForest:
+    """Bagged CART ensemble with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 5,
+        max_features: "int | str | None" = "sqrt",
+        max_samples: "int | None" = None,
+        task: str = "regression",
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ConfigurationError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_samples = max_samples
+        self.task = task
+        self.seed = seed
+        self.trees_: "list[DecisionTree]" = []
+        self.feature_importances_: "np.ndarray | None" = None
+
+    def _resolve_max_features(self, n_features: int) -> "int | None":
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features is None or isinstance(self.max_features, int):
+            return self.max_features
+        raise ConfigurationError(f"bad max_features {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ConfigurationError(f"bad training shapes X={X.shape} y={y.shape}")
+        rng = np.random.default_rng(self.seed)
+        n = len(X)
+        sample_size = min(self.max_samples or n, n)
+        max_features = self._resolve_max_features(X.shape[1])
+        self.trees_ = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=sample_size)  # bootstrap
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                task=self.task,
+            )
+            tree.fit(X[idx], y[idx], rng=rng)
+            self.trees_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble mean: regression estimate or P(class 1)."""
+        if not self.trees_:
+            raise ConfigurationError("forest is not fitted")
+        X = np.asarray(X, dtype=float)
+        acc = np.zeros(len(X))
+        for tree in self.trees_:
+            acc += tree.predict(X)
+        return acc / len(self.trees_)
+
+    def predict_class(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        if self.task != "classification":
+            raise ConfigurationError("predict_class requires a classification forest")
+        return (self.predict(X) >= threshold).astype(int)
+
+    def top_features(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` most important features, descending."""
+        if self.feature_importances_ is None:
+            raise ConfigurationError("forest is not fitted")
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        order = np.argsort(self.feature_importances_)[::-1]
+        return order[:k]

@@ -1,0 +1,68 @@
+"""The space radiation environment: SEL/SEU models and fault injection."""
+
+from .creme import (
+    SNAPDRAGON_801,
+    SPECTRA,
+    DeviceSensitivity,
+    LetSpectrum,
+    WeibullCrossSection,
+    device_upsets_per_day,
+    estimate_environment_rates,
+    physics_environment,
+    upset_rate_per_bit_day,
+)
+from .environment import (
+    DEEP_SPACE,
+    ENVIRONMENTS,
+    LOW_EARTH_ORBIT,
+    MARS_SURFACE,
+    SEA_LEVEL,
+    RadiationEnvironment,
+)
+from .events import OutcomeClass, SelEvent, SeuEvent, SeuTarget
+from .sel import ActiveLatchup, LatchupInjector
+from .seu import (
+    InjectionRecord,
+    corrupt_bytes,
+    flip_dram,
+    flip_l1,
+    flip_l2,
+    flip_page_cache,
+    inject,
+    poison_pipeline,
+)
+from .thermal import ThermalModel, ThermalParams
+
+__all__ = [
+    "ActiveLatchup",
+    "DEEP_SPACE",
+    "DeviceSensitivity",
+    "ENVIRONMENTS",
+    "InjectionRecord",
+    "LetSpectrum",
+    "SNAPDRAGON_801",
+    "SPECTRA",
+    "WeibullCrossSection",
+    "device_upsets_per_day",
+    "estimate_environment_rates",
+    "physics_environment",
+    "upset_rate_per_bit_day",
+    "LatchupInjector",
+    "LOW_EARTH_ORBIT",
+    "MARS_SURFACE",
+    "OutcomeClass",
+    "RadiationEnvironment",
+    "SEA_LEVEL",
+    "SelEvent",
+    "SeuEvent",
+    "SeuTarget",
+    "ThermalModel",
+    "ThermalParams",
+    "corrupt_bytes",
+    "flip_dram",
+    "flip_l1",
+    "flip_l2",
+    "flip_page_cache",
+    "inject",
+    "poison_pipeline",
+]

@@ -1,0 +1,97 @@
+"""Single-event latchup state attached to a machine.
+
+An SEL is a parasitic thyristor turning on: from the outside it is a
+*persistent step* in supply current (possibly tiny — 0.07 A on a 7 nm
+part [45]) that no reboot clears, only a power cycle (§2.1). The model
+therefore:
+
+* adds its current delta to :attr:`Machine.extra_current_draw`,
+* keeps it there across :meth:`Machine.reboot`,
+* removes it when :meth:`Machine.power_cycle` runs (via the machine's
+  power-cycle hook),
+* feeds the thermal model, which burns the chip out if the latchup
+  survives past the damage deadline (~5 minutes, §3.1).
+
+The ground-testbed "potentiometer rig" (§4.1.1) is just this class
+driven by an experiment script — same as the real rig, a controllable
+parallel current path the sensor cannot tell from a latchup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, SimulationError
+from ..sim.machine import Machine
+from .events import SelEvent
+
+
+@dataclass
+class ActiveLatchup:
+    """One latched short-circuit currently drawing current."""
+
+    event: SelEvent
+    onset_time: float
+
+    def age(self, now: float) -> float:
+        return now - self.onset_time
+
+
+class LatchupInjector:
+    """Manages latchup state on one machine.
+
+    Also records every injected event so experiments can compute
+    ground-truth detection labels.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.active: "list[ActiveLatchup]" = []
+        self.history: "list[SelEvent]" = []
+        self.cleared_count = 0
+        machine.on_power_cycle(self._on_power_cycle)
+
+    def induce(self, event: SelEvent) -> ActiveLatchup:
+        """Latch a short: current rises immediately and persistently."""
+        latchup = ActiveLatchup(event=event, onset_time=self.machine.clock.now)
+        self.active.append(latchup)
+        self.history.append(event)
+        self.machine.extra_current_draw += event.delta_amps
+        return latchup
+
+    def induce_delta(self, delta_amps: float, location: str = "soc") -> ActiveLatchup:
+        """Potentiometer-style convenience: latch ``delta_amps`` now."""
+        if delta_amps <= 0:
+            raise ConfigurationError("delta_amps must be positive")
+        return self.induce(
+            SelEvent(
+                time=self.machine.clock.now,
+                delta_amps=delta_amps,
+                location=location,
+            )
+        )
+
+    @property
+    def total_extra_current(self) -> float:
+        return sum(latchup.event.delta_amps for latchup in self.active)
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.active)
+
+    def oldest_onset(self) -> "float | None":
+        if not self.active:
+            return None
+        return min(latchup.onset_time for latchup in self.active)
+
+    def _on_power_cycle(self, machine: Machine) -> None:
+        """Power removal drains the residual charge: all latchups clear."""
+        if machine is not self.machine:
+            raise SimulationError("latchup injector attached to a different machine")
+        for latchup in self.active:
+            machine.extra_current_draw -= latchup.event.delta_amps
+        self.cleared_count += len(self.active)
+        self.active.clear()
+        # Guard against float drift when many latchups come and go.
+        if abs(machine.extra_current_draw) < 1e-12:
+            machine.extra_current_draw = 0.0

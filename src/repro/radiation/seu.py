@@ -1,0 +1,138 @@
+"""SEU injection primitives against a simulated machine.
+
+Each function lands one (or more) bit flips in a specific component,
+mirroring where real upsets strike:
+
+* DRAM — corrected by SECDED if the device has ECC, silent otherwise;
+* L1 / shared L2 cache lines — never protected on commodity parts;
+* a core's pipeline — modeled as *poisoning* the core: the next job
+  computed on it produces a corrupted result (a spurious signal
+  "traveling down a compute pipeline", §2.2);
+* the flash page cache — DRAM-resident copies of at-rest data.
+
+Pointer corruption (Table 7's segfault case) is runtime metadata, so it
+is injected by the fault-injection campaign directly into EMR job
+structures rather than here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidAddressError, SimulationError
+from ..sim.cache import Cache
+from ..sim.machine import Machine
+from .events import SeuTarget
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """What an injection actually touched (for experiment logs)."""
+
+    target: SeuTarget
+    detail: str
+    bits: int
+
+
+def flip_dram(machine: Machine, rng: np.random.Generator, bits: int = 1) -> InjectionRecord:
+    """Flip bit(s) in allocated DRAM. MBUs hit adjacent bits, which is
+    what defeats SECDED (two flips in one code word)."""
+    mem = machine.memory
+    if mem.allocated_bytes == 0:
+        raise SimulationError("no allocated DRAM to strike")
+    addr = int(rng.integers(0, mem.allocated_bytes))
+    bit = int(rng.integers(0, 8))
+    mem.flip_bit(addr, bit)
+    flipped = [f"0x{addr:x}:{bit}"]
+    for i in range(1, bits):
+        # Adjacent strike: same word, nearby bit.
+        neighbour = min(mem.allocated_bytes - 1, (addr // 8) * 8 + int(rng.integers(0, 8)))
+        nbit = int(rng.integers(0, 8))
+        mem.flip_bit(neighbour, nbit)
+        flipped.append(f"0x{neighbour:x}:{nbit}")
+    return InjectionRecord(SeuTarget.DRAM, ",".join(flipped), bits)
+
+
+def _flip_cache(cache: Cache, rng: np.random.Generator, bits: int,
+                target: SeuTarget) -> "InjectionRecord | None":
+    lines = cache.resident_lines
+    if not lines:
+        return None
+    line = int(lines[int(rng.integers(0, len(lines)))])
+    byte_offset = int(rng.integers(0, cache.line_size))
+    for i in range(bits):
+        offset = min(cache.line_size - 1, byte_offset + i)
+        cache.flip_bit(line, offset, int(rng.integers(0, 8)))
+    return InjectionRecord(target, f"{cache.name} line {line} +{byte_offset}", bits)
+
+
+def flip_l2(machine: Machine, rng: np.random.Generator, bits: int = 1):
+    """Strike the shared L2 — the fault that breaks naive parallel 3-MR."""
+    return _flip_cache(machine.caches.l2, rng, bits, SeuTarget.L2_CACHE)
+
+
+def flip_l1(machine: Machine, rng: np.random.Generator, group: "int | None" = None,
+            bits: int = 1):
+    """Strike one group's private L1."""
+    if group is None:
+        group = int(rng.integers(0, machine.caches.n_groups))
+    return _flip_cache(machine.caches.l1[group], rng, bits, SeuTarget.L1_CACHE)
+
+
+def poison_pipeline(machine: Machine, rng: np.random.Generator,
+                    core_id: "int | None" = None) -> InjectionRecord:
+    """Latch a transient into one core's datapath: the next result it
+    produces is corrupted. Cleared by :meth:`Core.reset_faults`."""
+    if core_id is None:
+        core_id = int(rng.integers(0, machine.n_cores))
+    if not 0 <= core_id < machine.n_cores:
+        raise InvalidAddressError(f"no core {core_id}")
+    machine.cores[core_id].poisoned = True
+    return InjectionRecord(SeuTarget.PIPELINE, f"core {core_id}", 1)
+
+
+def flip_page_cache(machine: Machine, rng: np.random.Generator,
+                    bits: int = 1) -> "InjectionRecord | None":
+    """Strike a page-cache copy of a flash file (no ECC covers it)."""
+    cached = machine.storage.cached_files
+    if not cached:
+        return None
+    filename = cached[int(rng.integers(0, len(cached)))]
+    size = machine.storage.file_size(filename)
+    offset = int(rng.integers(0, size))
+    for i in range(bits):
+        machine.storage.flip_page_cache_bit(
+            filename, min(size - 1, offset + i), int(rng.integers(0, 8))
+        )
+    return InjectionRecord(SeuTarget.PAGE_CACHE, f"{filename}+{offset}", bits)
+
+
+def corrupt_bytes(data: bytes, rng: np.random.Generator, bits: int = 1) -> bytes:
+    """Flip bit(s) in a byte string (for pipeline-output corruption)."""
+    if not data:
+        return data
+    buf = bytearray(data)
+    position = int(rng.integers(0, len(buf)))
+    for i in range(bits):
+        buf[min(len(buf) - 1, position + i)] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def inject(machine: Machine, target: SeuTarget, rng: np.random.Generator,
+           bits: int = 1) -> "InjectionRecord | None":
+    """Dispatch one upset at ``target``; returns ``None`` when the
+    target had no live state to corrupt (the strike lands on dead
+    silicon — Table 7's "No Effect" precursor)."""
+    if target is SeuTarget.DRAM:
+        return flip_dram(machine, rng, bits)
+    if target is SeuTarget.L2_CACHE:
+        return flip_l2(machine, rng, bits)
+    if target is SeuTarget.L1_CACHE:
+        return flip_l1(machine, rng, bits=bits)
+    if target is SeuTarget.PIPELINE:
+        return poison_pipeline(machine, rng)
+    if target is SeuTarget.PAGE_CACHE:
+        return flip_page_cache(machine, rng, bits)
+    raise SimulationError(f"target {target} requires runtime-level injection")

@@ -1,0 +1,111 @@
+"""Thermal consequences of a latchup.
+
+"SELs generate a large concentration of energy on a few gates, causing
+excess heat that cannot be dissipated in the vacuum of space" (§2.1).
+Flight experience gives the paper its one hard number: "a CPU under SEL
+takes around five minutes to be damaged by heat" (§3.1), which is why
+ILD's detection window defaults to three minutes — damage deadline
+minus margin.
+
+The model integrates a first-order thermal circuit: the latchup's
+localized power raises junction temperature toward an asymptote; if
+temperature crosses the damage threshold the chip is burned out
+(:attr:`Machine.cores` are marked damaged and the machine becomes the
+dead SmallSat computer of §5 — "the commodity computer simply stops
+responding after burning out").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.machine import Machine
+from .sel import LatchupInjector
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """First-order thermal model constants.
+
+    Defaults are solved so that a minimal micro-SEL (0.05 A) crosses
+    ``damage_temp_c`` at ≈ ``nominal_damage_seconds``; larger latchups
+    get there faster, matching the flight observation that five minutes
+    is the order of magnitude, not a constant.
+    """
+
+    ambient_temp_c: float = 45.0
+    damage_temp_c: float = 150.0
+    time_constant_s: float = 150.0
+    # Localized heating: degrees (asymptotic) per amp of latchup current.
+    # 1700 °C/A puts a 0.07 A micro-SEL at ≈320 s to damage — the
+    # paper's "around five minutes".
+    degrees_per_amp: float = 1700.0
+    nominal_damage_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.time_constant_s <= 0 or self.degrees_per_amp <= 0:
+            raise ConfigurationError("thermal constants must be positive")
+        if self.damage_temp_c <= self.ambient_temp_c:
+            raise ConfigurationError("damage temperature must exceed ambient")
+
+
+class ThermalModel:
+    """Tracks hotspot temperature for each active latchup."""
+
+    def __init__(self, machine: Machine, injector: LatchupInjector,
+                 params: "ThermalParams | None" = None) -> None:
+        self.machine = machine
+        self.injector = injector
+        self.params = params or ThermalParams()
+        self.damaged = False
+
+    def hotspot_temperature(self, latchup_age: float, delta_amps: float) -> float:
+        """Junction temperature after ``latchup_age`` seconds of latchup."""
+        import math
+
+        if latchup_age < 0:
+            raise ConfigurationError("age must be >= 0")
+        p = self.params
+        asymptote = p.degrees_per_amp * delta_amps
+        rise = asymptote * (1.0 - math.exp(-latchup_age / p.time_constant_s))
+        return p.ambient_temp_c + rise
+
+    def time_to_damage(self, delta_amps: float) -> float:
+        """Seconds from latchup onset to chip damage (inf if it never heats enough)."""
+        import math
+
+        p = self.params
+        asymptote = p.degrees_per_amp * delta_amps
+        needed = p.damage_temp_c - p.ambient_temp_c
+        if asymptote <= needed:
+            return float("inf")
+        return -p.time_constant_s * math.log(1.0 - needed / asymptote)
+
+    def check(self) -> bool:
+        """Evaluate damage now; marks the machine dead if any hotspot
+        has crossed the damage threshold. Returns ``True`` if damaged."""
+        if self.damaged:
+            return True
+        now = self.machine.clock.now
+        for latchup in self.injector.active:
+            temp = self.hotspot_temperature(
+                latchup.age(now), latchup.event.delta_amps
+            )
+            if temp >= self.params.damage_temp_c:
+                self.damaged = True
+                for core in self.machine.cores:
+                    core.damaged = True
+                return True
+        return False
+
+    def margin_seconds(self) -> float:
+        """Time remaining before the most advanced latchup kills the
+        chip (inf when no latchup is active or none can cause damage)."""
+        now = self.machine.clock.now
+        margin = float("inf")
+        for latchup in self.injector.active:
+            deadline = self.time_to_damage(latchup.event.delta_amps)
+            if deadline != float("inf"):
+                margin = min(margin, deadline - latchup.age(now))
+        return margin

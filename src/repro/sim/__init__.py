@@ -1,0 +1,82 @@
+"""Simulated spacecraft-computer substrate.
+
+Everything Radshield's two components need from "hardware" — cores,
+caches, ECC DRAM/flash, a power rail, a current sensor, perf counters —
+implemented as a deterministic, seedable simulation. See DESIGN.md for
+the substitution rationale.
+"""
+
+from .cache import AccessTrace, Cache, CacheHierarchy, CacheStats
+from .clock import SimClock, Stopwatch
+from .core import Core, CoreCounters, CoreGroup, CoreSpec, ExecutionCost
+from .dvfs import OndemandGovernor
+from .machine import Machine, MachineSpec
+from .memory import MemoryRegion, MemoryStats, SimMemory
+from .perfcounters import (
+    GLOBAL_METRICS,
+    PER_CORE_METRICS,
+    CounterFrame,
+    PerfCounterSampler,
+    feature_names,
+    n_features,
+)
+from .power import EnergyMeter, EnergyReport, PowerModel, PowerModelParams
+from .psu import OcpConfig, OcpTrip, OvercurrentProtection
+from .sensor import CurrentSensor, SensorParams
+from .storage import FlashStorage, StorageAccess, StorageStats
+from .telemetry import (
+    ActivitySegment,
+    CurrentStep,
+    HousekeepingParams,
+    TelemetryConfig,
+    TelemetryTrace,
+    TraceGenerator,
+    burst_schedule,
+    quiescent_segment,
+)
+
+__all__ = [
+    "AccessTrace",
+    "ActivitySegment",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "Core",
+    "CoreCounters",
+    "CoreGroup",
+    "CoreSpec",
+    "CounterFrame",
+    "CurrentSensor",
+    "CurrentStep",
+    "EnergyMeter",
+    "EnergyReport",
+    "ExecutionCost",
+    "FlashStorage",
+    "GLOBAL_METRICS",
+    "HousekeepingParams",
+    "Machine",
+    "MachineSpec",
+    "MemoryRegion",
+    "MemoryStats",
+    "OcpConfig",
+    "OcpTrip",
+    "OndemandGovernor",
+    "OvercurrentProtection",
+    "PER_CORE_METRICS",
+    "PerfCounterSampler",
+    "PowerModel",
+    "PowerModelParams",
+    "SensorParams",
+    "SimClock",
+    "SimMemory",
+    "Stopwatch",
+    "StorageAccess",
+    "StorageStats",
+    "TelemetryConfig",
+    "TelemetryTrace",
+    "TraceGenerator",
+    "burst_schedule",
+    "feature_names",
+    "n_features",
+    "quiescent_segment",
+]

@@ -1,0 +1,324 @@
+"""Cache hierarchy: private L1 per core group, one shared L2.
+
+The cache is the heart of the EMR story. Commodity CPU caches have no
+ECC, so an SEU that lands in a *shared* cache line corrupts every
+executor that reads that line — which is exactly why naive parallel
+3-MR is unsound (§3.2) and why EMR forbids two conflicting datasets in
+the same jobset. The model therefore keeps real byte copies per line:
+a fill snapshots DRAM, later reads serve the snapshot, and an injected
+flip in the snapshot is visible to every subsequent reader of the line
+until it is flushed or evicted.
+
+Writes are write-through (memory is updated immediately and any
+resident copy of the line is refreshed), which matches how EMR reasons
+about outputs: results are pushed back inside the reliability frontier
+as soon as they are produced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, InvalidAddressError
+from .memory import MemoryRegion, SimMemory
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushed_lines: int = 0
+    injected_flips: int = 0
+    corrected_errors: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushed_lines = 0
+        self.injected_flips = 0
+        self.corrected_errors = 0
+
+
+@dataclass
+class AccessTrace:
+    """Where the lines of one logical access were served from."""
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    memory_fills: int = 0
+
+    @property
+    def lines(self) -> int:
+        return self.l1_hits + self.l2_hits + self.memory_fills
+
+    def merge(self, other: "AccessTrace") -> None:
+        self.l1_hits += other.l1_hits
+        self.l2_hits += other.l2_hits
+        self.memory_fills += other.memory_fills
+
+
+class Cache:
+    """A single LRU cache level holding real line copies.
+
+    With ``ecc=True`` the level models SECDED-protected SRAM arrays
+    (some server-class and automotive SoCs have them): every fill
+    records per-word check bytes, and a lookup of a line that radiation
+    has touched is decoded and corrected (or flagged uncorrectable).
+    EMR detects ECC caches and reverts to plain parallel 3-MR (§3.2).
+    """
+
+    def __init__(self, capacity_lines: int, line_size: int, name: str,
+                 ecc: bool = False) -> None:
+        if capacity_lines <= 0:
+            raise ConfigurationError(f"{name}: capacity must be positive")
+        if line_size <= 0 or line_size % 8:
+            raise ConfigurationError(f"{name}: line size must be a positive multiple of 8")
+        self.capacity_lines = capacity_lines
+        self.line_size = line_size
+        self.name = name
+        self.has_ecc = ecc
+        self._lines: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._checks: "dict[int, bytes]" = {}
+        self._dirty: "set[int]" = set()  # lines radiation has touched
+        self.stats = CacheStats()
+
+    def lookup(self, line_index: int) -> "bytearray | None":
+        data = self._lines.get(line_index)
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self._lines.move_to_end(line_index)
+        self.stats.hits += 1
+        if self.has_ecc and line_index in self._dirty:
+            self._correct_line(line_index, data)
+        return data
+
+    def _correct_line(self, line_index: int, data: bytearray) -> None:
+        from . import ecc as ecc_codec
+        from ..errors import UncorrectableMemoryError
+
+        words = ecc_codec.bytes_to_words(bytes(data))
+        checks = np.frombuffer(self._checks[line_index], dtype=np.uint8)
+        fixed, corrected, uncorrectable = ecc_codec.decode_array(words, checks)
+        if uncorrectable.any():
+            raise UncorrectableMemoryError(
+                line_index * self.line_size,
+                f"{self.name}: uncorrectable cache line {line_index}",
+            )
+        if corrected.any():
+            data[:] = ecc_codec.words_to_bytes(fixed)
+            self.stats.corrected_errors += int(corrected.sum())
+        self._dirty.discard(line_index)
+
+    def fill(self, line_index: int, data: bytes) -> bytearray:
+        copy = bytearray(data)
+        if line_index in self._lines:
+            self._lines.move_to_end(line_index)
+        elif len(self._lines) >= self.capacity_lines:
+            evicted, _ = self._lines.popitem(last=False)
+            self._checks.pop(evicted, None)
+            self._dirty.discard(evicted)
+            self.stats.evictions += 1
+        self._lines[line_index] = copy
+        if self.has_ecc:
+            from . import ecc as ecc_codec
+
+            words = ecc_codec.bytes_to_words(bytes(copy))
+            self._checks[line_index] = ecc_codec.encode_array(words).tobytes()
+            self._dirty.discard(line_index)
+        return copy
+
+    def update_if_present(self, line_index: int, data: bytes) -> None:
+        if line_index in self._lines:
+            self._lines[line_index][:] = data
+            if self.has_ecc:
+                from . import ecc as ecc_codec
+
+                words = ecc_codec.bytes_to_words(bytes(data))
+                self._checks[line_index] = ecc_codec.encode_array(words).tobytes()
+                self._dirty.discard(line_index)
+
+    def flush_line(self, line_index: int) -> bool:
+        if self._lines.pop(line_index, None) is not None:
+            self._checks.pop(line_index, None)
+            self._dirty.discard(line_index)
+            self.stats.flushed_lines += 1
+            return True
+        return False
+
+    def flush_region(self, region: MemoryRegion) -> int:
+        flushed = 0
+        for line_index in region.line_span(self.line_size):
+            flushed += self.flush_line(line_index)
+        return flushed
+
+    def flush_all(self) -> int:
+        flushed = len(self._lines)
+        self._lines.clear()
+        self._checks.clear()
+        self._dirty.clear()
+        self.stats.flushed_lines += flushed
+        return flushed
+
+    @property
+    def resident_lines(self) -> tuple[int, ...]:
+        return tuple(self._lines.keys())
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line_index: int) -> bool:
+        return line_index in self._lines
+
+    # -- radiation interface ------------------------------------------
+    def flip_bit(self, line_index: int, byte_offset: int, bit: int) -> None:
+        """Flip one bit of a resident line copy (a particle strike)."""
+        try:
+            line = self._lines[line_index]
+        except KeyError:
+            raise InvalidAddressError(
+                f"{self.name}: line {line_index} is not resident"
+            ) from None
+        if not 0 <= byte_offset < self.line_size:
+            raise InvalidAddressError(f"byte offset {byte_offset} out of line")
+        line[byte_offset] ^= 1 << (bit & 7)
+        self._dirty.add(line_index)
+        self.stats.injected_flips += 1
+
+    def peek_line(self, line_index: int) -> bytes:
+        return bytes(self._lines[line_index])
+
+
+class CacheHierarchy:
+    """Private L1 per core group, shared L2, backed by one DRAM device.
+
+    ``n_groups`` matches the machine's executor core groups: EMR pins
+    each executor to a group, so an L1 flip only affects one executor
+    while an L2 flip can affect all of them.
+    """
+
+    def __init__(
+        self,
+        memory: SimMemory,
+        n_groups: int,
+        l1_lines: int = 512,
+        l2_lines: int = 8192,
+        line_size: int = 64,
+        ecc: bool = False,
+    ) -> None:
+        if n_groups <= 0:
+            raise ConfigurationError("need at least one core group")
+        self.memory = memory
+        self.line_size = line_size
+        self.has_ecc = ecc
+        self.l1 = tuple(
+            Cache(l1_lines, line_size, f"L1[{g}]", ecc=ecc) for g in range(n_groups)
+        )
+        self.l2 = Cache(l2_lines, line_size, "L2", ecc=ecc)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.l1)
+
+    def _fill_from_memory(self, line_index: int) -> bytes:
+        addr = line_index * self.line_size
+        n = min(self.line_size, self.memory.size - addr)
+        return self.memory.read(addr, n)
+
+    def read(self, addr: int, n: int, group: int) -> tuple[bytes, AccessTrace]:
+        """Read ``n`` bytes at ``addr`` through the group's cache path."""
+        l1 = self.l1[group]
+        trace = AccessTrace()
+        if n == 0:
+            return b"", trace
+        first = addr // self.line_size
+        last = (addr + n - 1) // self.line_size
+        parts: list[bytes] = []
+        for line_index in range(first, last + 1):
+            data = l1.lookup(line_index)
+            if data is not None:
+                trace.l1_hits += 1
+            else:
+                data = self.l2.lookup(line_index)
+                if data is not None:
+                    trace.l2_hits += 1
+                else:
+                    fresh = self._fill_from_memory(line_index)
+                    data = self.l2.fill(line_index, fresh)
+                    trace.memory_fills += 1
+                # L1 copies the (possibly corrupted) L2 line: corruption
+                # in the shared level propagates to private levels.
+                data = l1.fill(line_index, bytes(data))
+            parts.append(bytes(data))
+        blob = b"".join(parts)
+        start = addr - first * self.line_size
+        return blob[start : start + n], trace
+
+    def write(self, addr: int, data: bytes, group: int) -> AccessTrace:
+        """Write-through: memory first, then refresh resident copies."""
+        self.memory.write(addr, data)
+        trace = AccessTrace()
+        n = len(data)
+        if n == 0:
+            return trace
+        first = addr // self.line_size
+        last = (addr + n - 1) // self.line_size
+        for line_index in range(first, last + 1):
+            line_addr = line_index * self.line_size
+            span = min(self.line_size, self.memory.size - line_addr)
+            resident = (line_index in self.l2) or any(
+                line_index in l1 for l1 in self.l1
+            )
+            if not resident:
+                continue
+            fresh = self.memory.read(line_addr, span)
+            self.l2.update_if_present(line_index, fresh)
+            for l1 in self.l1:
+                l1.update_if_present(line_index, fresh)
+            trace.memory_fills += 1
+        return trace
+
+    def flush_region(self, region: MemoryRegion, group: "int | None" = None) -> int:
+        """Drop every cached copy of ``region``'s lines.
+
+        With ``group=None`` all levels are flushed; otherwise only that
+        group's L1 plus the shared L2 (the lines another group's L1
+        holds were private to *its* jobs and flushed by its executor).
+        """
+        flushed = self.l2.flush_region(region)
+        if group is None:
+            for l1 in self.l1:
+                flushed += l1.flush_region(region)
+        else:
+            flushed += self.l1[group].flush_region(region)
+        return flushed
+
+    def flush_all(self) -> int:
+        flushed = self.l2.flush_all()
+        for l1 in self.l1:
+            flushed += l1.flush_all()
+        return flushed
+
+    def total_stats(self) -> CacheStats:
+        agg = CacheStats()
+        for cache in (*self.l1, self.l2):
+            agg.hits += cache.stats.hits
+            agg.misses += cache.stats.misses
+            agg.evictions += cache.stats.evictions
+            agg.flushed_lines += cache.stats.flushed_lines
+            agg.injected_flips += cache.stats.injected_flips
+            agg.corrected_errors += cache.stats.corrected_errors
+        return agg

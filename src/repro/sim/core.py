@@ -1,0 +1,179 @@
+"""Simulated CPU cores.
+
+A core is a timing and accounting engine: jobs charge it instructions,
+branches, and cache traffic; the core converts them to cycles and
+simulated seconds at its current DVFS frequency, and exposes the raw
+event counts that :mod:`repro.sim.perfcounters` turns into the
+OS-visible rates of Table 1.
+
+EMR pins each executor to a *core group* (§3.2, "EMR reserves a full
+core, or set of cores, for each executor instance"), so per-core state
+— including a latched SEU in an ALU, modeled as
+:attr:`Core.poisoned` — is isolated to one executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, HardwareDamagedError
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Microarchitectural parameters of one core (Cortex-A53-like)."""
+
+    base_ipc: float = 1.2
+    freq_levels: tuple = tuple(600e6 + 100e6 * i for i in range(9))  # 0.6–1.4 GHz
+    l1_hit_cycles: int = 4
+    l2_hit_cycles: int = 14
+    dram_fill_cycles: int = 120
+    branch_miss_penalty_cycles: int = 13
+    bus_cycles_per_instruction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.base_ipc <= 0:
+            raise ConfigurationError("base_ipc must be positive")
+        if not self.freq_levels or any(f <= 0 for f in self.freq_levels):
+            raise ConfigurationError("freq_levels must be positive")
+        if tuple(sorted(self.freq_levels)) != tuple(self.freq_levels):
+            raise ConfigurationError("freq_levels must be sorted ascending")
+
+    @property
+    def min_freq(self) -> float:
+        return self.freq_levels[0]
+
+    @property
+    def max_freq(self) -> float:
+        return self.freq_levels[-1]
+
+
+@dataclass
+class CoreCounters:
+    """Raw hardware event counts (monotonic, like real PMU counters)."""
+
+    instructions: int = 0
+    cycles: int = 0
+    bus_cycles: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    cache_references: int = 0
+    cache_hits: int = 0
+
+    def snapshot(self) -> "CoreCounters":
+        return CoreCounters(
+            self.instructions,
+            self.cycles,
+            self.bus_cycles,
+            self.branches,
+            self.branch_misses,
+            self.cache_references,
+            self.cache_hits,
+        )
+
+    def delta(self, earlier: "CoreCounters") -> "CoreCounters":
+        return CoreCounters(
+            self.instructions - earlier.instructions,
+            self.cycles - earlier.cycles,
+            self.bus_cycles - earlier.bus_cycles,
+            self.branches - earlier.branches,
+            self.branch_misses - earlier.branch_misses,
+            self.cache_references - earlier.cache_references,
+            self.cache_hits - earlier.cache_hits,
+        )
+
+
+@dataclass
+class ExecutionCost:
+    """Simulated time (and cycles) one burst of work consumed."""
+
+    seconds: float
+    cycles: int
+
+
+class Core:
+    """One simulated CPU core."""
+
+    def __init__(self, core_id: int, spec: "CoreSpec | None" = None) -> None:
+        self.core_id = core_id
+        self.spec = spec or CoreSpec()
+        self.freq = self.spec.min_freq
+        self.counters = CoreCounters()
+        self.busy_seconds = 0.0
+        #: Set when an SEU latches into the core's datapath: results
+        #: computed on a poisoned core are corrupted (see radiation.seu).
+        self.poisoned = False
+        #: Set when an SEL burned the core out; further use raises.
+        self.damaged = False
+
+    def set_freq(self, freq: float) -> None:
+        if freq not in self.spec.freq_levels:
+            raise ConfigurationError(
+                f"frequency {freq:g} Hz is not a DVFS level of core {self.core_id}"
+            )
+        self.freq = freq
+
+    def execute(
+        self,
+        instructions: int,
+        branch_fraction: float = 0.12,
+        branch_miss_rate: float = 0.03,
+        l1_hits: int = 0,
+        l2_hits: int = 0,
+        memory_fills: int = 0,
+    ) -> ExecutionCost:
+        """Charge a burst of retired instructions plus memory traffic.
+
+        Returns the simulated time the burst took at the current
+        frequency. The caller advances the clock (or its executor's
+        busy-time accumulator) by ``cost.seconds``.
+        """
+        if self.damaged:
+            raise HardwareDamagedError(f"core {self.core_id} is burned out")
+        if instructions < 0:
+            raise ConfigurationError("instruction count must be >= 0")
+        spec = self.spec
+        branches = int(instructions * branch_fraction)
+        misses = int(branches * branch_miss_rate)
+        cycles = instructions / spec.base_ipc
+        cycles += misses * spec.branch_miss_penalty_cycles
+        cycles += l1_hits * spec.l1_hit_cycles
+        cycles += l2_hits * spec.l2_hit_cycles
+        cycles += memory_fills * spec.dram_fill_cycles
+        cycles = int(cycles) + 1
+        seconds = cycles / self.freq
+
+        c = self.counters
+        c.instructions += instructions
+        c.cycles += cycles
+        c.bus_cycles += int(instructions * spec.bus_cycles_per_instruction)
+        c.branches += branches
+        c.branch_misses += misses
+        c.cache_references += l1_hits + l2_hits + memory_fills
+        c.cache_hits += l1_hits + l2_hits
+        self.busy_seconds += seconds
+        return ExecutionCost(seconds=seconds, cycles=cycles)
+
+    def reset_faults(self) -> None:
+        """A power cycle clears latched pipeline state (not SEL damage)."""
+        self.poisoned = False
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag
+            for flag, on in (("P", self.poisoned), ("D", self.damaged))
+            if on
+        )
+        return f"Core({self.core_id}, {self.freq / 1e6:.0f}MHz{',' + flags if flags else ''})"
+
+
+@dataclass(frozen=True)
+class CoreGroup:
+    """A set of core ids reserved for one executor."""
+
+    group_id: int
+    core_ids: tuple
+
+    def __post_init__(self) -> None:
+        if not self.core_ids:
+            raise ConfigurationError("a core group needs at least one core")

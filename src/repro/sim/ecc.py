@@ -1,0 +1,210 @@
+"""SECDED Hamming(72, 64) error-correction codec.
+
+Commodity flash (and much commodity DRAM) protects each 64-bit word
+with 8 check bits: an extended Hamming code that corrects any single
+bit error and detects any double bit error (SECDED). Radshield's
+*reliability frontier* (§3.2) rests entirely on this property, so the
+reproduction implements the real code rather than faking it with a
+"corrupted" flag.
+
+Layout
+------
+Codeword bit positions are indexed 0..71:
+
+* position 0 holds the overall parity bit (the SECDED extension),
+* positions 1, 2, 4, 8, 16, 32, 64 hold the Hamming parity bits,
+* the remaining 64 positions hold data bits in ascending order.
+
+Decoding computes the Hamming syndrome ``s`` (the XOR of the positions
+of all set bits, restricted to positions >= 1) and the overall parity:
+
+===========  ==============  =====================================
+syndrome     overall parity  meaning
+===========  ==============  =====================================
+0            even            no error
+0            odd             error in the overall parity bit
+nonzero      odd             single-bit error at position ``s``
+nonzero      even            double-bit error (detected, uncorrectable)
+===========  ==============  =====================================
+
+Both a scalar API (one word at a time) and a vectorized API operating
+on ``numpy.uint64`` arrays are provided; the memory model uses the
+vectorized path for bulk reads and writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+_DATA_POSITIONS = tuple(p for p in range(1, 72) if p not in _PARITY_POSITIONS)
+assert len(_DATA_POSITIONS) == 64
+
+#: For each Hamming parity bit 2**k, a 64-bit mask over *data bit indices*
+#: selecting the data bits whose codeword position has bit k set.
+_PARITY_MASKS: tuple[int, ...] = tuple(
+    sum(
+        1 << data_bit
+        for data_bit, pos in enumerate(_DATA_POSITIONS)
+        if pos & parity_pos
+    )
+    for parity_pos in _PARITY_POSITIONS
+)
+
+#: Maps codeword position -> data bit index, or -1 for parity positions.
+_POSITION_TO_DATA_BIT = np.full(72, -1, dtype=np.int8)
+for _i, _pos in enumerate(_DATA_POSITIONS):
+    _POSITION_TO_DATA_BIT[_pos] = _i
+
+#: Maps codeword position -> check bit index (0 = overall, 1..7 = Hamming),
+#: or -1 for data positions.
+_POSITION_TO_CHECK_BIT = np.full(72, -1, dtype=np.int8)
+_POSITION_TO_CHECK_BIT[0] = 0
+for _i, _pos in enumerate(_PARITY_POSITIONS):
+    _POSITION_TO_CHECK_BIT[_pos] = _i + 1
+
+_PARITY_MASKS_U64 = np.array(_PARITY_MASKS, dtype=np.uint64)
+
+
+def _parity_u64(values: np.ndarray) -> np.ndarray:
+    """Bitwise parity (popcount mod 2) of each uint64, vectorized."""
+    v = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        v ^= v >> np.uint64(shift)
+    return (v & np.uint64(1)).astype(np.uint8)
+
+
+def _parity_int(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    data: int
+    corrected: bool  # a single-bit error was repaired
+    uncorrectable: bool  # a double-bit error was detected
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrected and not self.uncorrectable
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit data word into the 8 check bits.
+
+    Returns the check byte: bit 0 is the overall parity, bits 1..7 the
+    Hamming parity bits for positions 1, 2, 4, 8, 16, 32, 64.
+    """
+    data &= (1 << 64) - 1
+    check = 0
+    for k, mask in enumerate(_PARITY_MASKS):
+        check |= _parity_int(data & mask) << (k + 1)
+    # Overall parity covers every codeword bit: data bits plus the
+    # seven Hamming bits just computed.
+    overall = _parity_int(data) ^ _parity_int(check >> 1)
+    check |= overall
+    return check
+
+
+def decode(data: int, check: int) -> DecodeResult:
+    """Decode (and, if possible, correct) a stored word + check byte.
+
+    ``data``/``check`` are the possibly-corrupted stored values.
+    """
+    data &= (1 << 64) - 1
+    check &= 0xFF
+    syndrome = 0
+    for k, mask in enumerate(_PARITY_MASKS):
+        recomputed = _parity_int(data & mask)
+        stored = (check >> (k + 1)) & 1
+        if recomputed != stored:
+            syndrome |= _PARITY_POSITIONS[k]
+    overall_recomputed = _parity_int(data) ^ _parity_int(check >> 1)
+    overall_mismatch = overall_recomputed != (check & 1)
+
+    if syndrome == 0:
+        if not overall_mismatch:
+            return DecodeResult(data, corrected=False, uncorrectable=False)
+        # The overall parity bit itself flipped; data is intact.
+        return DecodeResult(data, corrected=True, uncorrectable=False)
+    if not overall_mismatch:
+        # Nonzero syndrome with even overall parity: two bits flipped.
+        return DecodeResult(data, corrected=False, uncorrectable=True)
+    if syndrome >= 72:
+        # Syndrome points outside the codeword: multi-bit corruption
+        # that aliased; treat as detected-uncorrectable.
+        return DecodeResult(data, corrected=False, uncorrectable=True)
+    data_bit = int(_POSITION_TO_DATA_BIT[syndrome])
+    if data_bit >= 0:
+        data ^= 1 << data_bit
+    # (If the flip hit a parity position the data is already correct.)
+    return DecodeResult(data, corrected=True, uncorrectable=False)
+
+
+def encode_array(words: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`encode` over a ``uint64`` array -> ``uint8`` checks."""
+    words = np.asarray(words, dtype=np.uint64)
+    check = np.zeros(words.shape, dtype=np.uint8)
+    hamming_parity = np.zeros(words.shape, dtype=np.uint8)
+    for k in range(7):
+        bit = _parity_u64(words & _PARITY_MASKS_U64[k])
+        check |= (bit << np.uint8(k + 1)).astype(np.uint8)
+        hamming_parity ^= bit
+    overall = _parity_u64(words) ^ hamming_parity
+    check |= overall
+    return check
+
+
+def decode_array(
+    words: np.ndarray, checks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`decode`.
+
+    Returns ``(corrected_words, corrected_mask, uncorrectable_mask)``.
+    """
+    words = np.asarray(words, dtype=np.uint64).copy()
+    checks = np.asarray(checks, dtype=np.uint8)
+    syndrome = np.zeros(words.shape, dtype=np.int16)
+    hamming_parity = np.zeros(words.shape, dtype=np.uint8)
+    for k in range(7):
+        recomputed = _parity_u64(words & _PARITY_MASKS_U64[k])
+        stored = (checks >> np.uint8(k + 1)) & np.uint8(1)
+        mismatch = recomputed ^ stored
+        syndrome += mismatch.astype(np.int16) * _PARITY_POSITIONS[k]
+        hamming_parity ^= (checks >> np.uint8(k + 1)) & np.uint8(1)
+    overall_recomputed = _parity_u64(words) ^ hamming_parity
+    overall_mismatch = overall_recomputed != (checks & np.uint8(1))
+
+    zero_syndrome = syndrome == 0
+    uncorrectable = (~zero_syndrome) & (~overall_mismatch)
+    uncorrectable |= (~zero_syndrome) & overall_mismatch & (syndrome >= 72)
+    single = (~zero_syndrome) & overall_mismatch & (syndrome < 72)
+    parity_only = zero_syndrome & overall_mismatch
+
+    if np.any(single):
+        idx = np.nonzero(single)[0]
+        positions = syndrome[idx]
+        data_bits = _POSITION_TO_DATA_BIT[positions]
+        fixable = data_bits >= 0
+        flip_idx = idx[fixable]
+        flip_bits = data_bits[fixable].astype(np.uint64)
+        words[flip_idx] ^= np.uint64(1) << flip_bits
+
+    corrected = single | parity_only
+    return words, corrected, uncorrectable
+
+
+def bytes_to_words(data: bytes) -> np.ndarray:
+    """Pack bytes (length must be a multiple of 8) into uint64 words."""
+    if len(data) % 8:
+        raise ValueError(f"length {len(data)} is not a multiple of 8")
+    return np.frombuffer(data, dtype="<u8").copy()
+
+
+def words_to_bytes(words: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_words`."""
+    return np.asarray(words, dtype="<u8").tobytes()

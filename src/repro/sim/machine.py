@@ -1,0 +1,205 @@
+"""The simulated spacecraft computer.
+
+Composes cores, the cache hierarchy, DRAM, flash, the power model and
+the current sensor into one device with the two lifecycle operations
+the paper cares about:
+
+* ``reboot()`` — restarts software. **Does not** clear an SEL ("reboots
+  may not completely clear out the SEL's residual charge", §2.1).
+* ``power_cycle()`` — drops power entirely; clears SELs and all
+  volatile state. This is what ILD triggers on detection.
+
+Two stock configurations mirror the paper's deployments:
+:meth:`Machine.rpi_zero2w` (the LEO SmallSat / ground SEL testbed, ECC
+DRAM absent on the real part but the SEL experiments don't need DRAM
+content) and :meth:`Machine.snapdragon801` (the Mars coprocessor:
+no ECC DRAM, so EMR's reliability frontier falls back to storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .cache import AccessTrace, CacheHierarchy
+from .clock import SimClock
+from .core import Core, CoreGroup, CoreSpec
+from .dvfs import OndemandGovernor
+from .memory import SimMemory
+from .power import EnergyMeter, PowerModel, PowerModelParams
+from .sensor import CurrentSensor, SensorParams
+from .storage import FlashStorage
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static configuration of a simulated spacecraft computer."""
+
+    name: str = "generic-soc"
+    n_cores: int = 4
+    dram_size: int = 64 << 20
+    dram_ecc: bool = True
+    l1_lines: int = 512
+    l2_lines: int = 8192
+    line_size: int = 64
+    #: SECDED-protected cache SRAM (rare on commodity parts; when
+    #: present, EMR reverts to plain parallel 3-MR, §3.2).
+    cache_ecc: bool = False
+    core_spec: CoreSpec = field(default_factory=CoreSpec)
+    power_params: PowerModelParams = field(default_factory=PowerModelParams)
+    sensor_params: SensorParams = field(default_factory=SensorParams)
+    flash_capacity: int = 64 << 20
+    reboot_seconds: float = 24.0
+    power_cycle_seconds: float = 31.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError("n_cores must be positive")
+
+
+class Machine:
+    """A running instance of :class:`MachineSpec`."""
+
+    def __init__(self, spec: "MachineSpec | None" = None, seed: int = 0) -> None:
+        self.spec = spec or MachineSpec()
+        self.rng = np.random.default_rng(seed)
+        self.clock = SimClock()
+        self.cores = [Core(i, self.spec.core_spec) for i in range(self.spec.n_cores)]
+        self.memory = SimMemory(self.spec.dram_size, ecc=self.spec.dram_ecc)
+        self.caches = CacheHierarchy(
+            self.memory,
+            n_groups=self.spec.n_cores,
+            l1_lines=self.spec.l1_lines,
+            l2_lines=self.spec.l2_lines,
+            line_size=self.spec.line_size,
+            ecc=self.spec.cache_ecc,
+        )
+        self.storage = FlashStorage(capacity=self.spec.flash_capacity)
+        self.power_model = PowerModel(
+            self.spec.power_params, max_freq=self.spec.core_spec.max_freq
+        )
+        self.energy_meter = EnergyMeter(self.power_model)
+        self.sensor = CurrentSensor(self.spec.sensor_params)
+        self.governor = OndemandGovernor(self.spec.core_spec)
+        #: Persistent current added by active latchups (amps). Owned by
+        #: :mod:`repro.radiation.sel`, read by telemetry/power paths.
+        self.extra_current_draw = 0.0
+        self.reboots = 0
+        self.power_cycles = 0
+        self._power_cycle_hooks: list = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.spec.n_cores
+
+    def default_core_groups(self, n_executors: int) -> "list[CoreGroup]":
+        """One single-core group per executor (the paper's layout)."""
+        if n_executors > self.n_cores:
+            raise ConfigurationError(
+                f"{n_executors} executors need {n_executors} cores; "
+                f"machine has {self.n_cores}"
+            )
+        return [CoreGroup(i, (i,)) for i in range(n_executors)]
+
+    # ------------------------------------------------------------------
+    # Memory access helpers (used by EMR executors)
+    # ------------------------------------------------------------------
+    def read_via_cache(self, addr: int, n: int, group: int) -> "tuple[bytes, AccessTrace]":
+        return self.caches.read(addr, n, group)
+
+    def write_via_cache(self, addr: int, data: bytes, group: int) -> AccessTrace:
+        return self.caches.write(addr, data, group)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_power_cycle(self, hook) -> None:
+        """Register a callable invoked (with this machine) on power cycle."""
+        self._power_cycle_hooks.append(hook)
+
+    def reboot(self) -> float:
+        """Software restart: caches and latched pipeline faults clear,
+        but an active SEL's residual charge — and its current draw —
+        survives. Returns the downtime in seconds."""
+        self.caches.flush_all()
+        self.storage.drop_page_cache()
+        for core in self.cores:
+            core.reset_faults()
+            core.freq = self.spec.core_spec.min_freq
+        self.clock.advance(self.spec.reboot_seconds)
+        self.reboots += 1
+        return self.spec.reboot_seconds
+
+    def power_cycle(self) -> float:
+        """Full power removal: everything a reboot does, plus clearing
+        SEL residual charge (via registered hooks). Returns downtime."""
+        downtime = self.spec.power_cycle_seconds - self.spec.reboot_seconds
+        self.reboot()
+        self.reboots -= 1  # the reboot above was part of the power cycle
+        self.clock.advance(max(0.0, downtime))
+        self.power_cycles += 1
+        for hook in list(self._power_cycle_hooks):
+            hook(self)
+        return self.spec.power_cycle_seconds
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def instantaneous_current(self) -> float:
+        """True board current right now, from core state + SEL draw."""
+        util = np.array([1.0 if c.busy_seconds else 0.0 for c in self.cores])
+        freq = np.array([c.freq for c in self.cores])
+        return float(
+            self.power_model.board_current(util * 0.0, freq)
+        ) + self.extra_current_draw
+
+    def quiescent_current(self) -> float:
+        return self.power_model.quiescent_current(
+            self.n_cores, self.spec.core_spec.min_freq
+        )
+
+    # ------------------------------------------------------------------
+    # Stock configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def rpi_zero2w(cls, seed: int = 0) -> "Machine":
+        """The paper's ground SEL testbed and LEO SmallSat computer."""
+        spec = MachineSpec(
+            name="raspberry-pi-zero-2w",
+            n_cores=4,
+            dram_size=48 << 20,
+            dram_ecc=True,
+            l1_lines=512,
+            l2_lines=8192,
+        )
+        return cls(spec, seed=seed)
+
+    @classmethod
+    def snapdragon801(cls, seed: int = 0) -> "Machine":
+        """The Mars-rover coprocessor: commodity SoC without ECC DRAM,
+        pushing EMR's reliability frontier out to flash storage."""
+        spec = MachineSpec(
+            name="snapdragon-801",
+            n_cores=4,
+            dram_size=96 << 20,
+            dram_ecc=False,
+            l1_lines=512,
+            l2_lines=16384,
+            core_spec=CoreSpec(
+                base_ipc=1.6,
+                freq_levels=tuple(800e6 + 200e6 * i for i in range(9)),
+            ),
+        )
+        return cls(spec, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.spec.name!r}, {self.n_cores} cores, "
+            f"DRAM {'ECC' if self.spec.dram_ecc else 'no-ECC'}, "
+            f"t={self.clock.now:.3f}s)"
+        )

@@ -1,0 +1,180 @@
+"""OS-visible performance counters (the Table 1 metric set).
+
+ILD's whole premise is that userspace can *estimate* current draw from
+counters Linux already exposes: per-core instruction completion rate,
+branch miss rate, CPU frequency, bus cycle rate, cache hit rate, plus
+disk read/write IO counts. This module fixes the feature layout used
+everywhere (telemetry generation, model training, detection) and
+provides adapters from the functional machine's raw PMU counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .core import Core
+
+#: The per-core metrics of Table 1, in canonical order.
+PER_CORE_METRICS = (
+    "instruction_rate",
+    "branch_miss_rate",
+    "cpu_freq",
+    "bus_cycle_rate",
+    "cache_hit_rate",
+)
+
+#: The global (non-per-core) metrics of Table 1.
+GLOBAL_METRICS = ("disk_read_ios", "disk_write_ios")
+
+
+def feature_names(n_cores: int) -> tuple:
+    """Column names of the ILD feature matrix for an ``n_cores`` machine."""
+    if n_cores <= 0:
+        raise ConfigurationError("n_cores must be positive")
+    names = [
+        f"core{c}.{metric}" for c in range(n_cores) for metric in PER_CORE_METRICS
+    ]
+    names.extend(GLOBAL_METRICS)
+    return tuple(names)
+
+
+def n_features(n_cores: int) -> int:
+    return n_cores * len(PER_CORE_METRICS) + len(GLOBAL_METRICS)
+
+
+@dataclass
+class CounterFrame:
+    """One sampling interval's worth of Table 1 metrics.
+
+    Per-core arrays have shape ``(n_ticks, n_cores)``; global arrays
+    have shape ``(n_ticks,)``. Rates are per second; ``cpu_freq`` is in
+    Hz; ``cache_hit_rate``/``branch_miss_rate`` are ratios in [0, 1];
+    disk IO columns are IOs per second.
+    """
+
+    instruction_rate: np.ndarray
+    branch_miss_rate: np.ndarray
+    cpu_freq: np.ndarray
+    bus_cycle_rate: np.ndarray
+    cache_hit_rate: np.ndarray
+    disk_read_ios: np.ndarray
+    disk_write_ios: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = self.instruction_rate.shape
+        for name in ("branch_miss_rate", "cpu_freq", "bus_cycle_rate", "cache_hit_rate"):
+            if getattr(self, name).shape != shape:
+                raise ConfigurationError(f"{name} shape {getattr(self, name).shape} != {shape}")
+        for name in ("disk_read_ios", "disk_write_ios"):
+            if getattr(self, name).shape != (shape[0],):
+                raise ConfigurationError(f"{name} must have shape ({shape[0]},)")
+
+    @property
+    def n_ticks(self) -> int:
+        return self.instruction_rate.shape[0]
+
+    @property
+    def n_cores(self) -> int:
+        return self.instruction_rate.shape[1]
+
+    def feature_matrix(self) -> np.ndarray:
+        """Stack into the canonical ``(n_ticks, n_features)`` layout."""
+        per_core = np.stack(
+            [
+                self.instruction_rate,
+                self.branch_miss_rate,
+                self.cpu_freq,
+                self.bus_cycle_rate,
+                self.cache_hit_rate,
+            ],
+            axis=2,
+        )  # (ticks, cores, metrics)
+        flat = per_core.reshape(self.n_ticks, -1)
+        return np.concatenate(
+            [flat, self.disk_read_ios[:, None], self.disk_write_ios[:, None]], axis=1
+        )
+
+    def total_utilization(self, max_rate_per_core: float) -> np.ndarray:
+        """Aggregate CPU load proxy in [0, n_cores] used for quiescence."""
+        if max_rate_per_core <= 0:
+            raise ConfigurationError("max_rate_per_core must be positive")
+        return self.instruction_rate.sum(axis=1) / max_rate_per_core
+
+    def slice(self, mask: np.ndarray) -> "CounterFrame":
+        return CounterFrame(
+            self.instruction_rate[mask],
+            self.branch_miss_rate[mask],
+            self.cpu_freq[mask],
+            self.bus_cycle_rate[mask],
+            self.cache_hit_rate[mask],
+            self.disk_read_ios[mask],
+            self.disk_write_ios[mask],
+        )
+
+    @staticmethod
+    def concatenate(frames: "list[CounterFrame]") -> "CounterFrame":
+        if not frames:
+            raise ConfigurationError("cannot concatenate zero frames")
+        return CounterFrame(
+            np.concatenate([f.instruction_rate for f in frames]),
+            np.concatenate([f.branch_miss_rate for f in frames]),
+            np.concatenate([f.cpu_freq for f in frames]),
+            np.concatenate([f.bus_cycle_rate for f in frames]),
+            np.concatenate([f.cache_hit_rate for f in frames]),
+            np.concatenate([f.disk_read_ios for f in frames]),
+            np.concatenate([f.disk_write_ios for f in frames]),
+        )
+
+
+class PerfCounterSampler:
+    """Reads PMU deltas off functional-mode cores at intervals.
+
+    Functional mode advances time in large discrete steps, so the
+    sampler converts counter deltas over a span into the same per-second
+    rates telemetry mode generates directly.
+    """
+
+    def __init__(self, cores: "list[Core]") -> None:
+        if not cores:
+            raise ConfigurationError("need at least one core")
+        self._cores = cores
+        self._snapshots = [core.counters.snapshot() for core in cores]
+        self._disk_read_ios = 0
+        self._disk_write_ios = 0
+
+    def note_disk_ios(self, reads: int = 0, writes: int = 0) -> None:
+        self._disk_read_ios += reads
+        self._disk_write_ios += writes
+
+    def sample(self, interval_seconds: float) -> CounterFrame:
+        """Rates since the previous sample, attributed to one tick."""
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval must be positive")
+        n = len(self._cores)
+        instr = np.zeros((1, n))
+        miss = np.zeros((1, n))
+        freq = np.zeros((1, n))
+        bus = np.zeros((1, n))
+        hit = np.zeros((1, n))
+        for i, core in enumerate(self._cores):
+            delta = core.counters.delta(self._snapshots[i])
+            self._snapshots[i] = core.counters.snapshot()
+            instr[0, i] = delta.instructions / interval_seconds
+            bus[0, i] = delta.bus_cycles / interval_seconds
+            freq[0, i] = core.freq
+            miss[0, i] = (
+                delta.branch_misses / delta.branches if delta.branches else 0.0
+            )
+            hit[0, i] = (
+                delta.cache_hits / delta.cache_references
+                if delta.cache_references
+                else 1.0
+            )
+        reads = np.array([self._disk_read_ios / interval_seconds])
+        writes = np.array([self._disk_write_ios / interval_seconds])
+        self._disk_read_ios = 0
+        self._disk_write_ios = 0
+        return CounterFrame(instr, miss, freq, bus, hit, reads, writes)

@@ -1,0 +1,85 @@
+"""Power-supply overcurrent protection (OCP).
+
+§3.1: "Larger current spikes on the order of 1 A are already addressed
+by additional thresholding circuitry available on most modern
+spacecraft power supplies" — classic latchup protection [28, 74]. The
+breaker watches the rail and power-cycles the load when current stays
+above a (high) threshold for longer than a blanking interval.
+
+This is the complement ILD needs: OCP handles the amp-class classic
+SELs instantly; ILD exists for the 0.07 A micro-SELs OCP cannot see.
+The division of labour is itself testable — see the mission simulator,
+which routes big SELs to OCP and small ones to ILD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .telemetry import TelemetryTrace
+
+
+@dataclass(frozen=True)
+class OcpConfig:
+    """Breaker parameters (per the SmallSat EPS datasheets [74])."""
+
+    trip_threshold_amps: float = 5.5
+    blanking_seconds: float = 0.05  # ride-through for inrush/transients
+
+    def __post_init__(self) -> None:
+        if self.trip_threshold_amps <= 0 or self.blanking_seconds < 0:
+            raise ConfigurationError("OCP parameters must be positive")
+
+
+@dataclass(frozen=True)
+class OcpTrip:
+    """One breaker actuation."""
+
+    time: float
+    current_amps: float
+
+
+class OvercurrentProtection:
+    """Threshold breaker over telemetry current streams."""
+
+    def __init__(self, config: "OcpConfig | None" = None) -> None:
+        self.config = config or OcpConfig()
+        self.trips: "list[OcpTrip]" = []
+
+    def would_trip_on(self, delta_amps: float, baseline_amps: float) -> bool:
+        """Whether a persistent step of ``delta_amps`` on top of a
+        baseline is inside this breaker's reach (the classic-SEL case)."""
+        return baseline_amps + delta_amps >= self.config.trip_threshold_amps
+
+    def scan(self, trace: TelemetryTrace) -> "list[OcpTrip]":
+        """Find breaker actuations in one telemetry chunk.
+
+        Uses the *fine* sensor samples: the breaker is analog and does
+        not wait for the 1 ms metric tick.
+        """
+        cfg = self.config
+        samples = trace.fine_samples
+        sample_period = trace.config.tick / trace.config.samples_per_tick
+        window = max(1, int(round(cfg.blanking_seconds / sample_period)))
+        over = samples >= cfg.trip_threshold_amps
+        if window > 1 and len(over) >= window:
+            kernel = np.ones(window, dtype=int)
+            sustained = np.convolve(over.astype(int), kernel, mode="valid") == window
+            sustained = np.concatenate(
+                [np.zeros(window - 1, dtype=bool), sustained]
+            )
+        else:
+            sustained = over
+        onsets = np.nonzero(sustained & ~np.concatenate([[False], sustained[:-1]]))[0]
+        trips = [
+            OcpTrip(
+                time=trace.start_time + index * sample_period,
+                current_amps=float(samples[index]),
+            )
+            for index in onsets
+        ]
+        self.trips.extend(trips)
+        return trips

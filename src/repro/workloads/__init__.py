@@ -1,0 +1,56 @@
+"""Spacecraft workloads, implemented from scratch (Table 5).
+
+=====================  ===========  ================================
+Workload               Lib analog   Replication strategy (paper)
+=====================  ===========  ================================
+encryption             OpenSSL      replicate key
+compression            Zlib         no replication
+intrusion_detection    RE2          replicate search pattern
+image_processing       OpenCV       replicate match image
+neural_networks        N/A          replicate model weights & biases
+=====================  ===========  ================================
+
+Plus supporting workloads: ``matmul`` (Fig 5 calibration staircase +
+quickstart) and the navigation telemetry profile (Fig 2).
+"""
+
+from .aes import AesWorkload, ecb_decrypt, ecb_encrypt
+from .base import DatasetSpec, RegionRef, Workload, WorkloadSpec
+from .deflate import DeflateWorkload, compress, decompress, make_compressible
+from .dnn import DnnWorkload, Mlp
+from .imageproc import ImageProcessingWorkload, make_terrain, match_scores
+from .matmul import MatmulWorkload, staircase_schedule
+from .navigation import attitude_burst, navigation_schedule, sensor_poll
+from .regexengine import DEFAULT_SIGNATURES, IntrusionDetectionWorkload, Regex
+from .registry import ALL_WORKLOADS, PAPER_WORKLOADS, make_workload, paper_workloads
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "AesWorkload",
+    "DEFAULT_SIGNATURES",
+    "DatasetSpec",
+    "DeflateWorkload",
+    "DnnWorkload",
+    "ImageProcessingWorkload",
+    "IntrusionDetectionWorkload",
+    "MatmulWorkload",
+    "Mlp",
+    "PAPER_WORKLOADS",
+    "Regex",
+    "RegionRef",
+    "Workload",
+    "WorkloadSpec",
+    "attitude_burst",
+    "compress",
+    "decompress",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "make_compressible",
+    "make_terrain",
+    "make_workload",
+    "match_scores",
+    "navigation_schedule",
+    "paper_workloads",
+    "sensor_poll",
+    "staircase_schedule",
+]

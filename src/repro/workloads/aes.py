@@ -1,0 +1,259 @@
+"""AES-256-ECB implemented from scratch (the paper's OpenSSL analog).
+
+Encryption is the paper's canonical shared-key workload: every job
+encrypts its own plaintext chunk with the *same* 256-bit key, so EMR's
+common-data detector replicates the key per executor ("encryption
+worked best when the data was shared, but the key was replicated",
+§4.2.4) — and an SEU flipping a cached key byte corrupts only one
+executor's ciphertext, which the voters out-vote. The paper also notes
+the security stakes: "SEUs during AES encryption can leak the
+encryption key to attackers" (§2).
+
+The implementation follows FIPS-197: the S-box is *derived* (GF(2⁸)
+inverse + affine map) rather than pasted, key expansion handles the
+Nk=8 schedule, and the inverse cipher is included so tests can prove
+roundtrips and known-answer vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import DatasetSpec, RegionRef, Workload, WorkloadSpec
+
+# ----------------------------------------------------------------------
+# GF(2^8) arithmetic and table construction
+# ----------------------------------------------------------------------
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> "tuple[list, list]":
+    """Derive the AES S-box: multiplicative inverse then affine map."""
+    # Build inverses via the generator 3 of GF(2^8)*.
+    exp = [0] * 255
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    sbox = [0] * 256
+    for x in range(256):
+        inv = 0 if x == 0 else exp[(255 - log[x]) % 255]
+        y = inv
+        result = inv
+        for _ in range(4):
+            y = ((y << 1) | (y >> 7)) & 0xFF
+            result ^= y
+        sbox[x] = result ^ 0x63
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C]
+
+_NB = 4  # columns per state
+_NK = 8  # key words (AES-256)
+_NR = 14  # rounds (AES-256)
+
+
+def expand_key(key: bytes) -> "list[list[int]]":
+    """FIPS-197 key expansion: 32-byte key -> 60 four-byte words."""
+    if len(key) != 32:
+        raise WorkloadError(f"AES-256 key must be 32 bytes, got {len(key)}")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(_NK)]
+    for i in range(_NK, _NB * (_NR + 1)):
+        temp = list(words[i - 1])
+        if i % _NK == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [_SBOX[b] for b in temp]  # SubWord
+            temp[0] ^= _RCON[i // _NK - 1]
+        elif i % _NK == 4:
+            temp = [_SBOX[b] for b in temp]
+        words.append([a ^ b for a, b in zip(words[i - _NK], temp)])
+    return words
+
+
+def _add_round_key(state: "list[int]", words, round_index: int) -> None:
+    for col in range(4):
+        word = words[round_index * 4 + col]
+        for row in range(4):
+            state[4 * col + row] ^= word[row]
+
+
+def _sub_bytes(state: "list[int]", box) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: "list[int]") -> None:
+    for row in range(1, 4):
+        column_values = [state[4 * col + row] for col in range(4)]
+        shifted = column_values[row:] + column_values[:row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _inv_shift_rows(state: "list[int]") -> None:
+    for row in range(1, 4):
+        column_values = [state[4 * col + row] for col in range(4)]
+        shifted = column_values[-row:] + column_values[:-row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _mix_columns(state: "list[int]") -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        state[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+        state[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+        state[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+
+def _inv_mix_columns(state: "list[int]") -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = (
+            _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+        )
+        state[4 * col + 1] = (
+            _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+        )
+        state[4 * col + 2] = (
+            _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+        )
+        state[4 * col + 3] = (
+            _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+        )
+
+
+def encrypt_block(block: bytes, words) -> bytes:
+    if len(block) != 16:
+        raise WorkloadError(f"AES block must be 16 bytes, got {len(block)}")
+    state = list(block)
+    _add_round_key(state, words, 0)
+    for round_index in range(1, _NR):
+        _sub_bytes(state, _SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, words, round_index)
+    _sub_bytes(state, _SBOX)
+    _shift_rows(state)
+    _add_round_key(state, words, _NR)
+    return bytes(state)
+
+
+def decrypt_block(block: bytes, words) -> bytes:
+    if len(block) != 16:
+        raise WorkloadError(f"AES block must be 16 bytes, got {len(block)}")
+    state = list(block)
+    _add_round_key(state, words, _NR)
+    for round_index in range(_NR - 1, 0, -1):
+        _inv_shift_rows(state)
+        _sub_bytes(state, _INV_SBOX)
+        _add_round_key(state, words, round_index)
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _sub_bytes(state, _INV_SBOX)
+    _add_round_key(state, words, 0)
+    return bytes(state)
+
+
+def ecb_encrypt(plaintext: bytes, key: bytes) -> bytes:
+    """AES-256-ECB over a multiple-of-16-byte plaintext."""
+    if len(plaintext) % 16:
+        raise WorkloadError(
+            f"ECB plaintext must be a multiple of 16 bytes, got {len(plaintext)}"
+        )
+    words = expand_key(key)
+    return b"".join(
+        encrypt_block(plaintext[i : i + 16], words)
+        for i in range(0, len(plaintext), 16)
+    )
+
+
+def ecb_decrypt(ciphertext: bytes, key: bytes) -> bytes:
+    if len(ciphertext) % 16:
+        raise WorkloadError(
+            f"ECB ciphertext must be a multiple of 16 bytes, got {len(ciphertext)}"
+        )
+    words = expand_key(key)
+    return b"".join(
+        decrypt_block(ciphertext[i : i + 16], words)
+        for i in range(0, len(ciphertext), 16)
+    )
+
+
+# ----------------------------------------------------------------------
+# The EMR workload
+# ----------------------------------------------------------------------
+
+
+class AesWorkload(Workload):
+    """Bulk AES-256-ECB: chunked plaintext, one shared key.
+
+    Region layout per dataset: ``data`` (a private plaintext chunk —
+    "the AES-256-ECB encryption benchmark only uses data from the block
+    being encrypted", §4.2.2) and ``key`` (the same 32 bytes in every
+    dataset — replication candidate at any threshold <= 100 %).
+    """
+
+    name = "encryption"
+    library_analog = "OpenSSL"
+    paper_replication_strategy = "Replicate key"
+
+    def __init__(self, chunk_bytes: int = 256, chunks: int = 48) -> None:
+        if chunk_bytes % 16 or chunk_bytes <= 0:
+            raise WorkloadError("chunk_bytes must be a positive multiple of 16")
+        self.chunk_bytes = chunk_bytes
+        self.chunks = chunks
+
+    def build(self, rng: np.random.Generator, scale: int = 1) -> WorkloadSpec:
+        n_chunks = self.chunks * scale
+        plaintext = rng.integers(0, 256, n_chunks * self.chunk_bytes, dtype=np.uint8)
+        key = rng.integers(0, 256, 32, dtype=np.uint8).tobytes()
+        key_ref = RegionRef("key", 0, 32)
+        datasets = [
+            DatasetSpec(
+                index=i,
+                regions={
+                    "data": RegionRef("plaintext", i * self.chunk_bytes, self.chunk_bytes),
+                    "key": key_ref,
+                },
+            )
+            for i in range(n_chunks)
+        ]
+        return WorkloadSpec(
+            name=self.name,
+            blobs={"plaintext": plaintext.tobytes(), "key": key},
+            datasets=datasets,
+            output_size=self.chunk_bytes,
+        )
+
+    def run_job(self, inputs: "dict[str, bytes]", params: "dict[str, object]") -> bytes:
+        return ecb_encrypt(inputs["data"], inputs["key"])
+
+    def instructions_per_job(self, dataset: DatasetSpec) -> int:
+        # ~1100 instructions per byte for table-free software AES-256.
+        return dataset.regions["data"].length * 1100

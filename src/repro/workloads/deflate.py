@@ -1,0 +1,349 @@
+"""DEFLATE-style compression from scratch (the paper's Zlib analog).
+
+A real LZ77 matcher (hash-chain search, 3..258-byte matches, 32 KiB
+window) feeding a canonical Huffman coder, plus the matching
+decompressor so tests can prove lossless roundtrips.
+
+Why it matters to EMR: "the DEFLATE algorithm in our compression
+benchmark relies on data from the block directly preceding it"
+(§4.2.2) — each job's dataset includes its predecessor block as the
+LZ77 dictionary, so *adjacent datasets always conflict*. The conflict
+graph is a chain, there is no common block shared by >1 % of datasets,
+and the optimal replication strategy is "No replication" (Table 5).
+
+Container format (little-endian):
+
+* ``u32`` uncompressed length
+* ``u16`` symbol count table length, then canonical code lengths for
+  the 258-symbol alphabet (0-255 literals, 256 match marker, 257 EOF)
+* Huffman-coded symbol stream; each match marker is followed by 8 raw
+  bits of (length - 3) and 15 raw bits of distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import DatasetSpec, RegionRef, Workload, WorkloadSpec
+
+_MIN_MATCH = 3
+_MAX_MATCH = 258
+_WINDOW = 1 << 15
+_MATCH_SYMBOL = 256
+_EOF_SYMBOL = 257
+_ALPHABET = 258
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_count = 0
+        self._accumulator = 0
+
+    def write(self, value: int, n_bits: int) -> None:
+        for shift in range(n_bits - 1, -1, -1):
+            self._accumulator = (self._accumulator << 1) | ((value >> shift) & 1)
+            self._bit_count += 1
+            if self._bit_count == 8:
+                self._bytes.append(self._accumulator)
+                self._accumulator = 0
+                self._bit_count = 0
+
+    def getvalue(self) -> bytes:
+        if self._bit_count:
+            return bytes(self._bytes) + bytes(
+                [self._accumulator << (8 - self._bit_count)]
+            )
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """MSB-first bit consumer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, n_bits: int) -> int:
+        value = 0
+        for _ in range(n_bits):
+            byte_index, bit_index = divmod(self._pos, 8)
+            if byte_index >= len(self._data):
+                raise WorkloadError("bit stream underrun")
+            bit = (self._data[byte_index] >> (7 - bit_index)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+
+# ----------------------------------------------------------------------
+# Canonical Huffman coding
+# ----------------------------------------------------------------------
+
+
+def code_lengths_from_frequencies(freqs: "list[int]") -> "list[int]":
+    """Huffman code lengths (0 = unused symbol) via a heap-built tree."""
+    live = [(f, i) for i, f in enumerate(freqs) if f > 0]
+    if not live:
+        raise WorkloadError("no symbols to code")
+    if len(live) == 1:
+        lengths = [0] * len(freqs)
+        lengths[live[0][1]] = 1
+        return lengths
+    heap = [(f, count, [i]) for count, (f, i) in enumerate(live)]
+    heapq.heapify(heap)
+    tiebreak = len(heap)
+    lengths = [0] * len(freqs)
+    while len(heap) > 1:
+        fa, _, sa = heapq.heappop(heap)
+        fb, _, sb = heapq.heappop(heap)
+        for symbol in sa + sb:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (fa + fb, tiebreak, sa + sb))
+        tiebreak += 1
+    return lengths
+
+
+def canonical_codes(lengths: "list[int]") -> "dict[int, tuple]":
+    """Map symbol -> (code, length) in canonical order."""
+    symbols = sorted(
+        (length, symbol) for symbol, length in enumerate(lengths) if length > 0
+    )
+    codes: dict = {}
+    code = 0
+    previous_length = 0
+    for length, symbol in symbols:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+class CanonicalDecoder:
+    """Length-indexed canonical Huffman decoder."""
+
+    def __init__(self, lengths: "list[int]") -> None:
+        self._by_length: "dict[int, dict]" = {}
+        for symbol, (code, length) in canonical_codes(lengths).items():
+            self._by_length.setdefault(length, {})[code] = symbol
+        if not self._by_length:
+            raise WorkloadError("empty code table")
+        self._max_length = max(self._by_length)
+
+    def decode(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, self._max_length + 1):
+            code = (code << 1) | reader.read(1)
+            table = self._by_length.get(length)
+            if table is not None and code in table:
+                return table[code]
+        raise WorkloadError("invalid Huffman code in stream")
+
+
+# ----------------------------------------------------------------------
+# LZ77
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Token:
+    """Either a literal (``length == 0``) or a match."""
+
+    literal: int = 0
+    length: int = 0
+    distance: int = 0
+
+
+def lz77_tokens(data: bytes, start: int = 0, max_chain: int = 32) -> "list[Token]":
+    """Tokenize ``data[start:]``; matches may reach back into
+    ``data[:start]`` (the preset dictionary)."""
+    head: "dict[int, int]" = {}
+    prev = [0] * len(data)
+
+    def key_at(i: int) -> int:
+        return data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+
+    # Index the dictionary prefix.
+    for i in range(max(0, start - _WINDOW), max(0, start - _MIN_MATCH + 1)):
+        k = key_at(i)
+        prev[i] = head.get(k, -1)
+        head[k] = i
+
+    tokens: "list[Token]" = []
+    i = start
+    n = len(data)
+    while i < n:
+        best_length = 0
+        best_distance = 0
+        if i + _MIN_MATCH <= n:
+            k = key_at(i) if i + 2 < n else -1
+            candidate = head.get(k, -1) if k >= 0 else -1
+            chain = 0
+            while candidate >= 0 and chain < max_chain and i - candidate <= _WINDOW:
+                length = 0
+                limit = min(_MAX_MATCH, n - i)
+                while length < limit and data[candidate + length] == data[i + length]:
+                    length += 1
+                if length > best_length:
+                    best_length = length
+                    best_distance = i - candidate
+                    if length >= limit:
+                        break
+                candidate = prev[candidate]
+                chain += 1
+        if best_length >= _MIN_MATCH:
+            tokens.append(Token(length=best_length, distance=best_distance))
+            stop = min(i + best_length, n - 2)
+            for j in range(i, stop):
+                k = key_at(j)
+                prev[j] = head.get(k, -1)
+                head[k] = j
+            i += best_length
+        else:
+            tokens.append(Token(literal=data[i]))
+            if i + 2 < n:
+                k = key_at(i)
+                prev[i] = head.get(k, -1)
+                head[k] = i
+            i += 1
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Container
+# ----------------------------------------------------------------------
+
+
+def compress(data: bytes, dictionary: bytes = b"") -> bytes:
+    """Compress ``data``, optionally preset with ``dictionary``."""
+    combined = dictionary + data
+    tokens = lz77_tokens(combined, start=len(dictionary))
+    freqs = [0] * _ALPHABET
+    for token in tokens:
+        if token.length:
+            freqs[_MATCH_SYMBOL] += 1
+        else:
+            freqs[token.literal] += 1
+    freqs[_EOF_SYMBOL] += 1
+    lengths = code_lengths_from_frequencies(freqs)
+    codes = canonical_codes(lengths)
+
+    writer = BitWriter()
+    for token in tokens:
+        if token.length:
+            code, width = codes[_MATCH_SYMBOL]
+            writer.write(code, width)
+            writer.write(token.length - _MIN_MATCH, 8)
+            writer.write(token.distance, 15)
+        else:
+            code, width = codes[token.literal]
+            writer.write(code, width)
+    code, width = codes[_EOF_SYMBOL]
+    writer.write(code, width)
+    payload = writer.getvalue()
+
+    header = len(data).to_bytes(4, "little")
+    table = bytes(lengths)
+    return header + table + payload
+
+
+def decompress(blob: bytes, dictionary: bytes = b"") -> bytes:
+    """Inverse of :func:`compress` (same dictionary required)."""
+    if len(blob) < 4 + _ALPHABET:
+        raise WorkloadError("compressed blob too short")
+    expected = int.from_bytes(blob[:4], "little")
+    lengths = list(blob[4 : 4 + _ALPHABET])
+    decoder = CanonicalDecoder(lengths)
+    reader = BitReader(blob[4 + _ALPHABET :])
+    out = bytearray(dictionary)
+    base = len(dictionary)
+    while True:
+        symbol = decoder.decode(reader)
+        if symbol == _EOF_SYMBOL:
+            break
+        if symbol == _MATCH_SYMBOL:
+            length = reader.read(8) + _MIN_MATCH
+            distance = reader.read(15)
+            if distance == 0 or distance > len(out):
+                raise WorkloadError("corrupt match distance")
+            for _ in range(length):
+                out.append(out[-distance])
+        else:
+            out.append(symbol)
+    result = bytes(out[base:])
+    if len(result) != expected:
+        raise WorkloadError(
+            f"decompressed {len(result)} bytes, header said {expected}"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# The EMR workload
+# ----------------------------------------------------------------------
+
+
+def make_compressible(rng: np.random.Generator, size: int) -> bytes:
+    """Telemetry-log-like data: repetitive tokens with noise."""
+    vocabulary = [
+        b"TEMP=%03d " % v for v in range(20, 30)
+    ] + [b"VOLT=5.02 ", b"MODE=IDLE ", b"MODE=SCAN ", b"SEQ=%05d\n" % 0]
+    out = bytearray()
+    while len(out) < size:
+        out += vocabulary[int(rng.integers(0, len(vocabulary)))]
+        if rng.random() < 0.05:
+            out += bytes(rng.integers(0, 256, 4, dtype=np.uint8))
+    return bytes(out[:size])
+
+
+class DeflateWorkload(Workload):
+    """Chunked log compression with preceding-block dictionaries.
+
+    Dataset ``i`` reads blocks ``i-1`` (dictionary) and ``i`` (payload):
+    adjacent datasets share block ``i``'s memory, so the conflict graph
+    is a chain and no region recurs often enough to replicate.
+    """
+
+    name = "compression"
+    library_analog = "Zlib"
+    paper_replication_strategy = "No replication"
+
+    def __init__(self, block_bytes: int = 1024, blocks: int = 24) -> None:
+        if block_bytes <= 0 or blocks < 2:
+            raise WorkloadError("need positive block size and >= 2 blocks")
+        self.block_bytes = block_bytes
+        self.blocks = blocks
+
+    def build(self, rng: np.random.Generator, scale: int = 1) -> WorkloadSpec:
+        n_blocks = self.blocks * scale
+        data = make_compressible(rng, n_blocks * self.block_bytes)
+        datasets = []
+        for i in range(n_blocks):
+            regions = {
+                "block": RegionRef("logdata", i * self.block_bytes, self.block_bytes)
+            }
+            if i > 0:
+                regions["dictionary"] = RegionRef(
+                    "logdata", (i - 1) * self.block_bytes, self.block_bytes
+                )
+            datasets.append(DatasetSpec(index=i, regions=regions))
+        return WorkloadSpec(
+            name=self.name,
+            blobs={"logdata": data},
+            datasets=datasets,
+            # Worst case: incompressible block + container overhead.
+            output_size=self.block_bytes + self.block_bytes // 4 + 4 + _ALPHABET + 64,
+        )
+
+    def run_job(self, inputs: "dict[str, bytes]", params: "dict[str, object]") -> bytes:
+        return compress(inputs["block"], dictionary=inputs.get("dictionary", b""))
+
+    def instructions_per_job(self, dataset: DatasetSpec) -> int:
+        return dataset.regions["block"].length * 260

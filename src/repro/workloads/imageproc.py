@@ -1,0 +1,158 @@
+"""Global-localization template matching (the paper's OpenCV analog).
+
+This is the paper's guiding example (§3.2, Fig 6): "every possible
+N-by-N pixel subset of a large global map is matched against a local
+map" to localize a rover. Each candidate window is a dataset; windows
+that share even one pixel conflict ("each N-by-N-pixel dataset has up
+to N² conflicting datasets"), while the *search template* appears in
+every dataset and is the replication winner ("the image processing
+workload worked best when the full image is not replicated, but the
+image to be matched was", §4.2.4 / Fig 9).
+
+A window's memory footprint is one region per image row — N short
+regions, not one big span — so the conflict graph matches the real 2-D
+overlap structure.
+
+The matcher computes zero-mean normalized cross-correlation (NCC) plus
+the sum of absolute differences (SAD), both from the raw bytes the
+executor fetched; a single flipped cached pixel changes the score.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import DatasetSpec, RegionRef, Workload, WorkloadSpec
+
+
+def make_terrain(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    """Synthetic Jezero-crater-like terrain: smoothed multi-scale noise."""
+    image = np.zeros((height, width))
+    for scale in (4, 8, 16):
+        coarse = rng.normal(
+            size=(max(2, height // scale + 1), max(2, width // scale + 1))
+        )
+        rows = np.linspace(0, coarse.shape[0] - 1, height)
+        cols = np.linspace(0, coarse.shape[1] - 1, width)
+        r0 = np.floor(rows).astype(int)
+        c0 = np.floor(cols).astype(int)
+        r1 = np.minimum(r0 + 1, coarse.shape[0] - 1)
+        c1 = np.minimum(c0 + 1, coarse.shape[1] - 1)
+        fr = (rows - r0)[:, None]
+        fc = (cols - c0)[None, :]
+        interpolated = (
+            coarse[np.ix_(r0, c0)] * (1 - fr) * (1 - fc)
+            + coarse[np.ix_(r1, c0)] * fr * (1 - fc)
+            + coarse[np.ix_(r0, c1)] * (1 - fr) * fc
+            + coarse[np.ix_(r1, c1)] * fr * fc
+        )
+        image += interpolated * scale
+    image -= image.min()
+    image *= 255.0 / max(image.max(), 1e-9)
+    return image.astype(np.uint8)
+
+
+def match_scores(window: np.ndarray, template: np.ndarray) -> "tuple[float, float]":
+    """(NCC, SAD) between same-shape uint8 arrays."""
+    if window.shape != template.shape:
+        raise WorkloadError(
+            f"window {window.shape} vs template {template.shape}"
+        )
+    w = window.astype(np.float64)
+    t = template.astype(np.float64)
+    wc = w - w.mean()
+    tc = t - t.mean()
+    denom = np.sqrt((wc * wc).sum() * (tc * tc).sum())
+    ncc = float((wc * tc).sum() / denom) if denom > 0 else 0.0
+    sad = float(np.abs(w - t).sum())
+    return ncc, sad
+
+
+class ImageProcessingWorkload(Workload):
+    """Template search over a terrain map at a configurable stride."""
+
+    name = "image_processing"
+    library_analog = "OpenCV"
+    paper_replication_strategy = "Replicate match image"
+
+    def __init__(
+        self,
+        map_size: int = 96,
+        template_size: int = 24,
+        stride: int = 12,
+    ) -> None:
+        if template_size >= map_size:
+            raise WorkloadError("template must be smaller than the map")
+        if stride <= 0:
+            raise WorkloadError("stride must be positive")
+        self.map_size = map_size
+        self.template_size = template_size
+        self.stride = stride
+
+    def _window_origins(self, map_size: int) -> "list[tuple[int, int]]":
+        limit = map_size - self.template_size
+        steps = range(0, limit + 1, self.stride)
+        return [(r, c) for r in steps for c in steps]
+
+    def build(self, rng: np.random.Generator, scale: int = 1) -> WorkloadSpec:
+        map_size = self.map_size * scale
+        terrain = make_terrain(rng, map_size, map_size)
+        # The template is a real crop (plus sensor noise), so exactly
+        # one window is the right answer.
+        n = self.template_size
+        true_row = int(rng.integers(0, map_size - n + 1))
+        true_col = int(rng.integers(0, map_size - n + 1))
+        template = terrain[true_row : true_row + n, true_col : true_col + n].astype(int)
+        template = np.clip(
+            template + rng.normal(0, 2.0, template.shape), 0, 255
+        ).astype(np.uint8)
+
+        template_ref = RegionRef("template", 0, n * n)
+        datasets = []
+        for index, (row, col) in enumerate(self._window_origins(map_size)):
+            regions = {"template": template_ref}
+            for window_row in range(n):
+                offset = (row + window_row) * map_size + col
+                regions[f"row{window_row}"] = RegionRef("map", offset, n)
+            datasets.append(
+                DatasetSpec(
+                    index=index,
+                    regions=regions,
+                    params={"row": row, "col": col, "n": n},
+                )
+            )
+        return WorkloadSpec(
+            name=self.name,
+            blobs={"map": terrain.tobytes(), "template": template.tobytes()},
+            datasets=datasets,
+            output_size=24,
+        )
+
+    def run_job(self, inputs: "dict[str, bytes]", params: "dict[str, object]") -> bytes:
+        n = int(params["n"])
+        rows = [
+            np.frombuffer(inputs[f"row{r}"], dtype=np.uint8) for r in range(n)
+        ]
+        window = np.stack(rows)
+        template = np.frombuffer(inputs["template"], dtype=np.uint8).reshape(n, n)
+        ncc, sad = match_scores(window, template)
+        return struct.pack("<ddII", ncc, sad, int(params["row"]), int(params["col"]))
+
+    def instructions_per_job(self, dataset: DatasetSpec) -> int:
+        n = int(dataset.params["n"])
+        # NCC + SAD per pixel: loads, two centred multiplies, running
+        # sums, plus the normalization epilogue.
+        return n * n * 55
+
+    @staticmethod
+    def best_match(outputs: "list[bytes]") -> "tuple[float, int, int]":
+        """Pick the (ncc, row, col) of the winning window."""
+        best = (-2.0, -1, -1)
+        for blob in outputs:
+            ncc, _sad, row, col = struct.unpack("<ddII", blob)
+            if ncc > best[0]:
+                best = (ncc, row, col)
+        return best

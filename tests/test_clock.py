@@ -1,0 +1,65 @@
+"""Direct tests for the simulated clock and stopwatch."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(15.0)
+        assert clock.now == 15.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestStopwatch:
+    def test_start_stop_accumulates(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        watch.start("compute")
+        clock.advance(3.0)
+        assert watch.stop("compute") == 3.0
+        watch.start("compute")
+        clock.advance(1.0)
+        watch.stop("compute")
+        assert watch.total("compute") == 4.0
+        assert watch.breakdown() == {"compute": 4.0}
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch(SimClock())
+        watch.start("x")
+        with pytest.raises(SimulationError):
+            watch.start("x")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(SimulationError):
+            Stopwatch(SimClock()).stop("ghost")
+
+    def test_add_direct(self):
+        watch = Stopwatch(SimClock())
+        watch.add("disk", 1.5)
+        watch.add("disk", 0.5)
+        assert watch.total("disk") == 2.0
+        with pytest.raises(SimulationError):
+            watch.add("disk", -1.0)
+
+    def test_unknown_label_total_zero(self):
+        assert Stopwatch(SimClock()).total("nothing") == 0.0

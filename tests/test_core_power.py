@@ -1,0 +1,180 @@
+"""Tests for cores, DVFS, the power model, sensor, and perf counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, HardwareDamagedError
+from repro.sim import (
+    Core,
+    CoreSpec,
+    CurrentSensor,
+    EnergyMeter,
+    OndemandGovernor,
+    PerfCounterSampler,
+    PowerModel,
+    SensorParams,
+    feature_names,
+    n_features,
+)
+
+
+class TestCore:
+    def test_execute_advances_counters_and_time(self):
+        core = Core(0)
+        cost = core.execute(1_000_000, l1_hits=100, memory_fills=10)
+        assert cost.seconds > 0
+        assert core.counters.instructions == 1_000_000
+        assert core.counters.cache_hits == 100
+        assert core.busy_seconds == pytest.approx(cost.seconds)
+
+    def test_higher_freq_is_faster(self):
+        spec = CoreSpec()
+        slow, fast = Core(0, spec), Core(1, spec)
+        fast.set_freq(spec.max_freq)
+        assert fast.execute(10**6).seconds < slow.execute(10**6).seconds
+
+    def test_invalid_freq_rejected(self):
+        core = Core(0)
+        with pytest.raises(ConfigurationError):
+            core.set_freq(123.0)
+
+    def test_damaged_core_refuses_work(self):
+        core = Core(0)
+        core.damaged = True
+        with pytest.raises(HardwareDamagedError):
+            core.execute(100)
+
+    def test_reset_faults_clears_poison_not_damage(self):
+        core = Core(0)
+        core.poisoned = True
+        core.damaged = True
+        core.reset_faults()
+        assert not core.poisoned and core.damaged
+
+    def test_branch_misses_cost_cycles(self):
+        clean = Core(0).execute(10**6, branch_miss_rate=0.0)
+        missy = Core(1).execute(10**6, branch_miss_rate=0.5)
+        assert missy.cycles > clean.cycles
+
+
+class TestGovernor:
+    def test_steady_state_extremes(self):
+        gov = OndemandGovernor()
+        assert gov.steady_state_freq(0.0) == gov.spec.min_freq
+        assert gov.steady_state_freq(1.0) == gov.spec.max_freq
+
+    def test_steady_state_monotone(self):
+        gov = OndemandGovernor()
+        freqs = [gov.steady_state_freq(u) for u in np.linspace(0, 1, 21)]
+        assert freqs == sorted(freqs)
+
+    def test_array_matches_scalar(self):
+        gov = OndemandGovernor()
+        utils = np.linspace(0, 1, 11)
+        array = gov.steady_state_freq_array(utils)
+        scalar = [gov.steady_state_freq(u) for u in utils]
+        assert np.allclose(array, scalar)
+
+    def test_bad_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            OndemandGovernor(up_threshold=0.2, down_threshold=0.5)
+
+
+class TestPowerModel:
+    def test_quiescent_in_paper_range(self):
+        model = PowerModel()
+        quiescent = model.quiescent_current(4, 600e6)
+        assert 1.6 < quiescent < 1.9  # paper: ~1.7 A
+
+    def test_max_in_paper_range(self):
+        model = PowerModel()
+        assert 4.0 < model.max_current(4) < 5.0  # paper: up to ~4.5 A
+
+    def test_current_monotone_in_utilization(self):
+        model = PowerModel()
+        freq = np.full(4, 1.4e9)
+        currents = [
+            float(model.board_current(np.full(4, u), freq))
+            for u in np.linspace(0, 1, 8)
+        ]
+        assert currents == sorted(currents)
+
+    def test_current_monotone_in_frequency(self):
+        model = PowerModel()
+        util = np.full(4, 0.8)
+        currents = [
+            float(model.board_current(util, np.full(4, f)))
+            for f in np.linspace(600e6, 1.4e9, 9)
+        ]
+        assert currents == sorted(currents)
+
+    def test_vectorized_shapes(self):
+        model = PowerModel()
+        util = np.random.default_rng(0).random((100, 4))
+        freq = np.full((100, 4), 1.0e9)
+        out = model.board_current(util, freq, dram_gbs=np.zeros(100))
+        assert out.shape == (100,)
+
+
+class TestEnergyMeter:
+    def test_idle_energy_scales_with_wall_time(self):
+        meter = EnergyMeter()
+        r1 = meter.measure(10.0, [0.0])
+        r2 = meter.measure(20.0, [0.0])
+        assert r2.idle_joules == pytest.approx(2 * r1.idle_joules)
+
+    def test_busy_cores_add_energy(self):
+        meter = EnergyMeter()
+        idle = meter.measure(10.0, [0.0, 0.0, 0.0])
+        busy = meter.measure(10.0, [10.0, 10.0, 10.0])
+        assert busy.total_joules > idle.total_joules
+
+    def test_rejects_negative(self):
+        meter = EnergyMeter()
+        with pytest.raises(ConfigurationError):
+            meter.measure(-1.0, [0.0])
+        with pytest.raises(ConfigurationError):
+            meter.measure(1.0, [-2.0])
+
+
+class TestSensor:
+    def test_rolling_noise_magnitude(self):
+        sensor = CurrentSensor()
+        rng = np.random.default_rng(1)
+        samples = sensor.sample(np.full(20000, 1.7), rng)
+        # Raw quiescent sigma should land near the paper's 0.14 A.
+        assert 0.08 < samples.std() < 0.25
+        assert (samples >= 0).all()
+
+    def test_quantization(self):
+        sensor = CurrentSensor(SensorParams(noise_sigma=0.0, spike_probability=0.0))
+        rng = np.random.default_rng(2)
+        samples = sensor.sample(np.array([1.23456]), rng)
+        assert samples[0] == pytest.approx(1.235, abs=1e-9)
+
+    def test_oversample_shape(self):
+        sensor = CurrentSensor()
+        rng = np.random.default_rng(3)
+        fine = sensor.oversample(np.ones(100), 4, rng)
+        assert fine.shape == (400,)
+
+
+class TestPerfCounters:
+    def test_feature_names_layout(self):
+        names = feature_names(2)
+        assert len(names) == n_features(2) == 12
+        assert names[0] == "core0.instruction_rate"
+        assert names[-1] == "disk_write_ios"
+
+    def test_sampler_rates(self):
+        cores = [Core(0), Core(1)]
+        sampler = PerfCounterSampler(cores)
+        cores[0].execute(500_000)
+        sampler.note_disk_ios(reads=10)
+        frame = sampler.sample(0.5)
+        assert frame.instruction_rate[0, 0] == pytest.approx(1_000_000)
+        assert frame.instruction_rate[0, 1] == 0
+        assert frame.disk_read_ios[0] == pytest.approx(20.0)
+        # Second sample sees only new work.
+        frame2 = sampler.sample(0.5)
+        assert frame2.instruction_rate[0, 0] == 0

@@ -1,0 +1,153 @@
+"""Tests for the CRÈME-style SEU estimator and PSU overcurrent protection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radiation.creme import (
+    DEEP_SPACE_SPECTRUM,
+    LEO_SPECTRUM,
+    MARS_SURFACE_SPECTRUM,
+    SEA_LEVEL_SPECTRUM,
+    SNAPDRAGON_801,
+    DeviceSensitivity,
+    LetSpectrum,
+    WeibullCrossSection,
+    device_upsets_per_day,
+    estimate_environment_rates,
+    physics_environment,
+    upset_rate_per_bit_day,
+)
+from repro.sim import (
+    CurrentStep,
+    OcpConfig,
+    OvercurrentProtection,
+    TelemetryConfig,
+    TraceGenerator,
+    quiescent_segment,
+)
+
+
+class TestLetSpectrum:
+    def test_flux_zero_outside_range(self):
+        spectrum = LetSpectrum(name="t", amplitude=100.0, slope=2.5)
+        assert spectrum.flux(np.array([0.01]))[0] == 0.0
+        assert spectrum.flux(np.array([500.0]))[0] == 0.0
+        assert spectrum.flux(np.array([1.0]))[0] == 100.0
+
+    def test_integral_flux_closed_form(self):
+        spectrum = LetSpectrum(name="t", amplitude=100.0, slope=2.0,
+                               let_min=1.0, let_max=100.0)
+        # ∫ 100 L^-2 dL from 1 to 100 = 100 (1 - 1/100) = 99.
+        assert spectrum.integral_flux(1.0) == pytest.approx(99.0)
+        assert spectrum.integral_flux(200.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LetSpectrum(name="t", amplitude=1.0, slope=0.5)
+        with pytest.raises(ConfigurationError):
+            LetSpectrum(name="t", amplitude=1.0, slope=2.0, let_min=5, let_max=1)
+
+
+class TestWeibull:
+    def test_zero_below_onset(self):
+        xs = WeibullCrossSection(onset_let=1.0, width=10.0, shape=2.0, sigma_sat=1e-9)
+        assert xs.sigma(np.array([0.5]))[0] == 0.0
+        assert xs.sigma(np.array([1.0]))[0] == 0.0
+
+    def test_saturates(self):
+        xs = WeibullCrossSection(onset_let=1.0, width=5.0, shape=2.0, sigma_sat=1e-9)
+        assert xs.sigma(np.array([100.0]))[0] == pytest.approx(1e-9, rel=1e-3)
+
+    def test_monotone(self):
+        xs = WeibullCrossSection(onset_let=0.5, width=10.0, shape=1.5, sigma_sat=1e-9)
+        lets = np.linspace(0.6, 50, 40)
+        sigmas = xs.sigma(lets)
+        assert np.all(np.diff(sigmas) >= 0)
+
+
+class TestCalibration:
+    """The paper's three anchors must fall out of the physics."""
+
+    def test_mars_rate_matches_creme_number(self):
+        rate = device_upsets_per_day(MARS_SURFACE_SPECTRUM, SNAPDRAGON_801)
+        assert rate == pytest.approx(1.6, rel=0.15)
+
+    def test_sea_level_per_bit_rate(self):
+        rate = upset_rate_per_bit_day(
+            SEA_LEVEL_SPECTRUM, SNAPDRAGON_801.cross_section
+        )
+        assert rate == pytest.approx(2.3e-12, rel=0.2)
+
+    def test_leo_to_sea_level_ratio(self):
+        leo = upset_rate_per_bit_day(LEO_SPECTRUM, SNAPDRAGON_801.cross_section)
+        sea = upset_rate_per_bit_day(SEA_LEVEL_SPECTRUM, SNAPDRAGON_801.cross_section)
+        assert leo / sea == pytest.approx(7e5, rel=0.25)
+
+    def test_deep_space_harshest(self):
+        rates = estimate_environment_rates()
+        assert rates["deep-space"] > rates["low-earth-orbit"] > rates["mars-surface"]
+
+    def test_harder_cell_upsets_less(self):
+        tough = DeviceSensitivity(
+            name="rad-hard",
+            cross_section=WeibullCrossSection(
+                onset_let=15.0, width=30.0, shape=2.0, sigma_sat=1e-10
+            ),
+            sensitive_bits=SNAPDRAGON_801.sensitive_bits,
+        )
+        assert device_upsets_per_day(MARS_SURFACE_SPECTRUM, tough) < 0.05
+
+    def test_physics_environment_factory(self):
+        env = physics_environment("mars-surface", sel_per_year=0.5)
+        assert env.seu_per_day == pytest.approx(1.6, rel=0.15)
+        assert env.sel_per_year == 0.5
+        with pytest.raises(ConfigurationError):
+            physics_environment("venus")
+
+
+class TestOvercurrentProtection:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return TraceGenerator(TelemetryConfig(tick=2e-3))
+
+    def test_classic_sel_trips(self, generator):
+        ocp = OvercurrentProtection(OcpConfig(trip_threshold_amps=4.5))
+        rng = np.random.default_rng(0)
+        trace = generator.generate(
+            [quiescent_segment(30.0)], rng=rng,
+            current_steps=[CurrentStep(start=10.0, delta_amps=4.0)],
+        )
+        trips = ocp.scan(trace)
+        assert trips
+        assert trips[0].time == pytest.approx(10.0, abs=0.2)
+
+    def test_micro_sel_invisible_to_ocp(self, generator):
+        """The division of labour: OCP cannot see what ILD exists for."""
+        ocp = OvercurrentProtection(OcpConfig(trip_threshold_amps=4.5))
+        rng = np.random.default_rng(1)
+        trace = generator.generate(
+            [quiescent_segment(30.0)], rng=rng,
+            current_steps=[CurrentStep(start=10.0, delta_amps=0.07)],
+        )
+        assert ocp.scan(trace) == []
+
+    def test_transient_spikes_ride_through(self, generator):
+        """Microsecond spikes must not trip the breaker (blanking)."""
+        ocp = OvercurrentProtection(
+            OcpConfig(trip_threshold_amps=3.2, blanking_seconds=0.05)
+        )
+        rng = np.random.default_rng(2)
+        trace = generator.generate([quiescent_segment(60.0)], rng=rng)
+        # Sensor spikes reach 1.2 A over ~1.8 A baseline = 3.0 A < wait,
+        # isolated samples above threshold exist but never sustain.
+        assert ocp.scan(trace) == []
+
+    def test_would_trip_on(self):
+        ocp = OvercurrentProtection(OcpConfig(trip_threshold_amps=5.5))
+        assert ocp.would_trip_on(delta_amps=1.2, baseline_amps=4.6)
+        assert not ocp.would_trip_on(delta_amps=0.07, baseline_amps=1.8)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            OcpConfig(trip_threshold_amps=0.0)

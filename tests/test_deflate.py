@@ -1,0 +1,160 @@
+"""Compression correctness: roundtrips, dictionaries, Huffman internals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.deflate import (
+    BitReader,
+    BitWriter,
+    CanonicalDecoder,
+    DeflateWorkload,
+    canonical_codes,
+    code_lengths_from_frequencies,
+    compress,
+    decompress,
+    lz77_tokens,
+    make_compressible,
+)
+
+
+class TestBitIo:
+    def test_roundtrip(self):
+        writer = BitWriter()
+        values = [(5, 3), (1, 1), (1023, 10), (0, 4), (77, 7)]
+        for value, width in values:
+            writer.write(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in values:
+            assert reader.read(width) == value
+
+    def test_underrun(self):
+        reader = BitReader(b"")
+        with pytest.raises(WorkloadError):
+            reader.read(1)
+
+
+class TestHuffman:
+    def test_kraft_inequality(self):
+        freqs = [10, 3, 1, 1, 0, 25]
+        lengths = code_lengths_from_frequencies(freqs)
+        assert lengths[4] == 0
+        kraft = sum(2.0 ** -length for length in lengths if length)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_frequent_symbols_get_short_codes(self):
+        freqs = [100, 1, 1, 1]
+        lengths = code_lengths_from_frequencies(freqs)
+        assert lengths[0] == min(length for length in lengths if length)
+
+    def test_single_symbol(self):
+        lengths = code_lengths_from_frequencies([0, 7, 0])
+        assert lengths == [0, 1, 0]
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = code_lengths_from_frequencies([5, 5, 5, 5, 2, 2, 1])
+        codes = canonical_codes(lengths)
+        items = [(format(c, f"0{w}b")) for c, w in codes.values()]
+        for i, a in enumerate(items):
+            for j, b in enumerate(items):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_decoder_roundtrip(self):
+        freqs = [8, 4, 2, 1, 1]
+        lengths = code_lengths_from_frequencies(freqs)
+        codes = canonical_codes(lengths)
+        writer = BitWriter()
+        message = [0, 1, 2, 3, 4, 0, 0, 2]
+        for symbol in message:
+            code, width = codes[symbol]
+            writer.write(code, width)
+        decoder = CanonicalDecoder(lengths)
+        reader = BitReader(writer.getvalue())
+        assert [decoder.decode(reader) for _ in message] == message
+
+
+class TestLz77:
+    def test_finds_repeats(self):
+        tokens = lz77_tokens(b"abcabcabcabc")
+        assert any(t.length >= 3 for t in tokens)
+
+    def test_dictionary_matches(self):
+        data = b"0123456789" + b"0123456789"
+        tokens = lz77_tokens(data, start=10)
+        assert tokens[0].length == 10 and tokens[0].distance == 10
+
+    def test_no_match_in_random(self):
+        rng = np.random.default_rng(0)
+        data = bytes(rng.integers(0, 256, 64, dtype=np.uint8))
+        tokens = lz77_tokens(data)
+        reconstructed = bytearray()
+        for token in tokens:
+            if token.length:
+                for _ in range(token.length):
+                    reconstructed.append(reconstructed[-token.distance])
+            else:
+                reconstructed.append(token.literal)
+        assert bytes(reconstructed) == data
+
+
+class TestContainer:
+    def test_compresses_logs(self):
+        data = make_compressible(np.random.default_rng(1), 8192)
+        blob = compress(data)
+        assert len(blob) < len(data) // 2
+        assert decompress(blob) == data
+
+    def test_dictionary_improves_ratio(self):
+        rng = np.random.default_rng(2)
+        data = make_compressible(rng, 2048)
+        with_dict = compress(data[1024:], dictionary=data[:1024])
+        without = compress(data[1024:])
+        assert len(with_dict) <= len(without)
+        assert decompress(with_dict, dictionary=data[:1024]) == data[1024:]
+
+    def test_wrong_dictionary_detected_or_wrong(self):
+        rng = np.random.default_rng(3)
+        data = make_compressible(rng, 2048)
+        blob = compress(data[1024:], dictionary=data[:1024])
+        try:
+            wrong = decompress(blob, dictionary=bytes(1024))
+        except WorkloadError:
+            return
+        assert wrong != data[1024:]
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_arbitrary(self, data):
+        if not data:
+            return  # empty input has no symbols to code
+        assert decompress(compress(data)) == data
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(WorkloadError):
+            decompress(b"123")
+
+
+class TestWorkload:
+    def test_adjacent_datasets_share_block(self):
+        spec = DeflateWorkload(block_bytes=256, blocks=4).build(np.random.default_rng(4))
+        for i in range(1, len(spec.datasets)):
+            prev_block = spec.datasets[i - 1].regions["block"]
+            dictionary = spec.datasets[i].regions["dictionary"]
+            assert dictionary == prev_block
+
+    def test_outputs_decompress(self):
+        workload = DeflateWorkload(block_bytes=256, blocks=4)
+        spec = workload.build(np.random.default_rng(5))
+        outputs = workload.reference_outputs(spec)
+        for ds, output in zip(spec.datasets, outputs):
+            inputs = spec.slice_inputs(ds)
+            assert decompress(output, dictionary=inputs.get("dictionary", b"")) == inputs["block"]
+
+    def test_output_size_bound_holds(self):
+        workload = DeflateWorkload(block_bytes=512, blocks=6)
+        spec = workload.build(np.random.default_rng(6))
+        for output in workload.reference_outputs(spec):
+            assert len(output) <= spec.output_size

@@ -1,0 +1,132 @@
+"""Unit and property tests for the SECDED Hamming(72,64) codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ecc
+
+WORDS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestScalarRoundtrip:
+    def test_zero_word(self):
+        check = ecc.encode(0)
+        result = ecc.decode(0, check)
+        assert result.data == 0
+        assert result.clean
+
+    def test_all_ones(self):
+        word = (1 << 64) - 1
+        check = ecc.encode(word)
+        result = ecc.decode(word, check)
+        assert result.data == word
+        assert result.clean
+
+    @given(WORDS)
+    @settings(max_examples=200)
+    def test_roundtrip_is_clean(self, word):
+        result = ecc.decode(word, ecc.encode(word))
+        assert result.data == word
+        assert not result.corrected
+        assert not result.uncorrectable
+
+
+class TestSingleBitCorrection:
+    @given(WORDS, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=200)
+    def test_any_data_bit_flip_is_corrected(self, word, bit):
+        check = ecc.encode(word)
+        corrupted = word ^ (1 << bit)
+        result = ecc.decode(corrupted, check)
+        assert result.corrected
+        assert not result.uncorrectable
+        assert result.data == word
+
+    @given(WORDS, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100)
+    def test_any_check_bit_flip_leaves_data_intact(self, word, bit):
+        check = ecc.encode(word) ^ (1 << bit)
+        result = ecc.decode(word, check)
+        assert result.corrected
+        assert not result.uncorrectable
+        assert result.data == word
+
+
+class TestDoubleBitDetection:
+    @given(
+        WORDS,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=200)
+    def test_two_data_bit_flips_are_detected(self, word, b1, b2):
+        if b1 == b2:
+            return
+        check = ecc.encode(word)
+        corrupted = word ^ (1 << b1) ^ (1 << b2)
+        result = ecc.decode(corrupted, check)
+        assert result.uncorrectable
+        assert not result.corrected
+
+    @given(
+        WORDS,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=100)
+    def test_one_data_plus_one_check_flip_is_detected(self, word, data_bit, check_bit):
+        check = ecc.encode(word) ^ (1 << check_bit)
+        corrupted = word ^ (1 << data_bit)
+        result = ecc.decode(corrupted, check)
+        assert result.uncorrectable
+
+
+class TestVectorized:
+    def test_encode_array_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 1 << 63, size=64, dtype=np.uint64)
+        checks = ecc.encode_array(words)
+        for word, check in zip(words, checks):
+            assert int(check) == ecc.encode(int(word))
+
+    def test_decode_array_clean(self):
+        rng = np.random.default_rng(4)
+        words = rng.integers(0, 1 << 63, size=128, dtype=np.uint64)
+        checks = ecc.encode_array(words)
+        fixed, corrected, uncorrectable = ecc.decode_array(words, checks)
+        assert np.array_equal(fixed, words)
+        assert not corrected.any()
+        assert not uncorrectable.any()
+
+    def test_decode_array_corrects_scattered_single_flips(self):
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 1 << 63, size=100, dtype=np.uint64)
+        checks = ecc.encode_array(words)
+        corrupted = words.copy()
+        flip_indices = [3, 17, 42, 99]
+        for i in flip_indices:
+            corrupted[i] ^= np.uint64(1) << np.uint64(rng.integers(0, 64))
+        fixed, corrected, uncorrectable = ecc.decode_array(corrupted, checks)
+        assert np.array_equal(fixed, words)
+        assert sorted(np.nonzero(corrected)[0].tolist()) == flip_indices
+        assert not uncorrectable.any()
+
+    def test_decode_array_flags_double_flips(self):
+        words = np.array([0xDEADBEEFCAFEF00D], dtype=np.uint64)
+        checks = ecc.encode_array(words)
+        corrupted = words ^ np.uint64((1 << 5) | (1 << 40))
+        _, corrected, uncorrectable = ecc.decode_array(corrupted, checks)
+        assert uncorrectable[0]
+        assert not corrected[0]
+
+
+class TestByteHelpers:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert ecc.words_to_bytes(ecc.bytes_to_words(data)) == data
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            ecc.bytes_to_words(b"abc")

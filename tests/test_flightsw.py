@@ -1,0 +1,225 @@
+"""Tests for the flight-software framework."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.flightsw import (
+    ActivityCost,
+    AttitudeEstimator,
+    CameraManager,
+    Command,
+    CommandDispatcher,
+    Component,
+    DownlinkManager,
+    RateGroupScheduler,
+    Sequencer,
+    TelemetryDb,
+    TickContext,
+    TimedCommand,
+    activity_to_segments,
+    build_frame,
+    flight_schedule,
+    ground_pass_sequence,
+    parse_frame,
+    standard_components,
+)
+
+
+class _CountingComponent(Component):
+    rate_hz = 1.0
+
+    def __init__(self, name="counter", rate_hz=1.0, instructions=1000):
+        super().__init__(name)
+        self.rate_hz = rate_hz
+        self.instructions = instructions
+        self.ticks = 0
+
+    def tick(self, ctx):
+        self.ticks += 1
+        ctx.emit(f"{self.name}.ticks", self.ticks)
+        return ActivityCost(instructions=self.instructions)
+
+
+class TestActivityCost:
+    def test_addition(self):
+        total = ActivityCost(instructions=10, disk_reads=1) + ActivityCost(
+            instructions=5, dram_bytes=7
+        )
+        assert total == ActivityCost(
+            instructions=15, dram_bytes=7, disk_reads=1, disk_writes=0
+        )
+
+
+class TestTelemetryDb:
+    def test_store_and_latest(self):
+        db = TelemetryDb()
+        db.store("a.x", 1.0, 42.0)
+        db.store("a.x", 2.0, 43.0)
+        assert db.latest("a.x").value == 43.0
+        assert len(db.history("a.x")) == 2
+        assert db.channels() == ("a.x",)
+
+    def test_ring_bounded(self):
+        db = TelemetryDb(history_per_channel=3)
+        for i in range(10):
+            db.store("c", float(i), float(i))
+        history = db.history("c")
+        assert len(history) == 3
+        assert history[0].value == 7.0
+
+    def test_missing_channel(self):
+        db = TelemetryDb()
+        assert db.latest("nope") is None
+        assert db.history("nope") == ()
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        db = TelemetryDb()
+        db.store("power.bus_current_a", 10.0, 1.82)
+        db.store("thermal.plate_temp_c", 10.5, 21.3)
+        frame = build_frame(db, frame_time=11.0)
+        frame_time, values = parse_frame(frame)
+        assert frame_time == 11.0
+        assert values["power.bus_current_a"] == (10.0, 1.82)
+        assert values["thermal.plate_temp_c"] == (10.5, 21.3)
+
+    def test_corrupted_frame_rejected(self):
+        db = TelemetryDb()
+        db.store("c", 1.0, 2.0)
+        frame = bytearray(build_frame(db, 2.0))
+        frame[8] ^= 0x01  # flip a payload bit (an SEU in the buffer)
+        with pytest.raises(WorkloadError):
+            parse_frame(bytes(frame))
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_frame(b"RS")
+
+
+class TestCommands:
+    def test_dispatch_routes_by_name(self):
+        adcs = AttitudeEstimator()
+        dispatcher = CommandDispatcher([adcs])
+        ok = dispatcher.dispatch(Command("adcs", "SLEW", {"seconds": 5}))
+        assert ok.ok
+        bad = dispatcher.dispatch(Command("adcs", "WARP", {}))
+        assert not bad.ok and "unknown opcode" in bad.message
+        missing = dispatcher.dispatch(Command("ghost", "X"))
+        assert not missing.ok
+        assert len(dispatcher.log) == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommandDispatcher([AttitudeEstimator(), AttitudeEstimator()])
+
+    def test_sequencer_fires_in_order(self):
+        camera = CameraManager()
+        dispatcher = CommandDispatcher([camera])
+        sequencer = Sequencer(
+            dispatcher,
+            [
+                TimedCommand(10.0, Command("camera", "CAPTURE", {"frames": 1})),
+                TimedCommand(5.0, Command("camera", "CAPTURE", {"frames": 1})),
+            ],
+        )
+        assert sequencer.pending == 2
+        assert sequencer.advance_to(4.0) == []
+        fired = sequencer.advance_to(10.0)
+        assert len(fired) == 2 and all(r.ok for r in fired)
+        assert camera.captures == 2
+
+    def test_bad_command_args(self):
+        camera = CameraManager()
+        response = CommandDispatcher([camera]).dispatch(
+            Command("camera", "CAPTURE", {"frames": 0})
+        )
+        assert not response.ok
+
+
+class TestScheduler:
+    def test_rates_respected(self):
+        fast = _CountingComponent("fast", rate_hz=10.0)
+        slow = _CountingComponent("slow", rate_hz=1.0)
+        scheduler = RateGroupScheduler([fast, slow], base_rate_hz=10.0)
+        result = scheduler.run(10.0)
+        assert fast.ticks == 100
+        assert slow.ticks == 10
+        assert result.dispatches == 110
+
+    def test_incompatible_rate_rejected(self):
+        odd = _CountingComponent("odd", rate_hz=3.0)
+        with pytest.raises(ConfigurationError):
+            RateGroupScheduler([odd], base_rate_hz=10.0)
+
+    def test_aggregation_intervals(self):
+        component = _CountingComponent(instructions=500)
+        scheduler = RateGroupScheduler([component], base_rate_hz=10.0)
+        result = scheduler.run(5.0)
+        assert len(result.intervals) == 5
+        assert result.total_cost.instructions == 500 * 5
+
+    def test_disabled_component_skipped(self):
+        component = _CountingComponent()
+        component.enabled = False
+        RateGroupScheduler([component], base_rate_hz=10.0).run(3.0)
+        assert component.ticks == 0
+
+
+class TestProfileBridge:
+    def test_segments_cover_duration(self):
+        segments, _ = flight_schedule(300.0, rng=np.random.default_rng(0))
+        assert sum(s.duration for s in segments) == pytest.approx(300.0)
+
+    def test_idle_intervals_marked_quiescent(self):
+        segments, _ = flight_schedule(
+            240.0, rng=np.random.default_rng(0), sequence=[]
+        )
+        # With no commands, only housekeeping runs: everything quiescent.
+        assert all(s.quiescent for s in segments)
+
+    def test_pass_creates_bursts(self):
+        sequence = ground_pass_sequence(start=30.0)
+        segments, result = flight_schedule(
+            300.0, rng=np.random.default_rng(0), sequence=sequence
+        )
+        busy = [s for s in segments if not s.quiescent]
+        assert busy
+        # The camera's processing burst should drive multiple cores.
+        assert max(sum(s.core_util) for s in busy) > 1.5
+        # Commands landed and telemetry recorded the capture backlog.
+        # (The 10 Hz slew channel's ring has already wrapped past the
+        # early slew; the 1 Hz camera queue keeps the whole span.)
+        queue = result.telemetry.history("camera.queue_depth")
+        assert any(sample.value > 0 for sample in queue)
+
+    def test_util_capped_at_one(self):
+        segments, _ = flight_schedule(240.0, rng=np.random.default_rng(1))
+        for segment in segments:
+            assert all(0.0 <= u <= 1.0 for u in segment.core_util)
+
+    def test_standard_components_unique_names(self):
+        names = [c.name for c in standard_components()]
+        assert len(names) == len(set(names))
+
+
+class TestEndToEndWithIld:
+    def test_ild_trains_and_detects_on_flightsw_telemetry(self):
+        from repro.core.ild import train_ild
+        from repro.sim import CurrentStep, TelemetryConfig, TraceGenerator
+
+        rng = np.random.default_rng(0)
+        generator = TraceGenerator(TelemetryConfig(tick=8e-3))
+        train_segments, _ = flight_schedule(900.0, rng=rng)
+        train_trace = generator.generate(train_segments, rng=rng)
+        detector = train_ild(
+            train_trace, max_instruction_rate=generator.max_instruction_rate
+        )
+        flight_segments, _ = flight_schedule(600.0, rng=np.random.default_rng(1))
+        trace = generator.generate(
+            flight_segments, rng=rng,
+            current_steps=[CurrentStep(start=200.0, delta_amps=0.07)],
+        )
+        detections = detector.process(trace)
+        assert detections and detections[0].time - 200.0 < 60.0

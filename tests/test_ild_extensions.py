@@ -1,0 +1,189 @@
+"""Tests for the ILD/EMR extensions: ECC caches, app-signaled
+quiescence, and the telemetry black box."""
+
+import numpy as np
+import pytest
+
+from repro.core.emr import EmrConfig, EmrRuntime
+from repro.core.ild import TelemetryBlackBox, train_ild
+from repro.errors import ConfigurationError, UncorrectableMemoryError
+from repro.sim import (
+    CurrentStep,
+    Machine,
+    MachineSpec,
+    TelemetryConfig,
+    TraceGenerator,
+    quiescent_segment,
+)
+from repro.sim.cache import Cache
+from repro.workloads import AesWorkload, navigation_schedule
+
+
+class TestEccCache:
+    def test_flip_corrected_on_lookup(self):
+        cache = Cache(capacity_lines=8, line_size=64, name="t", ecc=True)
+        cache.fill(5, bytes(64))
+        cache.flip_bit(5, 10, 3)
+        data = cache.lookup(5)
+        assert bytes(data) == bytes(64)
+        assert cache.stats.corrected_errors == 1
+
+    def test_double_flip_same_word_detected(self):
+        cache = Cache(capacity_lines=8, line_size=64, name="t", ecc=True)
+        cache.fill(5, bytes(64))
+        cache.flip_bit(5, 8, 0)
+        cache.flip_bit(5, 9, 1)  # same 8-byte word
+        with pytest.raises(UncorrectableMemoryError):
+            cache.lookup(5)
+
+    def test_non_ecc_cache_stays_corrupt(self):
+        cache = Cache(capacity_lines=8, line_size=64, name="t", ecc=False)
+        cache.fill(5, bytes(64))
+        cache.flip_bit(5, 10, 3)
+        assert bytes(cache.lookup(5)) != bytes(64)
+
+    def test_refill_clears_dirty_state(self):
+        cache = Cache(capacity_lines=8, line_size=64, name="t", ecc=True)
+        cache.fill(5, bytes(64))
+        cache.flip_bit(5, 0, 0)
+        cache.fill(5, b"\xaa" * 64)
+        assert bytes(cache.lookup(5)) == b"\xaa" * 64
+        assert cache.stats.corrected_errors == 0
+
+    def test_emr_reverts_to_parallel_3mr(self):
+        machine = Machine(MachineSpec(cache_ecc=True))
+        workload = AesWorkload(chunk_bytes=64, chunks=8)
+        spec = workload.build(np.random.default_rng(0))
+        runtime = EmrRuntime(
+            machine, workload, config=EmrConfig(replication_threshold=0.2)
+        )
+        assert runtime.cache_protected
+        jobsets = runtime.plan(spec)
+        assert len(jobsets) == 1  # one big jobset: plain parallel 3-MR
+        assert len(jobsets[0]) == 24
+        result = runtime.run()
+        assert result.matches(workload.reference_outputs(spec))
+        assert result.stats.flushed_lines == 0
+        assert result.stats.replicated_bytes == 0
+
+    def test_ecc_cache_machine_survives_l2_strike(self):
+        from repro.core.emr.runtime import EmrHooks
+        from repro.radiation.seu import flip_l2
+
+        machine = Machine(MachineSpec(cache_ecc=True))
+        workload = AesWorkload(chunk_bytes=64, chunks=6)
+        spec = workload.build(np.random.default_rng(1))
+        golden = workload.reference_outputs(spec)
+        rng = np.random.default_rng(2)
+
+        class Strike(EmrHooks):
+            fired = 0
+
+            def before_job(self, runtime, job):
+                if self.fired < 3 and machine.caches.l2.resident_lines:
+                    flip_l2(machine, rng)
+                    self.fired += 1
+
+        runtime = EmrRuntime(
+            machine, workload,
+            config=EmrConfig(replication_threshold=0.2), hooks=Strike(),
+        )
+        result = runtime.run(spec=spec)
+        assert result.matches(golden)
+
+
+class TestAppSignaledQuiescence:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.core.ild import IldConfig, IldDetector
+        from repro.sim import ActivitySegment
+
+        generator = TraceGenerator(TelemetryConfig(tick=2e-3))
+        rng = np.random.default_rng(0)
+        # Ground training covers the app's moderate-load profile too
+        # (the operator knows which programs will fly), with a wide
+        # quiescence gate so the model learns that regime.
+        moderate = ActivitySegment(
+            duration=120.0, core_util=(0.45,) * 4, dram_gbs=0.2,
+            label="app-steady",
+        )
+        segments = navigation_schedule(480, rng=rng) + [moderate]
+        train = generator.generate(segments, rng=rng)
+        ground = train_ild(
+            train,
+            config=IldConfig(quiescence_utilization=0.5),
+            max_instruction_rate=generator.max_instruction_rate,
+        )
+        # Flight detector: the same model behind the conservative gate.
+        flight = IldDetector(
+            ground.model, generator.max_instruction_rate, IldConfig()
+        )
+        return generator, flight, moderate
+
+    def test_signal_extends_detection_into_moderate_load(self, setup):
+        generator, detector, moderate = setup
+        # The app runs steady moderate load — above the CPU-load gate —
+        # and signals that it is not processing anything critical.
+        rng = np.random.default_rng(1)
+        trace = generator.generate(
+            [moderate], rng=rng,
+            current_steps=[CurrentStep(start=20.0, delta_amps=0.09)],
+        )
+        detector.reset()
+        assert detector.process(trace) == []  # load gate rejects everything
+        detector.reset()
+        signal = np.ones(trace.n_ticks, dtype=bool)
+        detections = detector.process(trace, app_quiescent=signal)
+        assert detections
+        assert detections[0].time > 20.0
+
+    def test_signal_shape_validated(self, setup):
+        generator, detector, _moderate = setup
+        rng = np.random.default_rng(2)
+        trace = generator.generate([quiescent_segment(5.0)], rng=rng)
+        with pytest.raises(ConfigurationError):
+            detector.process(trace, app_quiescent=np.ones(3, dtype=bool))
+
+
+class TestTelemetryBlackBox:
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        generator = TraceGenerator(TelemetryConfig(tick=2e-3))
+        rng = np.random.default_rng(0)
+        train = generator.generate(navigation_schedule(600, rng=rng), rng=rng)
+        detector = train_ild(
+            train, max_instruction_rate=generator.max_instruction_rate
+        )
+        blackbox = TelemetryBlackBox(capacity_rows=2048)
+        onset = 60.0
+        trace = generator.generate(
+            [quiescent_segment(180.0)], rng=rng,
+            current_steps=[CurrentStep(start=onset, delta_amps=0.07)],
+        )
+        detections = detector.process(trace)
+        diagnostics = blackbox.observe(detector, trace, detections)
+        return blackbox, diagnostics, onset
+
+    def test_diagnostic_produced_per_alarm(self, recorded):
+        blackbox, diagnostics, _ = recorded
+        assert diagnostics
+        assert len(blackbox.diagnostics) == len(diagnostics)
+        assert len(blackbox) > 100
+
+    def test_step_estimate_near_injected_delta(self, recorded):
+        _, diagnostics, _ = recorded
+        step = diagnostics[0].estimated_step_amps
+        assert step == pytest.approx(0.07, abs=0.03)
+        assert "ΔI" in diagnostics[0].summary()
+
+    def test_window_brackets_alarm(self, recorded):
+        _, diagnostics, onset = recorded
+        diagnostic = diagnostics[0]
+        times = [row.time for row in diagnostic.rows]
+        assert min(times) < diagnostic.detection.time <= max(times) + 60.0
+
+    def test_ring_bounded(self):
+        blackbox = TelemetryBlackBox(capacity_rows=16)
+        assert blackbox.capacity_rows == 16
+        with pytest.raises(ConfigurationError):
+            TelemetryBlackBox(capacity_rows=4)

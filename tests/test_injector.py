@@ -1,0 +1,104 @@
+"""Tests for the fault-injection campaign (Table 7 machinery)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radiation import OutcomeClass, SeuTarget
+from repro.radiation.injector import (
+    CampaignConfig,
+    FaultInjectionCampaign,
+)
+from repro.workloads import AesWorkload, ImageProcessingWorkload
+
+
+@pytest.fixture(scope="module")
+def campaign_table():
+    workload = ImageProcessingWorkload(map_size=48, template_size=12, stride=12)
+    campaign = FaultInjectionCampaign(
+        workload, CampaignConfig(runs_per_scheme=15), seed=7
+    )
+    table = campaign.run(schemes=("none", "3mr", "emr"))
+    return campaign, table
+
+
+class TestCampaign:
+    def test_schemes_present(self, campaign_table):
+        _, table = campaign_table
+        assert set(table) == {"none", "3mr", "emr"}
+        for counts in table.values():
+            assert sum(counts.values()) == 15
+
+    def test_redundancy_eliminates_sdc(self, campaign_table):
+        """The headline Table 7 claim: EMR and 3-MR incur zero SDC."""
+        _, table = campaign_table
+        assert table["3mr"][OutcomeClass.SDC] == 0
+        assert table["emr"][OutcomeClass.SDC] == 0
+
+    def test_unprotected_run_is_vulnerable(self, campaign_table):
+        """'None' must show SDCs and/or detected errors."""
+        _, table = campaign_table
+        bad = table["none"][OutcomeClass.SDC] + table["none"][OutcomeClass.ERROR]
+        assert bad > 0
+        assert table["none"][OutcomeClass.CORRECTED] == 0
+
+    def test_outcome_log_kept(self, campaign_table):
+        campaign, table = campaign_table
+        assert len(campaign.outcomes) == 45
+        targets = {outcome.target for outcome in campaign.outcomes}
+        assert len(targets) >= 3  # several injection sites exercised
+
+    def test_mbu_config(self):
+        workload = AesWorkload(chunk_bytes=32, chunks=4)
+        campaign = FaultInjectionCampaign(
+            workload, CampaignConfig(runs_per_scheme=6, bits=2), seed=9
+        )
+        table = campaign.run(schemes=("emr",))
+        assert sum(table["emr"].values()) == 6
+        assert table["emr"][OutcomeClass.SDC] == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(runs_per_scheme=0)
+
+    def test_pipeline_poison_gets_corrected_under_emr(self):
+        workload = AesWorkload(chunk_bytes=32, chunks=4)
+        config = CampaignConfig(
+            runs_per_scheme=5,
+            weights={SeuTarget.PIPELINE: 1.0},
+        )
+        campaign = FaultInjectionCampaign(workload, config, seed=5)
+        table = campaign.run(schemes=("none", "emr"))
+        # Every 'none' run commits a corrupted output silently.
+        assert table["none"][OutcomeClass.SDC] == 5
+        # Every EMR run out-votes the poisoned replica.
+        assert table["emr"][OutcomeClass.CORRECTED] == 5
+        assert table["emr"][OutcomeClass.SDC] == 0
+
+    def test_pointer_strikes_surface_as_errors_not_sdc(self):
+        workload = AesWorkload(chunk_bytes=32, chunks=4)
+        config = CampaignConfig(
+            runs_per_scheme=8,
+            weights={SeuTarget.POINTER: 1.0},
+        )
+        campaign = FaultInjectionCampaign(workload, config, seed=6)
+        table = campaign.run(schemes=("emr",))
+        assert table["emr"][OutcomeClass.SDC] == 0
+
+
+class TestStorageFrontierCampaign:
+    def test_non_ecc_machine_campaign_is_robust(self):
+        """On the Snapdragon (no ECC DRAM, storage frontier) EMR keeps
+        nothing strikeable in DRAM; such strikes must land as dead
+        silicon, not crash the harness — and EMR must stay SDC-free."""
+        from repro.sim import Machine
+
+        workload = AesWorkload(chunk_bytes=32, chunks=5)
+        campaign = FaultInjectionCampaign(
+            workload,
+            CampaignConfig(runs_per_scheme=8),
+            machine_factory=Machine.snapdragon801,
+            seed=13,
+        )
+        table = campaign.run(schemes=("emr",))
+        assert sum(table["emr"].values()) == 8
+        assert table["emr"][OutcomeClass.SDC] == 0

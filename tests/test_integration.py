@@ -1,0 +1,154 @@
+"""Cross-feature integration scenarios.
+
+Each test combines subsystems the unit suites exercise separately, the
+way a real deployment would: Radshield on the non-ECC Mars coprocessor,
+model uplink round-trips, checksum protection on the storage frontier,
+and a full flightsw→telemetry→blackbox→downlink chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.emr import EmrConfig, EmrRuntime, Frontier, checksum_protected_run
+from repro.core.ild import CurrentModel, IldConfig, IldDetector, train_ild
+from repro.core.radshield import Radshield, RadshieldConfig
+from repro.errors import ConfigurationError
+from repro.sim import (
+    CurrentStep,
+    Machine,
+    TelemetryConfig,
+    TraceGenerator,
+)
+from repro.workloads import AesWorkload, ImageProcessingWorkload, navigation_schedule
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TraceGenerator(TelemetryConfig(tick=4e-3))
+
+
+class TestMarsCoprocessorDeployment:
+    """The §5 Mars deployment: Snapdragon 801, no ECC DRAM — EMR on the
+    storage frontier, protecting the global-localization workload."""
+
+    def test_localization_on_snapdragon(self):
+        machine = Machine.snapdragon801()
+        workload = ImageProcessingWorkload(map_size=64, template_size=16, stride=16)
+        spec = workload.build(np.random.default_rng(0))
+        golden = workload.reference_outputs(spec)
+        runtime = EmrRuntime(
+            machine, workload, config=EmrConfig(replication_threshold=0.2)
+        )
+        assert runtime.frontier is Frontier.STORAGE
+        result = runtime.run(spec=spec)
+        assert result.matches(golden)
+        best = ImageProcessingWorkload.best_match(result.outputs)
+        assert best == ImageProcessingWorkload.best_match(golden)
+        # Storage frontier leaves nothing trusted in DRAM: disk paid.
+        assert result.breakdown["disk_read"] > 0
+
+
+class TestModelUplink:
+    """Ground-train, serialize, 'uplink', deploy — the paper's flow."""
+
+    def test_roundtrip_preserves_predictions(self, generator):
+        rng = np.random.default_rng(0)
+        ground = generator.generate(navigation_schedule(600, rng=rng), rng=rng)
+        trained = train_ild(
+            ground, max_instruction_rate=generator.max_instruction_rate
+        )
+        blob = trained.model.to_bytes()
+        recovered = CurrentModel.from_bytes(blob)
+        predictions_a = trained.model.predict(ground.counters)
+        predictions_b = recovered.predict(ground.counters)
+        assert np.allclose(predictions_a, predictions_b)
+
+    def test_uplinked_model_detects_sels(self, generator):
+        rng = np.random.default_rng(1)
+        ground = generator.generate(navigation_schedule(600, rng=rng), rng=rng)
+        trained = train_ild(
+            ground, max_instruction_rate=generator.max_instruction_rate
+        )
+        flight_model = CurrentModel.from_bytes(trained.model.to_bytes())
+        flight_detector = IldDetector(
+            flight_model, generator.max_instruction_rate, IldConfig()
+        )
+        trace = generator.generate(
+            navigation_schedule(300, rng=np.random.default_rng(2)),
+            rng=rng,
+            current_steps=[CurrentStep(start=50.0, delta_amps=0.07)],
+        )
+        detections = flight_detector.process(trace)
+        assert detections and detections[0].time > 50.0
+
+    def test_corrupted_uplink_rejected(self, generator):
+        rng = np.random.default_rng(3)
+        ground = generator.generate(navigation_schedule(600, rng=rng), rng=rng)
+        trained = train_ild(
+            ground, max_instruction_rate=generator.max_instruction_rate
+        )
+        blob = bytearray(trained.model.to_bytes())
+        blob[10] ^= 0x40  # an SEU in the uplink buffer
+        with pytest.raises(ConfigurationError):
+            CurrentModel.from_bytes(bytes(blob))
+
+    def test_unfitted_model_not_serializable(self):
+        with pytest.raises(ConfigurationError):
+            CurrentModel().to_bytes()
+
+
+class TestChecksumOnStorageFrontier:
+    def test_snapdragon_checksum_run(self):
+        machine = Machine.snapdragon801()
+        workload = AesWorkload(chunk_bytes=64, chunks=6)
+        spec = workload.build(np.random.default_rng(4))
+        result = checksum_protected_run(machine, workload, spec=spec)
+        assert result.outputs == workload.reference_outputs(spec)
+        assert result.frontier is Frontier.STORAGE
+
+
+class TestFullShieldOnFlightSoftware:
+    """flightsw activity -> ILD detection -> black box -> CRC downlink,
+    all through the Radshield facade."""
+
+    def test_end_to_end(self, generator):
+        from repro.flightsw import build_frame, flight_schedule, parse_frame
+        from repro.radiation import LatchupInjector
+
+        rng = np.random.default_rng(5)
+        ground_segments, _ = flight_schedule(900.0, rng=rng)
+        ground = generator.generate(ground_segments, rng=rng)
+        machine = Machine.rpi_zero2w()
+        shield = Radshield.for_machine(
+            machine, ground, max_instruction_rate=generator.max_instruction_rate
+        )
+        injector = LatchupInjector(machine)
+
+        # Clean shift first (black-box baseline history).
+        clean_segments, _ = flight_schedule(400.0, rng=np.random.default_rng(6))
+        assert shield.process_telemetry(
+            generator.generate(clean_segments, rng=rng)
+        ) == []
+        machine.clock.advance_to(400.0)
+
+        injector.induce_delta(0.08)
+        shift_segments, shift = flight_schedule(400.0, rng=np.random.default_rng(7))
+        trace = generator.generate(
+            shift_segments, rng=rng,
+            current_steps=[CurrentStep(start=0.0, delta_amps=0.08)],
+            start_time=machine.clock.now,
+        )
+        responses = shield.process_telemetry(trace)
+        assert responses and responses[0].power_cycled
+        assert not injector.any_active
+        diagnostic = responses[0].diagnostic
+        assert diagnostic.estimated_step_amps == pytest.approx(0.08, abs=0.04)
+
+        # Downlink the alarm through the CRC'd telemetry link.
+        shift.telemetry.store("ild.step_ma", responses[0].detection_time,
+                              diagnostic.estimated_step_amps * 1e3)
+        frame = build_frame(shift.telemetry, frame_time=machine.clock.now)
+        _, values = parse_frame(frame)
+        assert values["ild.step_ma"][1] == pytest.approx(
+            diagnostic.estimated_step_amps * 1e3
+        )

@@ -1,0 +1,128 @@
+"""Tests for the mission simulator and the anomaly dataset."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.missions import (
+    AnomalyDataset,
+    AnomalyRecord,
+    MissionConfig,
+    MissionSimulator,
+)
+from repro.radiation import RadiationEnvironment
+
+#: Compressed timeline: everything interesting inside half a day.
+BUSY_SKY = RadiationEnvironment(
+    name="test-sky",
+    seu_per_day=10.0,
+    sel_per_year=1200.0,
+    sel_delta_amps_range=(0.07, 0.2),
+)
+
+QUIET_SKY = RadiationEnvironment(name="quiet", seu_per_day=0.0, sel_per_year=0.0)
+
+
+def _record(**overrides):
+    base = dict(
+        mission_time_s=100.0,
+        event_type="seu",
+        detail="dram",
+        detected=True,
+        detected_by="emr-vote",
+        detection_latency_s=0.0,
+        outcome="corrected",
+        action="outvoted",
+    )
+    base.update(overrides)
+    return AnomalyRecord(**base)
+
+
+class TestAnomalyDataset:
+    def test_csv_roundtrip(self):
+        dataset = AnomalyDataset()
+        dataset.add(_record())
+        dataset.add(
+            _record(
+                event_type="sel", detail="+0.070A@t500", action="power_cycle",
+                outcome="cleared", detected_by="ild", detection_latency_s=2.5,
+                mission_time_s=500.0,
+            )
+        )
+        text = dataset.to_csv()
+        recovered = AnomalyDataset.from_csv(text)
+        assert recovered.records == dataset.records
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _record(event_type="meteor")
+        with pytest.raises(ConfigurationError):
+            _record(action="panic")
+        with pytest.raises(ConfigurationError):
+            _record(mission_time_s=-1.0)
+
+    def test_analysis_helpers(self):
+        dataset = AnomalyDataset()
+        dataset.add(_record())
+        dataset.add(_record(detected=False, detected_by="", outcome="no_effect",
+                            action="none", detection_latency_s=-1.0))
+        dataset.add(_record(event_type="sel", outcome="cleared",
+                            detected_by="ild", action="power_cycle"))
+        assert len(dataset) == 3
+        assert dataset.detection_rate("seu") == pytest.approx(0.5)
+        assert dataset.detection_rate("sel") == 1.0
+        assert dataset.outcome_counts()["corrected"] == 1
+        assert "3 anomalies" in dataset.summary()
+
+
+class TestMissionSimulator:
+    @pytest.fixture(scope="class")
+    def protected_report(self):
+        config = MissionConfig(
+            duration_days=0.5, environment=BUSY_SKY, tick=8e-3, seed=8
+        )
+        return MissionSimulator(config).run()
+
+    def test_protected_mission_survives_and_logs(self, protected_report):
+        report = protected_report
+        assert report.survived
+        assert report.silent_corruptions == 0
+        assert len(report.dataset) > 0
+        assert report.mission_seconds == pytest.approx(0.5 * 86400.0)
+
+    def test_sels_detected_and_cleared(self, protected_report):
+        sels = protected_report.dataset.by_type("sel")
+        if sels:  # Poisson: usually >=1 at this rate
+            assert all(r.detected for r in sels)
+            assert all(r.action == "power_cycle" for r in sels)
+            assert all(0 <= r.detection_latency_s < 300 for r in sels)
+            assert protected_report.power_cycles >= len(sels)
+
+    def test_unprotected_mission_fares_worse(self, protected_report):
+        config = MissionConfig(
+            duration_days=0.5, environment=BUSY_SKY, tick=8e-3, seed=8,
+            ild_enabled=False, emr_enabled=False,
+        )
+        bare = MissionSimulator(config).run()
+        protected_bad = protected_report.silent_corruptions + (
+            0 if protected_report.survived else 1
+        )
+        bare_bad = bare.silent_corruptions + (0 if bare.survived else 1)
+        assert bare_bad >= protected_bad
+        if protected_report.dataset.by_type("sel"):
+            assert not bare.survived  # the latchup cooks the bare chip
+
+    def test_quiet_sky_is_uneventful(self):
+        config = MissionConfig(
+            duration_days=0.2, environment=QUIET_SKY, tick=8e-3, seed=1
+        )
+        report = MissionSimulator(config).run()
+        assert report.survived
+        assert len(report.dataset) == 0
+        assert report.availability == 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MissionConfig(duration_days=0.0)
+
+    def test_summary_mentions_protection(self, protected_report):
+        assert "ILD+EMR" in protected_report.summary()

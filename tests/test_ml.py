@@ -1,0 +1,163 @@
+"""Tests for the from-scratch ML models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ml import DecisionTree, GaussianNaiveBayes, LinearRegression, RandomForest
+
+
+def _linear_data(n=500, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    coef = np.array([2.0, -1.0, 0.5, 0.0])
+    y = X @ coef + 3.0 + rng.normal(0, noise, n)
+    return X, y, coef
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self):
+        X, y, coef = _linear_data()
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.05)
+
+    def test_score_near_one_on_clean_data(self):
+        X, y, _ = _linear_data(noise=0.0)
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) > 0.999999
+
+    def test_residuals_center_on_zero(self):
+        X, y, _ = _linear_data()
+        model = LinearRegression().fit(X, y)
+        assert abs(model.residuals(X, y).mean()) < 0.01
+
+    def test_constant_feature_handled(self):
+        X, y, _ = _linear_data()
+        X[:, 2] = 7.0
+        model = LinearRegression().fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_ridge_shrinks(self):
+        X, y, _ = _linear_data(n=50)
+        free = LinearRegression(alpha=0.0).fit(X, y)
+        tight = LinearRegression(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(free.coef_)
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    @given(st.integers(min_value=10, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_interpolates_exact_linear_functions(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 2))
+        y = 4.0 * X[:, 0] - 2.5 * X[:, 1] + 1.0
+        model = LinearRegression(alpha=0.0).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-8)
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTree(max_depth=2, min_samples_leaf=2).fit(X, y)
+        pred = tree.predict(np.array([[0.2], [0.8]]))
+        assert pred[0] == pytest.approx(0.0, abs=0.2)
+        assert pred[1] == pytest.approx(10.0, abs=0.2)
+
+    def test_importance_finds_informative_feature(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 3))
+        y = 5.0 * (X[:, 1] > 0)
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 1
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 2))
+        y = rng.normal(size=300)
+        tree = DecisionTree(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_pure_node_stops(self):
+        X = np.ones((20, 1))
+        y = np.ones(20)
+        tree = DecisionTree().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_classification_probability(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 1))
+        y = (X[:, 0] > 0).astype(float)
+        tree = DecisionTree(task="classification", max_depth=2).fit(X, y)
+        assert tree.predict_class(np.array([[2.0]]))[0] == 1
+        assert tree.predict_class(np.array([[-2.0]]))[0] == 0
+
+    def test_rejects_non_binary_classification_targets(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTree(task="classification").fit(np.zeros((4, 1)), np.array([0, 1, 2, 1]))
+
+
+class TestRandomForest:
+    def test_regression_beats_constant(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(600, 4))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        forest = RandomForest(n_trees=12, max_depth=6, seed=1).fit(X[:500], y[:500])
+        pred = forest.predict(X[500:])
+        mse = float(np.mean((pred - y[500:]) ** 2))
+        baseline = float(np.mean((y[500:] - y[:500].mean()) ** 2))
+        assert mse < 0.5 * baseline
+
+    def test_feature_importance_ranking(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(500, 5))
+        y = 10 * X[:, 3] + 0.1 * rng.normal(size=500)
+        forest = RandomForest(n_trees=10, max_features=None, seed=2).fit(X, y)
+        assert forest.top_features(1)[0] == 3
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_classification(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(400, 2))
+        y = ((X[:, 0] + X[:, 1]) > 0).astype(float)
+        forest = RandomForest(n_trees=10, task="classification", seed=3).fit(X, y)
+        acc = (forest.predict_class(X) == y).mean()
+        assert acc > 0.9
+
+    def test_deterministic_given_seed(self):
+        X, y, _ = _linear_data(n=200)
+        a = RandomForest(n_trees=5, seed=7).fit(X, y).predict(X[:10])
+        b = RandomForest(n_trees=5, seed=7).fit(X, y).predict(X[:10])
+        assert np.array_equal(a, b)
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_classes(self):
+        rng = np.random.default_rng(7)
+        X0 = rng.normal(-2, 0.5, size=(200, 2))
+        X1 = rng.normal(2, 0.5, size=(200, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 200 + [1] * 200)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.99
+
+    def test_proba_sums_to_one(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = GaussianNaiveBayes().fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNaiveBayes().fit(np.zeros((5, 2)), np.zeros(5))

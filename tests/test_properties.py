@@ -1,0 +1,238 @@
+"""Property-based tests over randomized structures (hypothesis).
+
+These go beyond the per-module unit tests: EMR's planning pipeline is
+run against *arbitrary* dataset/region structures and checked against
+brute-force oracles, and the full runtime must produce golden outputs
+for any generated workload shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emr import (
+    EmrConfig,
+    EmrRuntime,
+    build_jobsets,
+    crc32,
+    detect_conflicts,
+    order_jobs,
+    plan_replication,
+    validate_jobsets,
+    vote,
+)
+from repro.core.emr.jobs import JobResult
+from repro.core.ild import RollingMinimumFilter
+from repro.sim import Machine, SimMemory
+from repro.workloads.base import DatasetSpec, RegionRef, Workload, WorkloadSpec
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+BLOB_SIZE = 2048
+
+region_refs = st.builds(
+    RegionRef,
+    blob=st.sampled_from(["alpha", "beta"]),
+    offset=st.integers(min_value=0, max_value=BLOB_SIZE - 64),
+    length=st.integers(min_value=1, max_value=64),
+)
+
+
+@st.composite
+def dataset_lists(draw, min_datasets=2, max_datasets=8):
+    count = draw(st.integers(min_datasets, max_datasets))
+    datasets = []
+    for index in range(count):
+        n_regions = draw(st.integers(1, 3))
+        regions = {
+            f"r{j}": draw(region_refs) for j in range(n_regions)
+        }
+        datasets.append(DatasetSpec(index=index, regions=regions))
+    return datasets
+
+
+def _line_set(ds, replicated, line_size=64):
+    lines = set()
+    for ref in ds.regions.values():
+        if ref in replicated:
+            continue
+        first, last = ref.line_range(line_size)
+        lines.update((ref.blob, line) for line in range(first, last + 1))
+    return lines
+
+
+class TestConflictOracle:
+    @given(dataset_lists(), st.sampled_from([0.0, 0.4, 1.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, datasets, threshold):
+        plan = plan_replication(datasets, threshold)
+        graph = detect_conflicts(datasets, set(plan.replicated), line_size=64)
+        for a in datasets:
+            for b in datasets:
+                if a.index >= b.index:
+                    continue
+                expected = bool(
+                    _line_set(a, plan.replicated) & _line_set(b, plan.replicated)
+                )
+                assert graph.conflicts(a.index, b.index) == expected, (a, b)
+
+    @given(dataset_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_graph_is_symmetric_and_irreflexive(self, datasets):
+        graph = detect_conflicts(datasets, set(), line_size=64)
+        for index, neighbours in graph.neighbours.items():
+            assert index not in neighbours
+            for other in neighbours:
+                assert graph.conflicts(other, index)
+
+
+class TestSchedulerProperties:
+    @given(dataset_lists(), st.sampled_from(["rotated", "naive"]))
+    @settings(max_examples=50, deadline=None)
+    def test_jobsets_valid_and_complete(self, datasets, ordering):
+        plan = plan_replication(datasets, 0.4)
+        graph = detect_conflicts(datasets, set(plan.replicated), line_size=64)
+        jobs = order_jobs(datasets, 3, ordering)
+        jobsets = build_jobsets(jobs, graph)
+        validate_jobsets(jobsets, graph)  # invariant holds by construction
+        scheduled = sorted(
+            (job.dataset_index, job.executor_id)
+            for jobset in jobsets
+            for job in jobset.jobs
+        )
+        expected = sorted(
+            (ds.index, e) for ds in datasets for e in range(3)
+        )
+        assert scheduled == expected  # every replica exactly once
+
+    @given(dataset_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_replicating_everything_gives_three_jobsets(self, datasets):
+        plan = plan_replication(datasets, 0.0)
+        graph = detect_conflicts(datasets, set(plan.replicated), line_size=64)
+        jobs = order_jobs(datasets, 3, "rotated")
+        jobsets = build_jobsets(jobs, graph)
+        # No conflicts remain; only replica-separation forces 3 jobsets.
+        assert len(jobsets) == 3
+
+
+class TestVotingProperties:
+    @given(
+        st.lists(st.binary(min_size=1, max_size=8), min_size=3, max_size=3),
+        st.permutations([0, 1, 2]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_permutation_invariant(self, outputs, order):
+        results = [JobResult(0, e, outputs[e]) for e in range(3)]
+        shuffled = [results[i] for i in order]
+        assert vote(results).output == vote(shuffled).output
+        assert vote(results).status == vote(shuffled).status
+
+    @given(st.binary(min_size=1, max_size=16), st.binary(min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_majority_always_wins(self, majority_output, minority_output):
+        if majority_output == minority_output:
+            return
+        results = [
+            JobResult(0, 0, majority_output),
+            JobResult(0, 1, minority_output),
+            JobResult(0, 2, majority_output),
+        ]
+        outcome = vote(results)
+        assert outcome.output == majority_output
+
+
+class _DigestWorkload(Workload):
+    """Synthetic workload over arbitrary generated specs: each job
+    CRC-chains its inputs, so any input corruption changes the output."""
+
+    name = "digest"
+
+    def __init__(self, datasets):
+        self._datasets = datasets
+
+    def build(self, rng, scale: int = 1) -> WorkloadSpec:
+        blobs = {
+            "alpha": bytes(rng.integers(0, 256, BLOB_SIZE, dtype=np.uint8)),
+            "beta": bytes(rng.integers(0, 256, BLOB_SIZE, dtype=np.uint8)),
+        }
+        return WorkloadSpec(
+            name=self.name, blobs=blobs, datasets=self._datasets, output_size=16
+        )
+
+    def run_job(self, inputs, params):
+        digest = 0
+        for role in sorted(inputs):
+            digest = crc32(inputs[role], digest)
+        return digest.to_bytes(4, "little") + len(inputs).to_bytes(4, "little")
+
+
+class TestEmrEndToEndProperty:
+    @given(dataset_lists(max_datasets=6), st.sampled_from([0.0, 0.4, 1.5]))
+    @settings(max_examples=15, deadline=None)
+    def test_any_structure_yields_golden_outputs(self, datasets, threshold):
+        workload = _DigestWorkload(datasets)
+        spec = workload.build(np.random.default_rng(0))
+        golden = workload.reference_outputs(spec)
+        machine = Machine(seed=0)
+        runtime = EmrRuntime(
+            machine, workload,
+            config=EmrConfig(replication_threshold=threshold),
+        )
+        result = runtime.run(spec=spec)
+        assert result.outputs == golden
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        memory = SimMemory(64 << 10)
+        regions = [memory.alloc(size) for size in sizes]
+        live = [r for r in regions if r.size]
+        for i, a in enumerate(live):
+            for b in live[i + 1 :]:
+                assert not a.overlaps(b)
+
+    @given(
+        st.binary(min_size=8, max_size=64).filter(lambda b: len(b) % 8 == 0),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_flip_always_corrected(self, payload, byte_offset, bit):
+        memory = SimMemory(4096, ecc=True)
+        region = memory.alloc(len(payload))
+        memory.write_region(region, payload)
+        memory.flip_bit(region.addr + (byte_offset % len(payload)), bit)
+        assert memory.read_region(region) == payload
+
+
+class TestFilterProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_never_exceeds_input(self, samples, halfwidth):
+        samples = np.array(samples)
+        filtered = RollingMinimumFilter(halfwidth).apply(samples)
+        assert (filtered <= samples + 1e-12).all()
+        assert filtered.min() >= samples.min() - 1e-12
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_constant_signal_unchanged(self, level, halfwidth):
+        samples = np.full(50, level)
+        filtered = RollingMinimumFilter(halfwidth).apply(samples)
+        assert np.allclose(filtered, level)

@@ -1,0 +1,204 @@
+"""Tests for radiation environments, SEL/thermal models, SEU injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, HardwareDamagedError, SimulationError
+from repro.radiation import (
+    LOW_EARTH_ORBIT,
+    MARS_SURFACE,
+    SEA_LEVEL,
+    LatchupInjector,
+    RadiationEnvironment,
+    SelEvent,
+    SeuTarget,
+    ThermalModel,
+    corrupt_bytes,
+    flip_dram,
+    flip_l2,
+    inject,
+    poison_pipeline,
+)
+from repro.sim import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine.rpi_zero2w()
+
+
+class TestEnvironments:
+    def test_space_is_harsher_than_earth(self):
+        assert LOW_EARTH_ORBIT.seu_per_day > 1e5 * SEA_LEVEL.seu_per_day
+
+    def test_mars_rate_matches_paper(self):
+        # CRÈME-MC: 1.6 bit flips/day on the Snapdragon 801 (§2.2).
+        assert MARS_SURFACE.seu_per_day == pytest.approx(1.6)
+
+    def test_seu_sampling_statistics(self):
+        rng = np.random.default_rng(0)
+        events = MARS_SURFACE.sample_seu_events(30 * 86400.0, rng)
+        assert 25 <= len(events) <= 75  # ~48 expected over 30 days
+        assert all(0 <= e.time <= 30 * 86400.0 for e in events)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_mbu_fraction(self):
+        rng = np.random.default_rng(1)
+        env = RadiationEnvironment(name="t", seu_per_day=5000.0, sel_per_year=0.0, mbu_fraction=0.5)
+        events = env.sample_seu_events(86400.0, rng)
+        mbu_share = sum(e.is_mbu for e in events) / len(events)
+        assert 0.4 < mbu_share < 0.6
+
+    def test_sel_sampling(self):
+        rng = np.random.default_rng(2)
+        events = LOW_EARTH_ORBIT.sample_sel_events(10 * 365.25 * 86400.0, rng)
+        assert 8 <= len(events) <= 35  # ~20 expected over 10 years
+        low, high = LOW_EARTH_ORBIT.sel_delta_amps_range
+        assert all(low <= e.delta_amps <= high for e in events)
+
+    def test_zero_duration(self):
+        rng = np.random.default_rng(3)
+        assert SEA_LEVEL.sample_seu_events(0.0, rng) == []
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadiationEnvironment(name="bad", seu_per_day=-1.0, sel_per_year=0.0)
+
+
+class TestLatchups:
+    def test_induce_raises_current(self, machine):
+        injector = LatchupInjector(machine)
+        injector.induce_delta(0.07)
+        assert machine.extra_current_draw == pytest.approx(0.07)
+        assert injector.any_active
+
+    def test_reboot_does_not_clear(self, machine):
+        injector = LatchupInjector(machine)
+        injector.induce_delta(0.07)
+        machine.reboot()
+        assert machine.extra_current_draw == pytest.approx(0.07)
+        assert injector.any_active
+
+    def test_power_cycle_clears(self, machine):
+        injector = LatchupInjector(machine)
+        injector.induce_delta(0.07)
+        injector.induce_delta(0.10)
+        machine.power_cycle()
+        assert machine.extra_current_draw == 0.0
+        assert not injector.any_active
+        assert injector.cleared_count == 2
+        assert len(injector.history) == 2
+
+    def test_invalid_delta(self, machine):
+        injector = LatchupInjector(machine)
+        with pytest.raises(ConfigurationError):
+            injector.induce_delta(0.0)
+
+    def test_oldest_onset(self, machine):
+        injector = LatchupInjector(machine)
+        assert injector.oldest_onset() is None
+        injector.induce_delta(0.05)
+        t0 = machine.clock.now
+        machine.clock.advance(10)
+        injector.induce_delta(0.05)
+        assert injector.oldest_onset() == pytest.approx(t0)
+
+
+class TestThermal:
+    def test_micro_sel_damage_near_five_minutes(self, machine):
+        thermal = ThermalModel(machine, LatchupInjector(machine))
+        assert 240 < thermal.time_to_damage(0.07) < 420
+
+    def test_larger_sel_damages_faster(self, machine):
+        thermal = ThermalModel(machine, LatchupInjector(machine))
+        assert thermal.time_to_damage(0.3) < thermal.time_to_damage(0.1)
+
+    def test_tiny_sel_never_damages(self, machine):
+        thermal = ThermalModel(machine, LatchupInjector(machine))
+        assert thermal.time_to_damage(0.01) == float("inf")
+
+    def test_check_marks_machine_dead(self, machine):
+        injector = LatchupInjector(machine)
+        thermal = ThermalModel(machine, injector)
+        injector.induce_delta(0.2)
+        assert not thermal.check()
+        machine.clock.advance(thermal.time_to_damage(0.2) + 1.0)
+        assert thermal.check()
+        with pytest.raises(HardwareDamagedError):
+            machine.cores[0].execute(100)
+
+    def test_detection_before_deadline_saves_chip(self, machine):
+        injector = LatchupInjector(machine)
+        thermal = ThermalModel(machine, injector)
+        injector.induce_delta(0.07)
+        machine.clock.advance(180.0)  # ILD's detection window
+        assert thermal.margin_seconds() > 0
+        machine.power_cycle()
+        machine.clock.advance(10_000.0)
+        assert not thermal.check()
+
+    def test_temperature_monotone_in_age(self, machine):
+        thermal = ThermalModel(machine, LatchupInjector(machine))
+        temps = [thermal.hotspot_temperature(t, 0.1) for t in (0, 60, 120, 600)]
+        assert temps == sorted(temps)
+        assert temps[0] == pytest.approx(thermal.params.ambient_temp_c)
+
+
+class TestSeuInjection:
+    def test_dram_flip_corrected_by_ecc(self, machine):
+        region = machine.memory.alloc(1024)
+        machine.memory.write_region(region, b"\x5a" * 1024)
+        flip_dram(machine, np.random.default_rng(0))
+        assert machine.memory.read_region(region) == b"\x5a" * 1024
+        assert machine.memory.stats.corrected_errors == 1
+
+    def test_dram_mbu_defeats_ecc(self, machine):
+        region = machine.memory.alloc(64)
+        machine.memory.write_region(region, b"\x00" * 64)
+        rng = np.random.default_rng(1)
+        # Retry until the two flips land on distinct bits of one word.
+        for _ in range(50):
+            record = flip_dram(machine, rng, bits=2)
+            raw = machine.memory.peek(region.addr, 64)
+            if raw != b"\x00" * 64 and bin(int.from_bytes(raw, "little")).count("1") == 2:
+                break
+            machine.memory.write_region(region, b"\x00" * 64)
+        assert record.bits == 2
+
+    def test_l2_flip_requires_resident_lines(self, machine):
+        assert flip_l2(machine, np.random.default_rng(2)) is None
+        region = machine.memory.alloc(64)
+        machine.memory.write_region(region, b"\x00" * 64)
+        machine.read_via_cache(region.addr, 64, group=0)
+        record = flip_l2(machine, np.random.default_rng(3))
+        assert record is not None and record.target is SeuTarget.L2_CACHE
+
+    def test_poison_pipeline(self, machine):
+        record = poison_pipeline(machine, np.random.default_rng(4), core_id=2)
+        assert machine.cores[2].poisoned
+        assert record.detail == "core 2"
+        machine.cores[2].reset_faults()
+        assert not machine.cores[2].poisoned
+
+    def test_inject_dispatch(self, machine):
+        machine.memory.alloc(128)
+        rng = np.random.default_rng(5)
+        assert inject(machine, SeuTarget.DRAM, rng).target is SeuTarget.DRAM
+        with pytest.raises(SimulationError):
+            inject(machine, SeuTarget.POINTER, rng)
+
+    def test_corrupt_bytes_flips_exactly(self):
+        rng = np.random.default_rng(6)
+        data = bytes(32)
+        corrupted = corrupt_bytes(data, rng, bits=1)
+        diff = sum(bin(a ^ b).count("1") for a, b in zip(data, corrupted))
+        assert diff == 1
+        assert corrupt_bytes(b"", rng) == b""
+
+    def test_page_cache_flip(self, machine):
+        machine.storage.store("data.bin", b"\x00" * 256)
+        machine.storage.read("data.bin")
+        record = inject(machine, SeuTarget.PAGE_CACHE, np.random.default_rng(7))
+        assert record is not None
+        assert machine.storage.read("data.bin").data != b"\x00" * 256

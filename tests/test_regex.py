@@ -1,0 +1,130 @@
+"""Regex engine correctness, including differential tests against ``re``."""
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.regexengine import (
+    DEFAULT_SIGNATURES,
+    IntrusionDetectionWorkload,
+    Regex,
+)
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("abc", b"xxabcxx", True),
+            ("abc", b"axbxc", False),
+            ("a*b", b"b", True),
+            ("a*b", b"aaab", True),
+            ("a+b", b"b", False),
+            ("a+b", b"ab", True),
+            ("a?b", b"ab", True),
+            ("colou?r", b"my color", True),
+            ("colou?r", b"my colour", True),
+            ("(ab)+", b"abab", True),
+            ("(ab|cd)e", b"xxcde", True),
+            ("a|b|c", b"zzc", True),
+            (".", b"", False),
+            (".", b"x", True),
+            ("x.z", b"xyz", True),
+            ("x.z", b"xz", False),
+        ],
+    )
+    def test_table(self, pattern, text, expected):
+        assert Regex(pattern).search(text) is expected
+
+    def test_classes(self):
+        assert Regex("[a-c]+").search(b"zzzb")
+        assert not Regex("[a-c]+").search(b"xyz"[:2])
+        assert Regex("[^0-9]").search(b"a")
+        assert not Regex("[^0-9]+").search(b"123")
+        assert Regex(r"[\d]+").search(b"abc7")
+
+    def test_escapes(self):
+        assert Regex(r"\d\d").search(b"a42")
+        assert not Regex(r"\d\d").search(b"a4b2")
+        assert Regex(r"\w+@\w+").search(b"mail me@host now")
+        assert Regex(r"\s").search(b"a b")
+        assert Regex(r"\.").search(b"a.b")
+        assert not Regex(r"\.").search(b"ab")
+        assert Regex(r"\D").search(b"7a")
+        assert not Regex(r"\D").search(b"42")
+
+    def test_nested_groups(self):
+        assert Regex("((a|b)c)+d").search(b"acbcd")
+        assert not Regex("((a|b)c)+d").search(b"acb")
+
+    def test_empty_alternative_matches_everything(self):
+        assert Regex("a|").search(b"zzz")
+
+    @pytest.mark.parametrize("bad", ["(", "[", "a)", "*a", "[z-a]", "(a"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(WorkloadError):
+            Regex(bad)
+
+    def test_linear_time_on_pathological_pattern(self):
+        # (a+)+b makes backtrackers explode; automata stay linear.
+        pattern = Regex("(a+)+b")
+        assert not pattern.search(b"a" * 200 + b"c")
+
+
+class TestDifferentialAgainstRe:
+    ALPHABET = "ab1 "
+
+    @given(
+        st.text(alphabet="ab1|*+?().", min_size=1, max_size=8),
+        st.text(alphabet=ALPHABET, min_size=0, max_size=20),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_stdlib(self, pattern, text):
+        try:
+            theirs = re.compile(pattern)
+        except re.error:
+            return
+        try:
+            ours = Regex(pattern)
+        except WorkloadError:
+            return  # stricter syntax is acceptable; wrong answers are not
+        expected = theirs.search(text) is not None
+        assert ours.search(text.encode()) is expected
+
+
+class TestWorkload:
+    def test_signatures_compile(self):
+        for signature in DEFAULT_SIGNATURES:
+            Regex(signature)
+
+    def test_attack_packets_flagged(self):
+        workload = IntrusionDetectionWorkload(packet_bytes=128, packets=30, hit_rate=1.0)
+        spec = workload.build(np.random.default_rng(0))
+        outputs = workload.reference_outputs(spec)
+        flagged = sum(int.from_bytes(o, "little") != 0 for o in outputs)
+        assert flagged == len(outputs)
+
+    def test_clean_packets_mostly_clean(self):
+        workload = IntrusionDetectionWorkload(packet_bytes=128, packets=30, hit_rate=0.0)
+        spec = workload.build(np.random.default_rng(1))
+        outputs = workload.reference_outputs(spec)
+        flagged = sum(int.from_bytes(o, "little") != 0 for o in outputs)
+        assert flagged <= 2  # random printable bytes rarely contain attacks
+
+    def test_patterns_region_shared(self):
+        spec = IntrusionDetectionWorkload(packets=5).build(np.random.default_rng(2))
+        refs = {ds.regions["patterns"] for ds in spec.datasets}
+        assert len(refs) == 1
+
+    def test_corrupt_pattern_produces_flagged_output(self):
+        workload = IntrusionDetectionWorkload(packet_bytes=64, packets=1, hit_rate=0.0)
+        spec = workload.build(np.random.default_rng(3))
+        inputs = spec.slice_inputs(spec.datasets[0])
+        corrupted = bytearray(inputs["patterns"])
+        corrupted[0] = ord("(")  # break the first signature's syntax
+        output = workload.run_job({**inputs, "patterns": bytes(corrupted)}, {})
+        assert int.from_bytes(output, "little") >> 63

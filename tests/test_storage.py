@@ -1,0 +1,96 @@
+"""Tests for the flash storage + page-cache model."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.sim import FlashStorage
+
+
+@pytest.fixture
+def flash():
+    return FlashStorage(capacity=1 << 20)
+
+
+class TestFiles:
+    def test_store_and_read(self, flash):
+        flash.store("map.bin", b"martian terrain")
+        access = flash.read("map.bin")
+        assert access.data == b"martian terrain"
+        assert not access.from_page_cache
+        assert access.seconds > 0
+
+    def test_partial_read(self, flash):
+        flash.store("f", bytes(range(100)))
+        access = flash.read("f", offset=10, size=5)
+        assert access.data == bytes(range(10, 15))
+
+    def test_missing_file(self, flash):
+        with pytest.raises(InvalidAddressError):
+            flash.read("nope")
+
+    def test_overwrite_in_place(self, flash):
+        flash.store("f", b"longer original data")
+        flash.store("f", b"short")
+        assert flash.read("f").data == b"short"
+        assert flash.file_size("f") == 5
+
+    def test_out_of_range_read(self, flash):
+        flash.store("f", b"abc")
+        with pytest.raises(InvalidAddressError):
+            flash.read("f", offset=2, size=5)
+
+
+class TestPageCache:
+    def test_second_read_is_cached_and_faster(self, flash):
+        flash.store("f", b"x" * 4096)
+        cold = flash.read("f")
+        warm = flash.read("f")
+        assert warm.from_page_cache
+        assert warm.seconds < cold.seconds
+        assert flash.stats.page_cache_hits == 1
+
+    def test_drop_page_cache(self, flash):
+        flash.store("f", b"x" * 64)
+        flash.read("f")
+        assert flash.drop_page_cache() == 1
+        assert not flash.read("f").from_page_cache
+
+    def test_store_invalidates_cached_page(self, flash):
+        flash.store("f", b"old old old!")
+        flash.read("f")
+        flash.store("f", b"new new new!")
+        assert flash.read("f").data == b"new new new!"
+
+
+class TestRadiationInterface:
+    def test_page_cache_flip_corrupts_reads(self, flash):
+        flash.store("f", b"\x00" * 32)
+        flash.read("f")  # populate cache
+        flash.flip_page_cache_bit("f", byte_offset=3, bit=2)
+        assert flash.read("f").data[3] == 0x04
+
+    def test_media_flip_corrected_by_ecc(self, flash):
+        flash.store("f", b"\x00" * 32)
+        flash.flip_media_bit("f", byte_offset=3, bit=2)
+        assert flash.read("f").data == b"\x00" * 32
+        assert flash.media_stats.corrected_errors == 1
+
+    def test_flip_requires_cached_page(self, flash):
+        flash.store("f", b"abc")
+        with pytest.raises(InvalidAddressError):
+            flash.flip_page_cache_bit("f", 0, 0)
+
+    def test_drop_then_read_clears_corruption(self, flash):
+        flash.store("f", b"\x00" * 32)
+        flash.read("f")
+        flash.flip_page_cache_bit("f", 0, 0)
+        flash.drop_page_cache()
+        assert flash.read("f").data == b"\x00" * 32
+
+
+class TestIoAccounting:
+    def test_io_counts(self, flash):
+        flash.store("f", b"x" * 10000)  # 3 write IOs at 4 KiB
+        assert flash.stats.write_ios == 3
+        flash.read("f")
+        assert flash.stats.read_ios == 3

@@ -1,0 +1,180 @@
+"""Tests for telemetry trace generation and the machine lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    ActivitySegment,
+    CurrentStep,
+    Machine,
+    TelemetryConfig,
+    TraceGenerator,
+    burst_schedule,
+    quiescent_segment,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TraceGenerator(TelemetryConfig(tick=1e-3, samples_per_tick=4, n_cores=4))
+
+
+def _busy_segment(duration=2.0, util=0.9):
+    return ActivitySegment(
+        duration=duration,
+        core_util=(util,) * 4,
+        label="workload",
+        dram_gbs=0.8,
+    )
+
+
+class TestTraceShape:
+    def test_tick_counts(self, generator):
+        trace = generator.generate(
+            [quiescent_segment(1.0), _busy_segment(2.0)],
+            rng=np.random.default_rng(0),
+        )
+        assert trace.n_ticks == 3000
+        assert trace.fine_samples.shape == (12000,)
+        assert trace.counters.feature_matrix().shape == (3000, 22)
+        assert trace.duration == pytest.approx(3.0)
+
+    def test_quiescent_mask(self, generator):
+        trace = generator.generate(
+            [quiescent_segment(1.0), _busy_segment(1.0)],
+            rng=np.random.default_rng(1),
+        )
+        assert trace.quiescent_truth[:1000].all()
+        assert not trace.quiescent_truth[1000:].any()
+
+    def test_label_masks(self, generator):
+        trace = generator.generate(
+            [quiescent_segment(0.5), _busy_segment(0.5)],
+            rng=np.random.default_rng(2),
+        )
+        assert trace.label_mask("quiescent").sum() == 500
+        assert trace.label_mask("workload").sum() == 500
+        assert not trace.label_mask("nonexistent").any()
+
+    def test_core_count_mismatch_rejected(self, generator):
+        bad = ActivitySegment(duration=1.0, core_util=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            generator.generate([bad], rng=np.random.default_rng(0))
+
+
+class TestCurrentStructure:
+    def test_busy_draws_more_than_quiescent(self, generator):
+        trace = generator.generate(
+            [quiescent_segment(2.0), _busy_segment(2.0)],
+            rng=np.random.default_rng(3),
+            housekeeping=None,
+        )
+        quiescent = trace.true_current[trace.quiescent_truth].mean()
+        busy = trace.true_current[~trace.quiescent_truth].mean()
+        assert busy > quiescent + 1.0  # amps
+
+    def test_current_correlates_with_instruction_rate(self, generator):
+        segments = [
+            ActivitySegment(duration=0.5, core_util=(u,) * 4, dram_gbs=0.3 * u)
+            for u in np.linspace(0.05, 0.95, 8)
+        ]
+        trace = generator.generate(
+            segments, rng=np.random.default_rng(4), housekeeping=None
+        )
+        total_rate = trace.counters.instruction_rate.sum(axis=1)
+        rho = np.corrcoef(total_rate, trace.true_current)[0, 1]
+        assert rho > 0.97  # paper reports 99.7 % for the staircase test
+
+    def test_sel_step_applied(self, generator):
+        step = CurrentStep(start=1.0, delta_amps=0.07)
+        trace = generator.generate(
+            [quiescent_segment(2.0)],
+            rng=np.random.default_rng(5),
+            current_steps=[step],
+            housekeeping=None,
+        )
+        assert trace.sel_delta[:999].sum() == 0
+        assert trace.sel_delta[1001:].min() == pytest.approx(0.07)
+        before = trace.true_current[:900].mean()
+        after = trace.true_current[1100:].mean()
+        assert after - before == pytest.approx(0.07, abs=0.02)
+
+    def test_sel_step_with_end(self, generator):
+        step = CurrentStep(start=0.5, delta_amps=0.2, end=1.0)
+        trace = generator.generate(
+            [quiescent_segment(2.0)],
+            rng=np.random.default_rng(6),
+            current_steps=[step],
+        )
+        assert trace.sel_delta[1500:].sum() == 0
+        assert trace.sel_active[600]
+
+    def test_housekeeping_moves_counters_and_current(self, generator):
+        rng = np.random.default_rng(7)
+        trace = generator.generate([quiescent_segment(120.0)], rng=rng)
+        # At ~110 events/hour over 2 minutes, expect a few bursts.
+        busy_ticks = trace.counters.instruction_rate.sum(axis=1) > (
+            0.08 * generator.max_instruction_rate
+        )
+        assert busy_ticks.any()
+        # Ticks with housekeeping activity draw more current.
+        assert (
+            trace.true_current[busy_ticks].mean()
+            > trace.true_current[~busy_ticks].mean()
+        )
+
+
+class TestBurstSchedule:
+    def test_duty_cycle(self):
+        segments = burst_schedule(
+            total_duration=600.0,
+            burst_duration=60.0,
+            burst_period=180.0,
+            burst_segment=_busy_segment(),
+        )
+        total = sum(seg.duration for seg in segments)
+        assert total == pytest.approx(600.0)
+        busy = sum(seg.duration for seg in segments if not seg.quiescent)
+        assert busy == pytest.approx(240.0)  # 60s of each 180s + final partial
+
+    def test_rejects_inverted_periods(self):
+        with pytest.raises(ConfigurationError):
+            burst_schedule(100.0, 60.0, 50.0, _busy_segment())
+
+
+class TestMachineLifecycle:
+    def test_power_cycle_runs_hooks_and_clears_caches(self):
+        machine = Machine.rpi_zero2w()
+        region = machine.memory.alloc(64)
+        machine.memory.write_region(region, b"y" * 64)
+        machine.read_via_cache(region.addr, 64, group=0)
+        cleared = []
+        machine.on_power_cycle(lambda m: cleared.append(m))
+        t0 = machine.clock.now
+        machine.power_cycle()
+        assert cleared == [machine]
+        assert machine.clock.now - t0 == pytest.approx(machine.spec.power_cycle_seconds)
+        assert len(machine.caches.l2) == 0
+        assert machine.power_cycles == 1 and machine.reboots == 0
+
+    def test_reboot_does_not_run_sel_hooks(self):
+        machine = Machine.rpi_zero2w()
+        cleared = []
+        machine.on_power_cycle(lambda m: cleared.append(m))
+        machine.reboot()
+        assert cleared == []
+        assert machine.reboots == 1
+
+    def test_stock_machines(self):
+        pi = Machine.rpi_zero2w()
+        sd = Machine.snapdragon801()
+        assert pi.memory.has_ecc and not sd.memory.has_ecc
+        assert sd.spec.core_spec.max_freq > pi.spec.core_spec.max_freq
+
+    def test_default_core_groups(self):
+        machine = Machine.rpi_zero2w()
+        groups = machine.default_core_groups(3)
+        assert [g.core_ids for g in groups] == [(0,), (1,), (2,)]
+        with pytest.raises(ConfigurationError):
+            machine.default_core_groups(5)

@@ -1,0 +1,236 @@
+"""Tests for workload specs, image matching, DNN, matmul, registry."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads import (
+    ALL_WORKLOADS,
+    DnnWorkload,
+    ImageProcessingWorkload,
+    MatmulWorkload,
+    PAPER_WORKLOADS,
+    RegionRef,
+    make_workload,
+    navigation_schedule,
+    paper_workloads,
+    staircase_schedule,
+)
+from repro.workloads.base import DatasetSpec, WorkloadSpec
+from repro.workloads.dnn import Mlp
+from repro.workloads.imageproc import make_terrain, match_scores
+
+
+class TestRegionRef:
+    def test_overlap_same_blob(self):
+        a = RegionRef("x", 0, 10)
+        b = RegionRef("x", 5, 10)
+        c = RegionRef("x", 10, 10)
+        assert a.overlaps(b) and not a.overlaps(c)
+
+    def test_no_overlap_across_blobs(self):
+        assert not RegionRef("x", 0, 10).overlaps(RegionRef("y", 0, 10))
+
+    def test_line_range(self):
+        assert RegionRef("x", 60, 10).line_range(64) == (0, 1)
+        assert RegionRef("x", 64, 64).line_range(64) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RegionRef("x", -1, 10)
+        with pytest.raises(ConfigurationError):
+            RegionRef("x", 0, 0)
+
+
+class TestWorkloadSpecValidation:
+    def test_unknown_blob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="t",
+                blobs={"a": b"1234"},
+                datasets=[DatasetSpec(0, {"r": RegionRef("missing", 0, 2)})],
+                output_size=4,
+            )
+
+    def test_overrun_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="t",
+                blobs={"a": b"1234"},
+                datasets=[DatasetSpec(0, {"r": RegionRef("a", 2, 8)})],
+                output_size=4,
+            )
+
+    def test_slice_inputs(self):
+        spec = WorkloadSpec(
+            name="t",
+            blobs={"a": b"hello world"},
+            datasets=[DatasetSpec(0, {"r": RegionRef("a", 6, 5)})],
+            output_size=4,
+        )
+        assert spec.slice_inputs(spec.datasets[0]) == {"r": b"world"}
+
+
+class TestImageProcessing:
+    def test_localization_finds_true_window(self):
+        workload = ImageProcessingWorkload(map_size=64, template_size=16, stride=4)
+        rng = np.random.default_rng(0)
+        spec = workload.build(rng)
+        outputs = workload.reference_outputs(spec)
+        ncc, row, col = ImageProcessingWorkload.best_match(outputs)
+        assert ncc > 0.85
+        # The true origin may fall between strides; winner within a stride.
+        candidates = [
+            struct.unpack("<ddII", o) for o in outputs
+        ]
+        best = max(candidates, key=lambda t: t[0])
+        assert best[0] == pytest.approx(ncc)
+
+    def test_windows_are_row_regions(self):
+        workload = ImageProcessingWorkload(map_size=48, template_size=12, stride=12)
+        spec = workload.build(np.random.default_rng(1))
+        ds = spec.datasets[0]
+        assert sum(1 for role in ds.regions if role.startswith("row")) == 12
+        assert ds.regions["row1"].offset - ds.regions["row0"].offset == 48
+
+    def test_template_shared(self):
+        workload = ImageProcessingWorkload(map_size=48, template_size=12, stride=12)
+        spec = workload.build(np.random.default_rng(2))
+        refs = {ds.regions["template"] for ds in spec.datasets}
+        assert len(refs) == 1
+
+    def test_match_scores_identity(self):
+        rng = np.random.default_rng(3)
+        image = rng.integers(0, 256, (8, 8)).astype(np.uint8)
+        ncc, sad = match_scores(image, image)
+        assert ncc == pytest.approx(1.0)
+        assert sad == 0.0
+
+    def test_match_scores_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            match_scores(np.zeros((4, 4), np.uint8), np.zeros((5, 5), np.uint8))
+
+    def test_terrain_properties(self):
+        terrain = make_terrain(np.random.default_rng(4), 32, 48)
+        assert terrain.shape == (32, 48)
+        assert terrain.dtype == np.uint8
+        assert terrain.std() > 10  # textured, not flat
+
+    def test_corrupted_pixel_changes_score(self):
+        workload = ImageProcessingWorkload(map_size=48, template_size=12, stride=12)
+        spec = workload.build(np.random.default_rng(5))
+        ds = spec.datasets[0]
+        inputs = spec.slice_inputs(ds)
+        good = workload.run_job(inputs, dict(ds.params))
+        bad_row = bytearray(inputs["row3"])
+        bad_row[4] ^= 0x80
+        bad = workload.run_job({**inputs, "row3": bytes(bad_row)}, dict(ds.params))
+        assert good != bad
+
+
+class TestDnn:
+    def test_serialize_roundtrip(self):
+        model = Mlp((8, 6, 3))
+        params = model.init_params(np.random.default_rng(0))
+        recovered = model.deserialize(model.serialize(params))
+        for (w1, b1), (w2, b2) in zip(params, recovered):
+            assert np.array_equal(w1, w2) and np.array_equal(b1, b2)
+
+    def test_forward_is_distribution(self):
+        model = Mlp((8, 6, 3))
+        params = model.init_params(np.random.default_rng(1))
+        probs = model.forward(np.ones(8), params)
+        assert probs.shape == (3,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_truncated_weights_detected(self):
+        model = Mlp((8, 6, 3))
+        blob = model.serialize(model.init_params(np.random.default_rng(2)))
+        with pytest.raises(WorkloadError):
+            model.deserialize(blob[:-8])
+
+    def test_workload_windows_overlap(self):
+        workload = DnnWorkload(window_samples=32, stride=8, windows=6)
+        spec = workload.build(np.random.default_rng(3))
+        first = spec.datasets[0].regions["window"]
+        second = spec.datasets[1].regions["window"]
+        assert first.overlaps(second)
+
+    def test_weights_shared(self):
+        workload = DnnWorkload(windows=5)
+        spec = workload.build(np.random.default_rng(4))
+        refs = {ds.regions["weights"] for ds in spec.datasets}
+        assert len(refs) == 1
+
+    def test_flipped_weight_can_change_label(self):
+        workload = DnnWorkload(window_samples=16, stride=16, windows=8, hidden=(8,))
+        spec = workload.build(np.random.default_rng(5))
+        changed = 0
+        for ds in spec.datasets:
+            inputs = spec.slice_inputs(ds)
+            good = workload.run_job(inputs, {})
+            corrupted = bytearray(inputs["weights"])
+            corrupted[2] ^= 0x40  # high exponent bit of an early weight
+            bad = workload.run_job({**inputs, "weights": bytes(corrupted)}, {})
+            changed += good != bad
+        assert changed > 0
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        workload = MatmulWorkload(size=16, block_rows=4)
+        spec = workload.build(np.random.default_rng(0))
+        a = np.frombuffer(spec.blobs["a"], dtype="<f4").reshape(16, 16)
+        b = np.frombuffer(spec.blobs["b"], dtype="<f4").reshape(16, 16)
+        outputs = workload.reference_outputs(spec)
+        c = np.vstack(
+            [np.frombuffer(o, dtype="<f4").reshape(4, 16) for o in outputs]
+        )
+        expected = (a.astype(np.float64) @ b.astype(np.float64)).astype("<f4")
+        assert np.allclose(c, expected)
+
+    def test_staircase_covers_all_cells(self):
+        segments = staircase_schedule(step_duration=1.0)
+        # 5 active-core levels x 9 frequency levels.
+        assert len(segments) == 45
+        assert sum(seg.quiescent for seg in segments) == 9
+        assert all(seg.freq_override is not None for seg in segments)
+
+
+class TestRegistryAndSchedules:
+    def test_paper_workloads_complete(self):
+        assert set(PAPER_WORKLOADS) == {
+            "encryption",
+            "compression",
+            "intrusion_detection",
+            "image_processing",
+            "neural_networks",
+        }
+        instances = paper_workloads()
+        assert [w.name for w in instances] == list(PAPER_WORKLOADS)
+
+    def test_make_workload(self):
+        workload = make_workload("encryption", chunk_bytes=32, chunks=2)
+        assert workload.chunk_bytes == 32
+        with pytest.raises(ConfigurationError):
+            make_workload("nope")
+
+    def test_every_workload_builds_and_runs(self):
+        rng = np.random.default_rng(6)
+        for name in ALL_WORKLOADS:
+            workload = make_workload(name)
+            spec = workload.build(np.random.default_rng(7))
+            ds = spec.datasets[0]
+            output = workload.run_job(spec.slice_inputs(ds), dict(ds.params))
+            assert isinstance(output, bytes) and output
+            assert len(output) <= spec.output_size
+            assert workload.instructions_per_job(ds) > 0
+
+    def test_navigation_schedule_fills_duration(self):
+        segments = navigation_schedule(600.0, rng=np.random.default_rng(8))
+        assert sum(seg.duration for seg in segments) == pytest.approx(600.0)
+        labels = {seg.label for seg in segments}
+        assert "quiescent" in labels and "nav:attitude" in labels
