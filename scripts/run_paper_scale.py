@@ -7,9 +7,13 @@ hours of wall time for the full Table 2.
 
 Usage::
 
-    python scripts/run_paper_scale.py table2 [--hours 960] [--tick 1e-3]
-    python scripts/run_paper_scale.py fig10 [--trials 30]
-    python scripts/run_paper_scale.py table7 [--runs 20]
+    python scripts/run_paper_scale.py table2 [--hours 960] [--tick 1e-3] [--workers N]
+    python scripts/run_paper_scale.py fig10 [--trials 30] [--workers N]
+    python scripts/run_paper_scale.py table7 [--runs 20] [--workers N]
+
+``--workers`` fans the campaign out over a deterministic process pool
+(:mod:`repro.parallel`); results are bit-identical to a serial run, so
+use every core you have. The default (unset) uses one worker per CPU.
 """
 
 from __future__ import annotations
@@ -34,10 +38,10 @@ def run_table2(args: argparse.Namespace) -> None:
     print(
         f"Table 2 at paper scale: {n_episodes} episodes x "
         f"{episode_seconds:.0f}s at {args.tick * 1e3:g} ms ticks "
-        f"({args.hours:g} simulated hours)"
+        f"({args.hours:g} simulated hours, workers={args.workers or 'auto'})"
     )
     started = time.time()
-    table = run(config)
+    table = run(config, workers=args.workers)
     print(table.render())
     print(f"wall time: {(time.time() - started) / 60:.1f} minutes")
 
@@ -46,14 +50,14 @@ def run_fig10(args: argparse.Namespace) -> None:
     from repro.experiments.fig10_misdetection import run
 
     print(f"Fig 10 with {args.trials} trials per current level")
-    print(run(trials_per_delta=args.trials).render())
+    print(run(trials_per_delta=args.trials, workers=args.workers).render())
 
 
 def run_table7(args: argparse.Namespace) -> None:
     from repro.experiments.table7_fault_injection import run
 
     print(f"Table 7 with {args.runs} injections per scheme")
-    print(run(runs_per_scheme=args.runs).render())
+    print(run(runs_per_scheme=args.runs, workers=args.workers).render())
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -63,14 +67,17 @@ def main(argv: "list[str] | None" = None) -> int:
     table2 = sub.add_parser("table2")
     table2.add_argument("--hours", type=float, default=960.0)
     table2.add_argument("--tick", type=float, default=1e-3)
+    table2.add_argument("--workers", type=int, default=None)
     table2.set_defaults(func=run_table2)
 
     fig10 = sub.add_parser("fig10")
     fig10.add_argument("--trials", type=int, default=30)
+    fig10.add_argument("--workers", type=int, default=None)
     fig10.set_defaults(func=run_fig10)
 
     table7 = sub.add_parser("table7")
     table7.add_argument("--runs", type=int, default=20)
+    table7.add_argument("--workers", type=int, default=None)
     table7.set_defaults(func=run_table7)
 
     args = parser.parse_args(argv)

@@ -11,8 +11,17 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
+
+
+def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
+    """Pass --workers through to runners that understand it."""
+    workers = getattr(args, "workers", None)
+    if workers is not None and "workers" in inspect.signature(runner).parameters:
+        return {"workers": workers}
+    return {}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -52,7 +61,7 @@ def _resolve(name: str):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _resolve(args.experiment)
-    rendered = runner().render()
+    rendered = runner(**_runner_kwargs(runner, args)).render()
     if args.out:
         Path(args.out).write_text(rendered + "\n")
         print(f"wrote {args.out}")
@@ -64,7 +73,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
-    results = run_all(include_ablations=not args.no_ablations)
+    results = run_all(
+        include_ablations=not args.no_ablations, workers=args.workers
+    )
     out_dir = Path(args.out_dir) if args.out_dir else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -118,11 +129,20 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment")
     run.add_argument("--out", help="write rendered output to a file")
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes for experiments that fan out "
+             "(results are identical at any value; default serial)",
+    )
     run.set_defaults(func=_cmd_run)
 
     run_all_cmd = sub.add_parser("run-all", help="run every experiment")
     run_all_cmd.add_argument("--out-dir", help="write one file per experiment")
     run_all_cmd.add_argument("--no-ablations", action="store_true")
+    run_all_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes for experiments that fan out",
+    )
     run_all_cmd.set_defaults(func=_cmd_run_all)
 
     mission = sub.add_parser("mission", help="simulate a mission")

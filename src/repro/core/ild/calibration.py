@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...parallel import pmap
 from ...sim.telemetry import TelemetryTrace
 from .detector import IldConfig, IldDetector
 
@@ -69,17 +70,30 @@ def _score_one(
     return int(not in_window), false_positive
 
 
+def _score_task(task: "tuple[IldDetector, LabelledTrace, float]") -> "tuple[int, int]":
+    """Pool-side unit of the calibration grid: one (threshold-ready
+    detector, trace) cell. Top-level so it pickles."""
+    detector, labelled, window_seconds = task
+    return _score_one(detector, labelled, window_seconds)
+
+
 def sweep_thresholds(
     detector_factory,
     labelled_traces: "list[LabelledTrace]",
     thresholds: "np.ndarray | None" = None,
     base_config: "IldConfig | None" = None,
+    workers: "int | None" = 1,
 ) -> CalibrationResult:
     """Run the paper's 0.04–0.08 A sweep.
 
     ``detector_factory(config) -> IldDetector`` builds a trained
     detector at a given config (the model itself is threshold-free, so
     factories usually close over one fitted model).
+
+    The threshold × trace grid is embarrassingly parallel and scoring
+    is deterministic (no randomness), so any ``workers`` value yields
+    identical scores; detectors are built in-process (factories are
+    usually closures) and shipped to workers per grid cell.
     """
     if not labelled_traces:
         raise ConfigurationError("need at least one calibration trace")
@@ -88,15 +102,21 @@ def sweep_thresholds(
         thresholds = np.arange(0.040, 0.0801, 0.005)
     sel_traces = sum(1 for lt in labelled_traces if lt.sel_onset is not None)
     clean_traces = len(labelled_traces) - sel_traces
+    detectors = [
+        detector_factory(replace(base, residual_threshold_amps=float(threshold)))
+        for threshold in thresholds
+    ]
+    grid = [
+        (detector, labelled, base.detection_window_seconds)
+        for detector in detectors
+        for labelled in labelled_traces
+    ]
+    cell_scores = pmap(_score_task, grid, workers=workers)
     scores = []
-    for threshold in thresholds:
-        config = replace(base, residual_threshold_amps=float(threshold))
-        detector = detector_factory(config)
+    n_traces = len(labelled_traces)
+    for t_index, threshold in enumerate(thresholds):
         fn = fp = 0
-        for labelled in labelled_traces:
-            dfn, dfp = _score_one(
-                detector, labelled, base.detection_window_seconds
-            )
+        for dfn, dfp in cell_scores[t_index * n_traces : (t_index + 1) * n_traces]:
             fn += dfn
             fp += dfp
         scores.append(

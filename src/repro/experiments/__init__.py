@@ -60,12 +60,27 @@ EXTENSIONS = {
 }
 
 
-def run_all(include_ablations: bool = True) -> "dict[str, object]":
-    """Run every experiment at bench scale; id -> Table/Series."""
-    results = {name: runner() for name, runner in EXPERIMENTS.items()}
+def _call(runner, workers: "int | None"):
+    import inspect
+
+    if workers is not None and "workers" in inspect.signature(runner).parameters:
+        return runner(workers=workers)
+    return runner()
+
+
+def run_all(
+    include_ablations: bool = True, workers: "int | None" = None
+) -> "dict[str, object]":
+    """Run every experiment at bench scale; id -> Table/Series.
+
+    ``workers`` fans out the Monte-Carlo drivers (table2, fig10,
+    table7, ...) through :mod:`repro.parallel`; results are identical
+    at any setting.
+    """
+    results = {name: _call(runner, workers) for name, runner in EXPERIMENTS.items()}
     if include_ablations:
         for name, runner in ABLATIONS.items():
-            results[f"ablation:{name}"] = runner()
+            results[f"ablation:{name}"] = _call(runner, workers)
         for name, runner in EXTENSIONS.items():
-            results[f"extension:{name}"] = runner()
+            results[f"extension:{name}"] = _call(runner, workers)
     return results

@@ -28,6 +28,7 @@ from ..core.ild import (
     train_ild,
 )
 from ..errors import ConfigurationError
+from ..parallel import pmap
 from ..sim.machine import Machine
 from ..sim.telemetry import CurrentStep, TelemetryConfig, TraceGenerator
 from ..workloads.base import Workload
@@ -202,38 +203,66 @@ class SelTestbench:
         n_episodes: "int | None" = None,
         with_sel: bool = True,
         delta_amps: "float | None" = None,
+        workers: "int | None" = 1,
     ) -> "dict[str, DetectionSummary]":
-        """Stream episodes through every detector; constant memory."""
+        """Score every detector episode by episode.
+
+        Episodes are independent: each draws its schedule, noise, and
+        SEL onset from its own generator spawned off ``seed + 1000``,
+        so serial and parallel evaluation produce identical summaries
+        (aggregation happens in episode order either way).
+        """
         cfg = self.config
         episodes = n_episodes or cfg.n_episodes
-        rng = np.random.default_rng(cfg.seed + 1000)
         summaries = {name: DetectionSummary() for name in detectors}
-        for _ in range(episodes):
-            trace, truth = self.episode(rng, with_sel=with_sel, delta_amps=delta_amps)
-            onset_tick = (
-                int(truth.sel_onset / cfg.tick) if truth.sel_onset is not None
-                else trace.n_ticks
-            )
-            for name, detector in detectors.items():
-                reset = getattr(detector, "reset", None)
-                if reset is not None:
-                    reset()
-                detections = detector.process(trace)
-                mask = getattr(detector, "last_alarm_mask", None)
-                if mask is not None and len(mask):
-                    pre = mask[:onset_tick]
-                    alarm_ticks, total_ticks = int(pre.sum()), len(pre)
-                else:
-                    alarm_ticks, total_ticks = 0, 0
-                summaries[name].add(
-                    score_episode(
-                        detections, truth,
-                        detection_window=cfg.detection_window_seconds,
-                        pre_onset_alarm_ticks=alarm_ticks,
-                        pre_onset_ticks=total_ticks,
-                    )
-                )
+        tasks = [(self, detectors, with_sel, delta_amps)] * episodes
+        per_episode = pmap(
+            _evaluate_episode, tasks, seed=cfg.seed + 1000, workers=workers
+        )
+        for episode_scores in per_episode:
+            for name, score in episode_scores:
+                summaries[name].add(score)
         return summaries
+
+
+def _evaluate_episode(task, rng: np.random.Generator) -> "list[tuple[str, object]]":
+    """Generate one episode and score every detector on it.
+
+    Top-level (picklable) worker for :meth:`SelTestbench.evaluate`;
+    detectors arrive as pickled copies under the pool, so their
+    streaming state never leaks between episodes or processes.
+    """
+    bench, detectors, with_sel, delta_amps = task
+    cfg = bench.config
+    trace, truth = bench.episode(rng, with_sel=with_sel, delta_amps=delta_amps)
+    onset_tick = (
+        int(truth.sel_onset / cfg.tick) if truth.sel_onset is not None
+        else trace.n_ticks
+    )
+    scores = []
+    for name, detector in detectors.items():
+        reset = getattr(detector, "reset", None)
+        if reset is not None:
+            reset()
+        detections = detector.process(trace)
+        mask = getattr(detector, "last_alarm_mask", None)
+        if mask is not None and len(mask):
+            pre = mask[:onset_tick]
+            alarm_ticks, total_ticks = int(pre.sum()), len(pre)
+        else:
+            alarm_ticks, total_ticks = 0, 0
+        scores.append(
+            (
+                name,
+                score_episode(
+                    detections, truth,
+                    detection_window=cfg.detection_window_seconds,
+                    pre_onset_alarm_ticks=alarm_ticks,
+                    pre_onset_ticks=total_ticks,
+                ),
+            )
+        )
+    return scores
 
 
 # ----------------------------------------------------------------------

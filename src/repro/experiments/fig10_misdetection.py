@@ -5,6 +5,11 @@ between +0.01 A to +0.1 A in increasing order, and every SEL detection
 trigger was counted." The false-negative rate falls to zero once the
 extra draw exceeds ~0.05 A — below the smallest experimentally
 measured SEL (0.07 A), so real latchups are never missed.
+
+Trials are independent Monte-Carlo episodes, fanned out through
+:mod:`repro.parallel`: each (ΔI, trial) cell draws its onset and trace
+noise from its own spawned generator, so the figure is identical at
+any ``workers`` setting.
 """
 
 from __future__ import annotations
@@ -12,8 +17,30 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Series
+from ..parallel import pmap
 from ..sim.telemetry import CurrentStep, quiescent_segment
 from .common import SelBenchConfig, SelTestbench
+
+
+def _misdetection_trial(task, rng: np.random.Generator) -> int:
+    """One episode at one current delta; returns 1 on a miss."""
+    generator, detector, n_cores, delta, sel_window_seconds = task
+    onset = float(rng.uniform(30.0, 90.0))
+    trace = generator.generate(
+        [quiescent_segment(240.0, n_cores)],
+        rng=rng,
+        current_steps=[
+            CurrentStep(
+                start=onset,
+                delta_amps=float(delta),
+                end=onset + sel_window_seconds,
+            )
+        ],
+    )
+    detector.reset()
+    detections = detector.process(trace)
+    hit = any(onset <= d.time <= onset + sel_window_seconds for d in detections)
+    return int(not hit)
 
 
 def run(
@@ -21,36 +48,27 @@ def run(
     trials_per_delta: int = 6,
     sel_window_seconds: float = 60.0,
     config: "SelBenchConfig | None" = None,
+    workers: "int | None" = 1,
 ) -> Series:
     bench = SelTestbench(config)
     detector = bench.train_ild()
     if deltas is None:
         deltas = np.arange(0.01, 0.1001, 0.01)
-    rng = np.random.default_rng(bench.config.seed + 500)
 
-    fn_rates = []
-    for delta in deltas:
-        misses = 0
-        for _ in range(trials_per_delta):
-            onset = float(rng.uniform(30.0, 90.0))
-            trace = bench.generator.generate(
-                [quiescent_segment(240.0, bench.config.n_cores)],
-                rng=rng,
-                current_steps=[
-                    CurrentStep(
-                        start=onset,
-                        delta_amps=float(delta),
-                        end=onset + sel_window_seconds,
-                    )
-                ],
-            )
-            detector.reset()
-            detections = detector.process(trace)
-            hit = any(
-                onset <= d.time <= onset + sel_window_seconds for d in detections
-            )
-            misses += not hit
-        fn_rates.append(misses / trials_per_delta)
+    tasks = [
+        (bench.generator, detector, bench.config.n_cores, float(delta),
+         sel_window_seconds)
+        for delta in deltas
+        for _ in range(trials_per_delta)
+    ]
+    misses = pmap(
+        _misdetection_trial, tasks, seed=bench.config.seed + 500, workers=workers
+    )
+    fn_rates = [
+        sum(misses[i * trials_per_delta : (i + 1) * trials_per_delta])
+        / trials_per_delta
+        for i in range(len(deltas))
+    ]
 
     figure = Series(
         title="Fig 10: ILD misdetection rate vs. latchup current",

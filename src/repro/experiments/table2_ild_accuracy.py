@@ -16,7 +16,8 @@ from .common import SelBenchConfig, SelTestbench
 
 
 def run(config: "SelBenchConfig | None" = None,
-        include_naive_bayes: bool = False) -> Table:
+        include_naive_bayes: bool = False,
+        workers: "int | None" = 1) -> Table:
     bench = SelTestbench(config)
     detectors: "dict[str, object]" = {"ILD": bench.train_ild()}
     detectors["Random Forest"] = bench.train_random_forest()
@@ -24,7 +25,7 @@ def run(config: "SelBenchConfig | None" = None,
         detectors["Naive Bayes"] = bench.train_naive_bayes()
     detectors.update(bench.static_baselines())
 
-    summaries = bench.evaluate(detectors)
+    summaries = bench.evaluate(detectors, workers=workers)
 
     table = Table(
         title="Table 2: accuracy of ILD in detecting latchups",

@@ -17,6 +17,7 @@ def run(
     runs_per_scheme: int = 20,
     seed: int = 3,
     workload: "ImageProcessingWorkload | None" = None,
+    workers: "int | None" = 1,
 ) -> Table:
     workload = workload or ImageProcessingWorkload(
         map_size=64, template_size=16, stride=8
@@ -24,13 +25,13 @@ def run(
     single_bit = FaultInjectionCampaign(
         workload, CampaignConfig(runs_per_scheme=runs_per_scheme), seed=seed
     )
-    results = single_bit.run(schemes=("none", "3mr", "emr"))
+    results = single_bit.run(schemes=("none", "3mr", "emr"), workers=workers)
     mbu = FaultInjectionCampaign(
         workload,
         CampaignConfig(runs_per_scheme=runs_per_scheme, bits=2),
         seed=seed + 1,
     )
-    results["emr+mbu"] = mbu.run(schemes=("emr",))["emr"]
+    results["emr+mbu"] = mbu.run(schemes=("emr",), workers=workers)["emr"]
 
     table = Table(
         title="Table 7: fault injection into the image workload",

@@ -1,0 +1,209 @@
+"""Deterministic parallel experiment engine.
+
+Every paper artifact in this reproduction (the fault-injection
+campaigns, the calibration sweep, the misdetection and accuracy
+figures) is an embarrassingly parallel Monte-Carlo loop. This module
+gives those drivers one primitive, :func:`pmap`, with a hard
+determinism contract:
+
+* **Randomness is split, never shared.** When a ``seed`` is given,
+  each task receives its own :class:`numpy.random.Generator` built
+  from ``numpy.random.SeedSequence(seed).spawn(n)[i]``. Task *i*'s
+  stream depends only on ``(seed, i)`` — not on how many workers ran,
+  which process picked the task up, or what any other task consumed —
+  so parallel results are bit-identical to serial results.
+* **``workers=1`` is a pure fallback.** The serial path is a plain
+  in-process loop over the same spawned generators; no pool, no
+  pickling, no import-time side effects.
+* **Graceful degradation.** If the host has too few CPUs, fork is
+  unavailable (e.g. Windows), or the pool cannot be created, the call
+  silently degrades to the in-process loop and still returns the
+  same values.
+
+Task functions must be *top-level* callables (picklable by qualified
+name) and pure in their arguments: ``fn(item, rng)`` when a seed is
+given, ``fn(item)`` otherwise. Per-task wall time and the executing
+PID are captured for every task; :func:`pmap_report` exposes them so
+benchmarks can attribute cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "TaskTiming",
+    "ParallelReport",
+    "pmap",
+    "pmap_report",
+    "resolve_workers",
+    "spawn_generators",
+]
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall-clock accounting for one task."""
+
+    index: int
+    seconds: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """Everything :func:`pmap` learned while running a batch."""
+
+    values: "list"
+    timings: "tuple[TaskTiming, ...]"
+    workers: int  # effective worker count actually used
+    mode: str  # "serial" or "fork-pool"
+    wall_seconds: float
+
+    @property
+    def task_seconds(self) -> float:
+        """Sum of per-task times (CPU-side cost, ignoring overlap)."""
+        return sum(t.seconds for t in self.timings)
+
+
+def spawn_generators(seed, n: int) -> "list[np.random.Generator]":
+    """``n`` independent generators from one root seed.
+
+    The *i*-th generator depends only on ``(seed, i)``; this is the
+    primitive :func:`pmap` uses, exposed for drivers that manage their
+    own loops but want the same determinism contract.
+    """
+    if n < 0:
+        raise ConfigurationError(f"cannot spawn {n} generators")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def resolve_workers(workers: "int | None", n_items: "int | None" = None) -> int:
+    """Effective worker count: explicit request, else one per CPU,
+    never more than the number of items."""
+    count = os.cpu_count() or 1
+    effective = count if workers is None else int(workers)
+    if n_items is not None:
+        effective = min(effective, n_items)
+    return max(1, effective)
+
+
+def _pool_usable(min_cpus: int = 2) -> bool:
+    """Whether a fork pool is worth (and capable of) starting."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    return (os.cpu_count() or 1) >= min_cpus
+
+
+def _invoke(payload):
+    """Run one task; returns (value, seconds, pid). Top-level so the
+    pool can pickle it."""
+    fn, item, child_seed = payload
+    started = time.perf_counter()
+    if child_seed is None:
+        value = fn(item)
+    else:
+        value = fn(item, np.random.default_rng(child_seed))
+    return value, time.perf_counter() - started, os.getpid()
+
+
+def pmap_report(
+    fn,
+    items,
+    *,
+    seed=None,
+    workers: "int | None" = None,
+    chunksize: "int | None" = None,
+    force_pool: bool = False,
+) -> ParallelReport:
+    """Map ``fn`` over ``items``, deterministically, maybe in parallel.
+
+    Parameters
+    ----------
+    fn:
+        Top-level callable. Called as ``fn(item, rng)`` when ``seed``
+        is given, else ``fn(item)``.
+    seed:
+        Root seed (int or :class:`numpy.random.SeedSequence`). Task
+        *i* gets the generator spawned at index *i* regardless of the
+        worker count, so results never depend on scheduling.
+    workers:
+        Desired parallelism. ``None`` = one per CPU; ``1`` = the pure
+        serial path. Small hosts / missing fork degrade to serial.
+    chunksize:
+        Pool chunking (default: ~4 chunks per worker).
+    force_pool:
+        Start the pool even on a single-CPU host (used by the
+        determinism tests so the pool path is always exercised).
+    """
+    items = list(items)
+    n = len(items)
+    if seed is None:
+        child_seeds = [None] * n
+    else:
+        root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        child_seeds = root.spawn(n)
+    payloads = [(fn, item, child) for item, child in zip(items, child_seeds)]
+
+    effective = resolve_workers(workers, n)
+    use_pool = n > 0 and effective > 1 and (force_pool or _pool_usable())
+
+    started = time.perf_counter()
+    outcomes = None
+    mode = "serial"
+    if use_pool:
+        if chunksize is None:
+            chunksize = max(1, n // (effective * 4))
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=effective) as pool:
+                outcomes = pool.map(_invoke, payloads, chunksize=chunksize)
+            mode = "fork-pool"
+        except (OSError, ValueError):
+            outcomes = None  # fall through to the serial path
+    if outcomes is None:
+        effective = 1
+        outcomes = [_invoke(payload) for payload in payloads]
+
+    wall = time.perf_counter() - started
+    values = [value for value, _, _ in outcomes]
+    timings = tuple(
+        TaskTiming(index=i, seconds=seconds, pid=pid)
+        for i, (_, seconds, pid) in enumerate(outcomes)
+    )
+    return ParallelReport(
+        values=values,
+        timings=timings,
+        workers=effective,
+        mode=mode,
+        wall_seconds=wall,
+    )
+
+
+def pmap(
+    fn,
+    items,
+    *,
+    seed=None,
+    workers: "int | None" = None,
+    chunksize: "int | None" = None,
+    force_pool: bool = False,
+) -> "list":
+    """:func:`pmap_report` without the accounting — just the values,
+    in input order."""
+    return pmap_report(
+        fn,
+        items,
+        seed=seed,
+        workers=workers,
+        chunksize=chunksize,
+        force_pool=force_pool,
+    ).values

@@ -34,6 +34,7 @@ from ..core.emr.checksum import checksum_protected_run
 from ..core.emr.jobs import Job
 from ..core.emr.runtime import EmrConfig, EmrHooks, EmrRuntime, RunResult
 from ..errors import ConfigurationError, DetectedFaultError
+from ..parallel import ParallelReport, pmap_report
 from ..sim.machine import Machine
 from ..workloads.base import Workload, WorkloadSpec
 from .events import OutcomeClass, SeuTarget
@@ -136,6 +137,91 @@ class _InjectionHooks(EmrHooks):
         return record
 
 
+@dataclass(frozen=True)
+class TrialTask:
+    """Everything one injection trial needs, picklable for the pool."""
+
+    scheme: str
+    workload: Workload
+    spec: WorkloadSpec
+    golden: "tuple[bytes, ...]"
+    config: CampaignConfig
+    machine_factory: "object"
+
+
+def _pick_target(weights: "dict[SeuTarget, float]", rng: np.random.Generator) -> SeuTarget:
+    targets = list(weights)
+    probabilities = np.array([weights[t] for t in targets], dtype=float)
+    probabilities /= probabilities.sum()
+    return targets[int(rng.choice(len(targets), p=probabilities))]
+
+
+def run_campaign_trial(task: TrialTask, rng: np.random.Generator) -> InjectionOutcome:
+    """One injection trial: fresh machine, one strike, one outcome.
+
+    Pure in ``(task, rng)`` — no closure over campaign state — so it
+    runs identically under the process pool and the serial path.
+    """
+    machine = task.machine_factory()
+    target = _pick_target(task.config.weights, rng)
+    single_pass = task.scheme in ("none", "checksum")
+    n_jobs = len(task.spec.datasets) * (1 if single_pass else 3)
+    hooks = _InjectionHooks(
+        machine, target, int(rng.integers(0, n_jobs)),
+        task.config.bits, rng,
+    )
+    emr_config = EmrConfig(
+        replication_threshold=task.config.replication_threshold,
+        raise_on_inconclusive=True,
+    )
+    result: "RunResult | None" = None
+    error: "str | None" = None
+    try:
+        if task.scheme == "none":
+            result = single_run(machine, task.workload, spec=task.spec,
+                                config=emr_config, hooks=hooks)
+        elif task.scheme == "3mr":
+            result = sequential_3mr(machine, task.workload, spec=task.spec,
+                                    config=emr_config, hooks=hooks)
+        elif task.scheme == "unprotected-parallel":
+            result = unprotected_parallel_3mr(
+                machine, task.workload, spec=task.spec,
+                config=emr_config, hooks=hooks,
+            )
+        elif task.scheme == "emr":
+            runtime = EmrRuntime(machine, task.workload, config=emr_config,
+                                 hooks=hooks)
+            result = runtime.run(spec=task.spec)
+        elif task.scheme == "checksum":
+            result = checksum_protected_run(
+                machine, task.workload, spec=task.spec,
+                config=emr_config, hooks=hooks,
+            )
+        else:
+            raise ConfigurationError(f"unknown scheme {task.scheme!r}")
+    except DetectedFaultError as exc:
+        error = str(exc)
+
+    if error is not None:
+        outcome = OutcomeClass.ERROR
+    elif result.stats.detected_faults:
+        # A replica crashed but redundancy recovered: the fault was
+        # still *observed* — the paper counts this as an error.
+        outcome = OutcomeClass.ERROR
+    elif not result.matches(list(task.golden)):
+        outcome = OutcomeClass.SDC
+    elif result.stats.vote_corrections > 0:
+        outcome = OutcomeClass.CORRECTED
+    else:
+        outcome = OutcomeClass.NO_EFFECT
+    return InjectionOutcome(
+        scheme=task.scheme,
+        outcome=outcome,
+        target=target,
+        detail=error or hooks.detail,
+    )
+
+
 class FaultInjectionCampaign:
     """Runs the Table 7 experiment for one workload."""
 
@@ -150,96 +236,49 @@ class FaultInjectionCampaign:
         self.config = config or CampaignConfig()
         self.machine_factory = machine_factory
         self.seed = seed
+        #: Accounting of the most recent :meth:`run` (per-trial timing,
+        #: worker count, pool/serial mode).
+        self.last_report: "ParallelReport | None" = None
 
     def _golden(self, spec: WorkloadSpec) -> "list[bytes]":
         return self.workload.reference_outputs(spec)
 
-    def _pick_target(self, rng: np.random.Generator) -> SeuTarget:
-        targets = list(self.config.weights)
-        weights = np.array([self.config.weights[t] for t in targets], dtype=float)
-        weights /= weights.sum()
-        return targets[int(rng.choice(len(targets), p=weights))]
-
-    def _run_scheme(
-        self,
-        scheme: str,
-        spec: WorkloadSpec,
-        golden: "list[bytes]",
-        rng: np.random.Generator,
-    ) -> InjectionOutcome:
-        machine = self.machine_factory()
-        target = self._pick_target(rng)
-        single_pass = scheme in ("none", "checksum")
-        n_jobs = len(spec.datasets) * (1 if single_pass else 3)
-        hooks = _InjectionHooks(
-            machine, target, int(rng.integers(0, n_jobs)),
-            self.config.bits, rng,
-        )
-        emr_config = EmrConfig(
-            replication_threshold=self.config.replication_threshold,
-            raise_on_inconclusive=True,
-        )
-        result: "RunResult | None" = None
-        error: "str | None" = None
-        try:
-            if scheme == "none":
-                result = single_run(machine, self.workload, spec=spec,
-                                    config=emr_config, hooks=hooks)
-            elif scheme == "3mr":
-                result = sequential_3mr(machine, self.workload, spec=spec,
-                                        config=emr_config, hooks=hooks)
-            elif scheme == "unprotected-parallel":
-                result = unprotected_parallel_3mr(
-                    machine, self.workload, spec=spec,
-                    config=emr_config, hooks=hooks,
-                )
-            elif scheme == "emr":
-                runtime = EmrRuntime(machine, self.workload, config=emr_config,
-                                     hooks=hooks)
-                result = runtime.run(spec=spec)
-            elif scheme == "checksum":
-                result = checksum_protected_run(
-                    machine, self.workload, spec=spec,
-                    config=emr_config, hooks=hooks,
-                )
-            else:
-                raise ConfigurationError(f"unknown scheme {scheme!r}")
-        except DetectedFaultError as exc:
-            error = str(exc)
-
-        if error is not None:
-            outcome = OutcomeClass.ERROR
-        elif result.stats.detected_faults:
-            # A replica crashed but redundancy recovered: the fault was
-            # still *observed* — the paper counts this as an error.
-            outcome = OutcomeClass.ERROR
-        elif not result.matches(golden):
-            outcome = OutcomeClass.SDC
-        elif result.stats.vote_corrections > 0:
-            outcome = OutcomeClass.CORRECTED
-        else:
-            outcome = OutcomeClass.NO_EFFECT
-        return InjectionOutcome(
-            scheme=scheme,
-            outcome=outcome,
-            target=target,
-            detail=error or hooks.detail,
-        )
-
     def run(
-        self, schemes: "tuple[str, ...]" = ("none", "3mr", "emr")
+        self,
+        schemes: "tuple[str, ...]" = ("none", "3mr", "emr"),
+        workers: "int | None" = 1,
     ) -> "dict[str, Counter]":
-        """Returns scheme -> Counter over :class:`OutcomeClass`."""
+        """Returns scheme -> Counter over :class:`OutcomeClass`.
+
+        Trials are independent: each gets its own generator spawned
+        from ``SeedSequence(seed)``, so any ``workers`` value — serial
+        included — produces the same outcomes in the same order.
+        """
         rng = np.random.default_rng(self.seed)
         spec = self.workload.build(rng)
-        golden = self._golden(spec)
+        golden = tuple(self._golden(spec))
+        tasks = [
+            TrialTask(
+                scheme=scheme,
+                workload=self.workload,
+                spec=spec,
+                golden=golden,
+                config=self.config,
+                machine_factory=self.machine_factory,
+            )
+            for scheme in schemes
+            for _ in range(self.config.runs_per_scheme)
+        ]
+        report = pmap_report(
+            run_campaign_trial, tasks, seed=self.seed, workers=workers
+        )
+        self.last_report = report
+        self.outcomes: "list[InjectionOutcome]" = list(report.values)
         table: "dict[str, Counter]" = {}
-        self.outcomes: "list[InjectionOutcome]" = []
         for scheme in schemes:
             counts: Counter = Counter()
-            for _ in range(self.config.runs_per_scheme):
-                outcome = self._run_scheme(scheme, spec, golden, rng)
-                counts[outcome.outcome] += 1
-                self.outcomes.append(outcome)
+            for outcome in self.outcomes:
+                if outcome.scheme == scheme:
+                    counts[outcome.outcome] += 1
             table[scheme] = counts
         return table

@@ -101,10 +101,13 @@ class SimMemory:
         self.size = size
         self.name = name
         self.has_ecc = ecc
-        self._data = bytearray(size)
+        # np.zeros is calloc-backed: a 48 MB device costs microseconds
+        # (lazy zero pages) instead of the milliseconds bytearray spends
+        # memset-ing, which dominates Machine construction in campaigns.
+        self._data = np.zeros(size, dtype=np.uint8)
         # All-zero data with all-zero checks is a valid SECDED codeword
         # (encode(0) == 0), so fresh memory needs no initial encoding.
-        self._checks = bytearray(size // _WORD) if ecc else None
+        self._checks = np.zeros(size // _WORD, dtype=np.uint8) if ecc else None
         self._bump = 0
         self._allocations: list[MemoryRegion] = []
         self.stats = MemoryStats()
@@ -177,8 +180,8 @@ class SimMemory:
         assert self._checks is not None
         start = first_word * _WORD
         stop = (first_word + count) * _WORD
-        words = ecc.bytes_to_words(bytes(self._data[start:stop]))
-        self._checks[first_word : first_word + count] = ecc.encode_array(words).tobytes()
+        words = self._data[start:stop].view("<u8")
+        self._checks[first_word : first_word + count] = ecc.encode_array(words)
 
     def write(self, addr: int, data: bytes) -> None:
         """Store ``data`` at ``addr`` and refresh ECC for touched words.
@@ -200,7 +203,7 @@ class SimMemory:
                 self._scrub_word(first_word)
             if (addr + n) % _WORD and last_word != first_word:
                 self._scrub_word(last_word)
-        self._data[addr : addr + n] = data
+        self._data[addr : addr + n] = np.frombuffer(data, dtype=np.uint8)
         if self.has_ecc:
             first_word = addr // _WORD
             last_word = (addr + n - 1) // _WORD
@@ -215,15 +218,15 @@ class SimMemory:
     def _scrub_word(self, word_index: int) -> None:
         assert self._checks is not None
         start = word_index * _WORD
-        word = int.from_bytes(self._data[start : start + _WORD], "little")
-        result = ecc.decode(word, self._checks[word_index])
+        word = int(self._data[start : start + _WORD].view("<u8")[0])
+        result = ecc.decode(word, int(self._checks[word_index]))
         if result.uncorrectable:
             self.stats.detected_errors += 1
             raise UncorrectableMemoryError(start)
         if result.corrected:
             self.stats.corrected_errors += 1
             self.stats.corrected_addresses.append(start)
-            self._data[start : start + _WORD] = result.data.to_bytes(_WORD, "little")
+            self._data[start : start + _WORD].view("<u8")[0] = result.data
             self._checks[word_index] = ecc.encode(result.data)
         self._dirty_words.discard(word_index)
 
@@ -242,28 +245,21 @@ class SimMemory:
             return bytes(self._data[addr : addr + n])
         start = first_word * _WORD
         stop = (last_word + 1) * _WORD
-        words = ecc.bytes_to_words(bytes(self._data[start:stop]))
-        checks = np.frombuffer(
-            bytes(self._checks[first_word : last_word + 1]), dtype=np.uint8
-        )
+        words = self._data[start:stop].view("<u8")
+        checks = self._checks[first_word : last_word + 1]
         fixed, corrected, uncorrectable = ecc.decode_array(words, checks)
         if uncorrectable.any():
             bad = int(np.nonzero(uncorrectable)[0][0])
             self.stats.detected_errors += int(uncorrectable.sum())
             raise UncorrectableMemoryError(start + bad * _WORD)
         if corrected.any():
-            count = int(corrected.sum())
-            self.stats.corrected_errors += count
             # Write the corrected words (and fresh checks) back: scrubbing.
             idx = np.nonzero(corrected)[0]
-            raw = ecc.words_to_bytes(fixed)
+            self.stats.corrected_errors += len(idx)
+            words[idx] = fixed[idx]
+            checks[idx] = ecc.encode_array(fixed[idx])
             for i in idx:
-                wstart = int(i) * _WORD
-                self._data[start + wstart : start + wstart + _WORD] = raw[
-                    wstart : wstart + _WORD
-                ]
-                self._checks[first_word + int(i)] = ecc.encode(int(fixed[int(i)]))
-                self.stats.corrected_addresses.append(start + wstart)
+                self.stats.corrected_addresses.append(start + int(i) * _WORD)
                 self._dirty_words.discard(first_word + int(i))
         return ecc.words_to_bytes(fixed)[addr - start : addr - start + n]
 

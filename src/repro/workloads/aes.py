@@ -148,6 +148,85 @@ def _inv_mix_columns(state: "list[int]") -> None:
         )
 
 
+# ----------------------------------------------------------------------
+# Vectorized cipher: all blocks at once
+# ----------------------------------------------------------------------
+#
+# The scalar cipher above walks one 16-byte state through per-byte
+# Python loops; encrypting a chunk costs ~1100 interpreted operations
+# per byte. The batched kernel below keeps every block of the message
+# in one ``(n_blocks, 16)`` uint8 array and applies each round as
+# whole-array table lookups (SubBytes, the GF(2^8) multiples used by
+# MixColumns), a single fancy-index permutation (ShiftRows), and XORs
+# (AddRoundKey) — identical arithmetic, identical bytes out, two-plus
+# orders of magnitude fewer interpreter dispatches.
+
+_SBOX_NP = np.array(_SBOX, dtype=np.uint8)
+_INV_SBOX_NP = np.array(_INV_SBOX, dtype=np.uint8)
+
+#: GF(2^8) multiplication tables for the MixColumns coefficients.
+_MUL = {
+    factor: np.array([_gf_mul(x, factor) for x in range(256)], dtype=np.uint8)
+    for factor in (2, 3, 9, 11, 13, 14)
+}
+
+#: Flat-state ShiftRows permutations. State byte ``4*col + row`` moves
+#: to ``4*((col + row) % 4) + row`` exactly as in :func:`_shift_rows`.
+_SHIFT_IDX = np.array(
+    [4 * ((col + row) % 4) + row for col in range(4) for row in range(4)],
+    dtype=np.intp,
+)
+_INV_SHIFT_IDX = np.array(
+    [4 * ((col - row) % 4) + row for col in range(4) for row in range(4)],
+    dtype=np.intp,
+)
+
+
+def expand_key_array(key: bytes) -> np.ndarray:
+    """Round keys as a ``(15, 16)`` uint8 array in flat-state order."""
+    return np.array(expand_key(key), dtype=np.uint8).reshape(_NR + 1, 16)
+
+
+def _mix_columns_batch(state: np.ndarray) -> np.ndarray:
+    a = state.reshape(-1, 4, 4)
+    b0, b1, b2, b3 = a[:, :, 0], a[:, :, 1], a[:, :, 2], a[:, :, 3]
+    mixed = np.empty_like(a)
+    mixed[:, :, 0] = _MUL[2][b0] ^ _MUL[3][b1] ^ b2 ^ b3
+    mixed[:, :, 1] = b0 ^ _MUL[2][b1] ^ _MUL[3][b2] ^ b3
+    mixed[:, :, 2] = b0 ^ b1 ^ _MUL[2][b2] ^ _MUL[3][b3]
+    mixed[:, :, 3] = _MUL[3][b0] ^ b1 ^ b2 ^ _MUL[2][b3]
+    return mixed.reshape(-1, 16)
+
+
+def _inv_mix_columns_batch(state: np.ndarray) -> np.ndarray:
+    a = state.reshape(-1, 4, 4)
+    b0, b1, b2, b3 = a[:, :, 0], a[:, :, 1], a[:, :, 2], a[:, :, 3]
+    mixed = np.empty_like(a)
+    mixed[:, :, 0] = _MUL[14][b0] ^ _MUL[11][b1] ^ _MUL[13][b2] ^ _MUL[9][b3]
+    mixed[:, :, 1] = _MUL[9][b0] ^ _MUL[14][b1] ^ _MUL[11][b2] ^ _MUL[13][b3]
+    mixed[:, :, 2] = _MUL[13][b0] ^ _MUL[9][b1] ^ _MUL[14][b2] ^ _MUL[11][b3]
+    mixed[:, :, 3] = _MUL[11][b0] ^ _MUL[13][b1] ^ _MUL[9][b2] ^ _MUL[14][b3]
+    return mixed.reshape(-1, 16)
+
+
+def encrypt_blocks(blocks: np.ndarray, round_keys: np.ndarray) -> np.ndarray:
+    """AES-256 encrypt a ``(n, 16)`` uint8 block array in one sweep."""
+    state = blocks ^ round_keys[0]
+    for round_index in range(1, _NR):
+        state = _SBOX_NP[state][:, _SHIFT_IDX]
+        state = _mix_columns_batch(state) ^ round_keys[round_index]
+    return _SBOX_NP[state][:, _SHIFT_IDX] ^ round_keys[_NR]
+
+
+def decrypt_blocks(blocks: np.ndarray, round_keys: np.ndarray) -> np.ndarray:
+    """Inverse cipher over a ``(n, 16)`` uint8 block array."""
+    state = blocks ^ round_keys[_NR]
+    for round_index in range(_NR - 1, 0, -1):
+        state = _INV_SBOX_NP[state[:, _INV_SHIFT_IDX]] ^ round_keys[round_index]
+        state = _inv_mix_columns_batch(state)
+    return _INV_SBOX_NP[state[:, _INV_SHIFT_IDX]] ^ round_keys[0]
+
+
 def encrypt_block(block: bytes, words) -> bytes:
     if len(block) != 16:
         raise WorkloadError(f"AES block must be 16 bytes, got {len(block)}")
@@ -181,7 +260,34 @@ def decrypt_block(block: bytes, words) -> bytes:
 
 
 def ecb_encrypt(plaintext: bytes, key: bytes) -> bytes:
-    """AES-256-ECB over a multiple-of-16-byte plaintext."""
+    """AES-256-ECB over a multiple-of-16-byte plaintext (batched)."""
+    if len(plaintext) % 16:
+        raise WorkloadError(
+            f"ECB plaintext must be a multiple of 16 bytes, got {len(plaintext)}"
+        )
+    if not plaintext:
+        expand_key(key)  # still validate the key
+        return b""
+    blocks = np.frombuffer(plaintext, dtype=np.uint8).reshape(-1, 16)
+    return encrypt_blocks(blocks, expand_key_array(key)).tobytes()
+
+
+def ecb_decrypt(ciphertext: bytes, key: bytes) -> bytes:
+    if len(ciphertext) % 16:
+        raise WorkloadError(
+            f"ECB ciphertext must be a multiple of 16 bytes, got {len(ciphertext)}"
+        )
+    if not ciphertext:
+        expand_key(key)
+        return b""
+    blocks = np.frombuffer(ciphertext, dtype=np.uint8).reshape(-1, 16)
+    return decrypt_blocks(blocks, expand_key_array(key)).tobytes()
+
+
+def ecb_encrypt_scalar(plaintext: bytes, key: bytes) -> bytes:
+    """The one-block-at-a-time reference path: same bytes as
+    :func:`ecb_encrypt`, kept for equivalence tests and as the
+    before-side of ``scripts/bench_perf.py``."""
     if len(plaintext) % 16:
         raise WorkloadError(
             f"ECB plaintext must be a multiple of 16 bytes, got {len(plaintext)}"
@@ -193,7 +299,8 @@ def ecb_encrypt(plaintext: bytes, key: bytes) -> bytes:
     )
 
 
-def ecb_decrypt(ciphertext: bytes, key: bytes) -> bytes:
+def ecb_decrypt_scalar(ciphertext: bytes, key: bytes) -> bytes:
+    """Scalar reference counterpart of :func:`ecb_decrypt`."""
     if len(ciphertext) % 16:
         raise WorkloadError(
             f"ECB ciphertext must be a multiple of 16 bytes, got {len(ciphertext)}"
@@ -253,6 +360,27 @@ class AesWorkload(Workload):
 
     def run_job(self, inputs: "dict[str, bytes]", params: "dict[str, object]") -> bytes:
         return ecb_encrypt(inputs["data"], inputs["key"])
+
+    def reference_outputs(self, spec: WorkloadSpec) -> "list[bytes]":
+        """Golden path: every chunk shares the key, so expand it once
+        and push all blocks of the whole campaign through one batched
+        sweep. Byte-identical to the per-job path."""
+        inputs = [spec.slice_inputs(ds) for ds in spec.datasets]
+        keys = {job["key"] for job in inputs}
+        if len(keys) != 1:
+            return super().reference_outputs(spec)
+        round_keys = expand_key_array(next(iter(keys)))
+        chunks = [job["data"] for job in inputs]
+        if any(len(chunk) % 16 for chunk in chunks):
+            return super().reference_outputs(spec)
+        blocks = np.frombuffer(b"".join(chunks), dtype=np.uint8).reshape(-1, 16)
+        ciphertext = encrypt_blocks(blocks, round_keys).tobytes()
+        outputs = []
+        offset = 0
+        for chunk in chunks:
+            outputs.append(ciphertext[offset : offset + len(chunk)])
+            offset += len(chunk)
+        return outputs
 
     def instructions_per_job(self, dataset: DatasetSpec) -> int:
         # ~1100 instructions per byte for table-free software AES-256.

@@ -9,10 +9,15 @@ from repro.errors import WorkloadError
 from repro.workloads.aes import (
     AesWorkload,
     decrypt_block,
+    decrypt_blocks,
     ecb_decrypt,
+    ecb_decrypt_scalar,
     ecb_encrypt,
+    ecb_encrypt_scalar,
     encrypt_block,
+    encrypt_blocks,
     expand_key,
+    expand_key_array,
 )
 
 
@@ -44,6 +49,57 @@ class TestKnownAnswers:
     def test_unaligned_ecb(self):
         with pytest.raises(WorkloadError):
             ecb_encrypt(b"12345", bytes(32))
+
+
+class TestVectorized:
+    """The batched numpy kernel must be byte-identical to the scalar loop."""
+
+    def test_fips197_c3_vector_batched(self):
+        key = bytes(range(32))
+        round_keys = expand_key_array(key)
+        plaintext = np.frombuffer(
+            bytes.fromhex("00112233445566778899aabbccddeeff"), dtype=np.uint8
+        ).reshape(1, 16)
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        cipher = encrypt_blocks(plaintext, round_keys)
+        assert cipher.tobytes() == expected
+        assert decrypt_blocks(cipher, round_keys).tobytes() == plaintext.tobytes()
+
+    def test_expand_key_array_matches_words(self):
+        key = bytes(range(32))
+        flat = expand_key_array(key)
+        assert flat.shape == (15, 16)
+        assert flat.dtype == np.uint8
+        words = expand_key(key)
+        # Round r, column c of the flat layout is word 4r + c.
+        for r in range(15):
+            for c in range(4):
+                assert list(flat[r, 4 * c : 4 * c + 4]) == words[4 * r + c]
+
+    def test_matches_scalar_on_random_inputs(self):
+        rng = np.random.default_rng(9)
+        for n_blocks in (1, 2, 7, 64):
+            key = rng.bytes(32)
+            plaintext = rng.bytes(16 * n_blocks)
+            vec = ecb_encrypt(plaintext, key)
+            assert vec == ecb_encrypt_scalar(plaintext, key)
+            assert ecb_decrypt(vec, key) == plaintext
+            assert ecb_decrypt_scalar(vec, key) == plaintext
+
+    def test_blocks_roundtrip(self):
+        rng = np.random.default_rng(10)
+        round_keys = expand_key_array(rng.bytes(32))
+        blocks = rng.integers(0, 256, (33, 16), dtype=np.uint8)
+        cipher = encrypt_blocks(blocks, round_keys)
+        assert cipher.shape == blocks.shape
+        assert not np.array_equal(cipher, blocks)
+        assert np.array_equal(decrypt_blocks(cipher, round_keys), blocks)
+
+    def test_empty_input(self):
+        key = bytes(32)
+        assert ecb_encrypt(b"", key) == b""
+        with pytest.raises(WorkloadError):
+            ecb_encrypt(b"", b"bad key")
 
 
 class TestProperties:

@@ -77,6 +77,23 @@ class TestRollingMinimum:
         out = filt.per_tick(np.arange(40, dtype=float), samples_per_tick=4)
         assert len(out) == 10
 
+    def test_per_tick_partial_final_tick(self):
+        # 10 samples at 4/tick: tick centers fall at indices 2 and 6;
+        # the trailing partial tick (samples 8, 9) has no center and
+        # must not produce a value.
+        filt = RollingMinimumFilter(2)
+        samples = np.arange(10, dtype=float)
+        out = filt.per_tick(samples, samples_per_tick=4)
+        assert len(out) == 2
+        assert np.array_equal(out, filt.apply(samples)[2::4])
+        # One more sample brings index 10 (the third center) into range.
+        longer = np.arange(11, dtype=float)
+        assert len(filt.per_tick(longer, samples_per_tick=4)) == 3
+
+    def test_per_tick_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            RollingMinimumFilter(2).per_tick(np.arange(8.0), samples_per_tick=0)
+
     def test_zero_halfwidth_identity(self):
         samples = np.array([3.0, 1.0, 2.0])
         assert np.array_equal(RollingMinimumFilter(0).apply(samples), samples)

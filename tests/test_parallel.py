@@ -1,0 +1,187 @@
+"""Determinism contract of the parallel experiment engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    ParallelReport,
+    pmap,
+    pmap_report,
+    resolve_workers,
+    spawn_generators,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(item, rng):
+    return item + float(rng.random())
+
+
+class TestPrimitives:
+    def test_spawn_generators_prefix_stable(self):
+        # Task i's stream depends only on (seed, i), not on how many
+        # tasks the batch holds.
+        few = [g.random() for g in spawn_generators(42, 3)]
+        many = [g.random() for g in spawn_generators(42, 8)][:3]
+        assert few == many
+
+    def test_spawn_generators_distinct(self):
+        draws = [g.random() for g in spawn_generators(0, 16)]
+        assert len(set(draws)) == 16
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_generators(0, -1)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(4, n_items=2) == 2
+        assert resolve_workers(0) == 1
+        assert resolve_workers(None, n_items=1) == 1
+
+
+class TestPmap:
+    def test_order_preserved(self):
+        assert pmap(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_empty(self):
+        report = pmap_report(_square, [])
+        assert report.values == []
+        assert report.timings == ()
+
+    def test_seeded_runs_repeat(self):
+        first = pmap(_draw, range(6), seed=7)
+        second = pmap(_draw, range(6), seed=7)
+        assert first == second
+
+    def test_seed_changes_values(self):
+        assert pmap(_draw, range(6), seed=7) != pmap(_draw, range(6), seed=8)
+
+    def test_report_accounting(self):
+        report = pmap_report(_draw, range(5), seed=1, workers=1)
+        assert isinstance(report, ParallelReport)
+        assert report.mode == "serial"
+        assert report.workers == 1
+        assert len(report.timings) == 5
+        assert [t.index for t in report.timings] == list(range(5))
+        assert report.task_seconds >= 0
+
+    def test_forced_pool_matches_serial(self):
+        # force_pool exercises the fork-pool path even on one CPU.
+        serial = pmap_report(_draw, range(12), seed=3, workers=1)
+        pooled = pmap_report(
+            _draw, range(12), seed=3, workers=4, force_pool=True
+        )
+        assert pooled.values == serial.values
+        if pooled.mode == "fork-pool":  # may degrade where fork is absent
+            assert pooled.workers == 4
+
+
+@pytest.mark.slow
+class TestCampaignDeterminism:
+    def test_injector_pool_equals_serial(self):
+        from repro.radiation.injector import (
+            CampaignConfig,
+            FaultInjectionCampaign,
+            run_campaign_trial,
+        )
+        from repro.workloads.imageproc import ImageProcessingWorkload
+
+        def campaign():
+            return FaultInjectionCampaign(
+                ImageProcessingWorkload(map_size=48, template_size=16, stride=16),
+                CampaignConfig(runs_per_scheme=4),
+                seed=11,
+            )
+
+        serial_campaign = campaign()
+        serial = serial_campaign.run(schemes=("none", "emr"), workers=1)
+        parallel_campaign = campaign()
+        parallel = parallel_campaign.run(schemes=("none", "emr"), workers=4)
+        assert serial == parallel
+        assert [o.detail for o in serial_campaign.outcomes] == [
+            o.detail for o in parallel_campaign.outcomes
+        ]
+
+        # Force the fork-pool path regardless of host CPU count.
+        forced = pmap_report(
+            run_campaign_trial,
+            _campaign_tasks(serial_campaign, ("none", "emr")),
+            seed=11,
+            workers=4,
+            force_pool=True,
+        )
+        assert [
+            (o.scheme, o.outcome, o.target, o.detail) for o in forced.values
+        ] == [
+            (o.scheme, o.outcome, o.target, o.detail)
+            for o in serial_campaign.outcomes
+        ]
+
+    def test_calibration_sweep_workers_equal(self, _calibration_setup):
+        from repro.core.ild.calibration import sweep_thresholds
+
+        factory, labelled = _calibration_setup
+        serial = sweep_thresholds(factory, labelled, workers=1)
+        parallel = sweep_thresholds(factory, labelled, workers=4)
+        assert serial.scores == parallel.scores
+        assert serial.chosen == parallel.chosen
+
+
+def _campaign_tasks(campaign, schemes):
+    from repro.radiation.injector import TrialTask
+
+    rng = np.random.default_rng(campaign.seed)
+    spec = campaign.workload.build(rng)
+    golden = tuple(campaign.workload.reference_outputs(spec))
+    return [
+        TrialTask(
+            scheme=scheme,
+            workload=campaign.workload,
+            spec=spec,
+            golden=golden,
+            config=campaign.config,
+            machine_factory=campaign.machine_factory,
+        )
+        for scheme in schemes
+        for _ in range(campaign.config.runs_per_scheme)
+    ]
+
+
+@pytest.fixture(scope="module")
+def _calibration_setup():
+    from repro.core.ild import IldDetector, LabelledTrace, train_ild
+    from repro.sim import CurrentStep, TraceGenerator, quiescent_segment
+
+    generator = TraceGenerator()
+    rng = np.random.default_rng(5)
+    train_trace = generator.generate(
+        [quiescent_segment(120.0)], rng=rng, housekeeping=None
+    )
+    trained = train_ild(
+        train_trace, max_instruction_rate=generator.max_instruction_rate
+    )
+    labelled = [
+        LabelledTrace(
+            trace=generator.generate(
+                [quiescent_segment(60.0)], rng=rng,
+                current_steps=[CurrentStep(start=25.0, delta_amps=0.07)],
+            ),
+            sel_onset=25.0,
+        ),
+        LabelledTrace(
+            trace=generator.generate([quiescent_segment(60.0)], rng=rng),
+            sel_onset=None,
+        ),
+    ]
+
+    def factory(config):
+        return IldDetector(
+            trained.model, trained.quiescence.max_instruction_rate, config
+        )
+
+    return factory, labelled

@@ -18,9 +18,15 @@ from repro.workloads import (
     paper_workloads,
     staircase_schedule,
 )
-from repro.workloads.base import DatasetSpec, WorkloadSpec
+from repro.workloads.base import DatasetSpec, Workload, WorkloadSpec
 from repro.workloads.dnn import Mlp
-from repro.workloads.imageproc import make_terrain, match_scores
+from repro.workloads.imageproc import (
+    batch_match_scores,
+    extract_windows,
+    make_terrain,
+    match_scores,
+    search_template,
+)
 
 
 class TestRegionRef:
@@ -128,6 +134,82 @@ class TestImageProcessing:
         bad_row[4] ^= 0x80
         bad = workload.run_job({**inputs, "row3": bytes(bad_row)}, dict(ds.params))
         assert good != bad
+
+
+class TestBatchedImageKernels:
+    """The vectorized search path must match the scalar loop exactly."""
+
+    def test_batch_match_scores_bit_identical(self):
+        rng = np.random.default_rng(6)
+        template = rng.integers(0, 256, (12, 12), dtype=np.uint8)
+        windows = rng.integers(0, 256, (57, 12, 12), dtype=np.uint8)
+        ncc, sad = batch_match_scores(windows, template)
+        for i in range(len(windows)):
+            scalar_ncc, scalar_sad = match_scores(windows[i], template)
+            assert ncc[i] == scalar_ncc  # bit-identical, not approx
+            assert sad[i] == scalar_sad
+
+    def test_batch_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            batch_match_scores(
+                np.zeros((3, 4, 4), np.uint8), np.zeros((5, 5), np.uint8)
+            )
+
+    def test_extract_windows(self):
+        terrain = make_terrain(np.random.default_rng(7), 40, 40)
+        rows = np.array([0, 3, 17])
+        cols = np.array([5, 0, 21])
+        windows = extract_windows(terrain, rows, cols, 8)
+        assert windows.shape == (3, 8, 8)
+        for k in range(3):
+            expected = terrain[rows[k] : rows[k] + 8, cols[k] : cols[k] + 8]
+            assert np.array_equal(windows[k], expected)
+
+    def test_search_template_finds_crop(self):
+        terrain = make_terrain(np.random.default_rng(8), 64, 64)
+        template = terrain[20:36, 40:56].copy()
+        ncc, sad = search_template(terrain, template, stride=1)
+        assert ncc.shape == (49, 49)
+        row, col = np.unravel_index(np.argmax(ncc), ncc.shape)
+        assert (row, col) == (20, 40)
+        assert sad[row, col] == 0.0
+
+    def test_search_template_validation(self):
+        terrain = np.zeros((16, 16), np.uint8)
+        with pytest.raises(WorkloadError):
+            search_template(terrain, np.zeros((3, 4), np.uint8))
+        with pytest.raises(WorkloadError):
+            search_template(terrain, np.zeros((4, 4), np.uint8), stride=0)
+
+    def test_reference_outputs_match_base_loop(self):
+        workload = ImageProcessingWorkload(
+            map_size=48, template_size=12, stride=6
+        )
+        spec = workload.build(np.random.default_rng(9))
+        assert workload.reference_outputs(spec) == Workload.reference_outputs(
+            workload, spec
+        )
+
+    def test_best_match(self):
+        workload = ImageProcessingWorkload(
+            map_size=48, template_size=12, stride=12
+        )
+        spec = workload.build(np.random.default_rng(10))
+        outputs = workload.reference_outputs(spec)
+        ncc, row, col = ImageProcessingWorkload.best_match(outputs)
+        records = [struct.unpack("<ddII", o) for o in outputs]
+        best = max(records, key=lambda r: r[0])
+        assert (ncc, row, col) == (best[0], best[2], best[3])
+
+    def test_best_match_empty(self):
+        assert ImageProcessingWorkload.best_match([]) == (-2.0, -1, -1)
+
+    def test_best_match_tie_prefers_first(self):
+        tie = [
+            struct.pack("<ddII", 0.5, 1.0, 1, 2),
+            struct.pack("<ddII", 0.5, 0.0, 3, 4),
+        ]
+        assert ImageProcessingWorkload.best_match(tie) == (0.5, 1, 2)
 
 
 class TestDnn:
