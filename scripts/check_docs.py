@@ -1,0 +1,93 @@
+"""Execute the fenced ``python`` examples in README.md and docs/.
+
+Documentation that doesn't run is documentation that rots: every code
+block tagged ```python is extracted and executed in its own namespace,
+and any exception fails the build (CI runs this as the ``docs`` job).
+
+Opting out: tag a block ```python no-run (for snippets that are
+intentionally partial — pseudo-code, slow paper-scale commands, or
+fragments that need hardware). Plain ``` blocks (shell transcripts,
+rendered output) are ignored.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py [FILES...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(
+    r"^```python(?P<flags>[^\n]*)\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def doc_files() -> "list[Path]":
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def extract_blocks(path: Path) -> "list[tuple[int, str, bool]]":
+    """(start_line, source, runnable) for every ```python block."""
+    text = path.read_text()
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text[: match.start()].count("\n") + 1
+        runnable = "no-run" not in match.group("flags")
+        blocks.append((line, match.group("body"), runnable))
+    return blocks
+
+
+def run_block(path: Path, line: int, source: str) -> "str | None":
+    """Execute one block; returns an error message or None."""
+    # Each block runs in a private namespace, from a scratch working
+    # directory, so examples can write files without littering the repo.
+    namespace = {"__name__": f"docs_block_{path.stem}_{line}"}
+    import os
+
+    cwd = os.getcwd()
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            os.chdir(scratch)
+            code = compile(source, f"{path.name}:{line}", "exec")
+            exec(code, namespace)  # noqa: S102 - that's the point
+    except Exception:
+        return traceback.format_exc(limit=5)
+    finally:
+        os.chdir(cwd)
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [Path(a) for a in argv] if argv else doc_files()
+    ran = skipped = failed = 0
+    for path in files:
+        for line, source, runnable in extract_blocks(path):
+            rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+            if not runnable:
+                skipped += 1
+                print(f"SKIP {rel}:{line} (no-run)")
+                continue
+            error = run_block(path, line, source)
+            if error is None:
+                ran += 1
+                print(f"PASS {rel}:{line}")
+            else:
+                failed += 1
+                print(f"FAIL {rel}:{line}\n{error}")
+    print(f"\n{ran} passed, {skipped} skipped, {failed} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

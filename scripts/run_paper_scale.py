@@ -14,13 +14,35 @@ Usage::
 ``--workers`` fans the campaign out over a deterministic process pool
 (:mod:`repro.parallel`); results are bit-identical to a serial run, so
 use every core you have. The default (unset) uses one worker per CPU.
+
+``--trace FILE`` (table2, table7) records every span and event the
+campaign emits into a JSONL trace — byte-identical at any worker
+count — and ``--metrics`` prints a metrics snapshot; inspect traces
+with ``python -m repro trace summarize FILE``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+
+
+def _metrics_registry(args: argparse.Namespace):
+    if not getattr(args, "metrics", False):
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _report_obs(args: argparse.Namespace, metrics) -> None:
+    if getattr(args, "trace", None):
+        print(f"wrote trace: {args.trace}")
+    if metrics is not None:
+        print("metrics:")
+        print(json.dumps(metrics.snapshot(), indent=2))
 
 
 def run_table2(args: argparse.Namespace) -> None:
@@ -41,9 +63,11 @@ def run_table2(args: argparse.Namespace) -> None:
         f"({args.hours:g} simulated hours, workers={args.workers or 'auto'})"
     )
     started = time.time()
-    table = run(config, workers=args.workers)
+    metrics = _metrics_registry(args)
+    table = run(config, workers=args.workers, trace=args.trace, metrics=metrics)
     print(table.render())
     print(f"wall time: {(time.time() - started) / 60:.1f} minutes")
+    _report_obs(args, metrics)
 
 
 def run_fig10(args: argparse.Namespace) -> None:
@@ -57,7 +81,10 @@ def run_table7(args: argparse.Namespace) -> None:
     from repro.experiments.table7_fault_injection import run
 
     print(f"Table 7 with {args.runs} injections per scheme")
-    print(run(runs_per_scheme=args.runs, workers=args.workers).render())
+    metrics = _metrics_registry(args)
+    print(run(runs_per_scheme=args.runs, workers=args.workers,
+              trace=args.trace, metrics=metrics).render())
+    _report_obs(args, metrics)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -68,6 +95,8 @@ def main(argv: "list[str] | None" = None) -> int:
     table2.add_argument("--hours", type=float, default=960.0)
     table2.add_argument("--tick", type=float, default=1e-3)
     table2.add_argument("--workers", type=int, default=None)
+    table2.add_argument("--trace", default=None, metavar="FILE")
+    table2.add_argument("--metrics", action="store_true")
     table2.set_defaults(func=run_table2)
 
     fig10 = sub.add_parser("fig10")
@@ -78,6 +107,8 @@ def main(argv: "list[str] | None" = None) -> int:
     table7 = sub.add_parser("table7")
     table7.add_argument("--runs", type=int, default=20)
     table7.add_argument("--workers", type=int, default=None)
+    table7.add_argument("--trace", default=None, metavar="FILE")
+    table7.add_argument("--metrics", action="store_true")
     table7.set_defaults(func=run_table7)
 
     args = parser.parse_args(argv)

@@ -3,25 +3,41 @@
 Usage::
 
     python -m repro list
-    python -m repro run table2 [--out results.txt]
-    python -m repro run-all [--out-dir results/]
+    python -m repro run table2 [--out results.txt] [--trace t.jsonl] [--metrics]
+    python -m repro run-all [--out-dir results/] [--trace-dir traces/]
     python -m repro mission --days 1 --environment deep-space [--csv log.csv]
+    python -m repro trace summarize t.jsonl [--task 4]
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from pathlib import Path
 
 
 def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
-    """Pass --workers through to runners that understand it."""
+    """Pass --workers / --trace / --metrics through to runners that
+    understand them (signature-sniffed)."""
+    params = inspect.signature(runner).parameters
+    kwargs = {}
     workers = getattr(args, "workers", None)
-    if workers is not None and "workers" in inspect.signature(runner).parameters:
-        return {"workers": workers}
-    return {}
+    if workers is not None and "workers" in params:
+        kwargs["workers"] = workers
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        if "trace" not in params:
+            raise SystemExit(
+                f"{args.experiment}: this experiment does not support --trace"
+            )
+        kwargs["trace"] = trace
+    if getattr(args, "metrics", False) and "metrics" in params:
+        from .obs import MetricsRegistry
+
+        kwargs["metrics"] = MetricsRegistry()
+    return kwargs
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -45,6 +61,12 @@ def _resolve(name: str):
 
     if name in EXPERIMENTS:
         return EXPERIMENTS[name]
+    # Module-style aliases: `table7_fault_injection` works as well as
+    # `table7` (the runner's defining module names the long form).
+    for runner in EXPERIMENTS.values():
+        module = getattr(runner, "__module__", "").rsplit(".", 1)[-1]
+        if name == module:
+            return runner
     if name.startswith("ablation:") and name.split(":", 1)[1] in ABLATIONS:
         return ABLATIONS[name.split(":", 1)[1]]
     if name.startswith("extension:") and name.split(":", 1)[1] in EXTENSIONS:
@@ -61,20 +83,34 @@ def _resolve(name: str):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _resolve(args.experiment)
-    rendered = runner(**_runner_kwargs(runner, args)).render()
+    kwargs = _runner_kwargs(runner, args)
+    rendered = runner(**kwargs).render()
     if args.out:
         Path(args.out).write_text(rendered + "\n")
         print(f"wrote {args.out}")
     else:
         print(rendered)
+    if args.trace:
+        print(f"wrote trace: {args.trace}")
+    if "metrics" in kwargs:
+        print("metrics:")
+        print(json.dumps(kwargs["metrics"].snapshot(), indent=2))
+    elif getattr(args, "metrics", False):
+        print(f"({args.experiment}: no metrics instrumentation)")
     return 0
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
+    metrics = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     results = run_all(
-        include_ablations=not args.no_ablations, workers=args.workers
+        include_ablations=not args.no_ablations, workers=args.workers,
+        trace_dir=args.trace_dir, metrics=metrics,
     )
     out_dir = Path(args.out_dir) if args.out_dir else None
     if out_dir:
@@ -88,6 +124,23 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         else:
             print(rendered)
             print()
+    if args.trace_dir:
+        print(f"wrote traces under: {args.trace_dir}")
+    if metrics is not None:
+        print("metrics:")
+        print(json.dumps(metrics.snapshot(), indent=2))
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import read_trace, summarize_records
+
+    records = read_trace(args.file)
+    if args.task is not None:
+        records = [r for r in records if r.task == args.task]
+        if not records:
+            raise SystemExit(f"{args.file}: no records for task {args.task}")
+    print(summarize_records(records, source=args.file, max_tasks=args.max_tasks))
     return 0
 
 
@@ -134,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes for experiments that fan out "
              "(results are identical at any value; default serial)",
     )
+    run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSONL trace of the experiment's spans/events "
+             "(byte-identical at any --workers value)",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="print the experiment's metrics snapshot as JSON",
+    )
     run.set_defaults(func=_cmd_run)
 
     run_all_cmd = sub.add_parser("run-all", help="run every experiment")
@@ -143,7 +205,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="parallel worker processes for experiments that fan out",
     )
+    run_all_cmd.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one <experiment>.jsonl trace per tracing-capable "
+             "experiment into this directory",
+    )
+    run_all_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="print one merged metrics snapshot as JSON at the end",
+    )
     run_all_cmd.set_defaults(func=_cmd_run_all)
+
+    trace = sub.add_parser("trace", help="inspect a recorded trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="render a trace as an incident timeline "
+             "(injection → corruption → detection → recovery)",
+    )
+    summarize.add_argument("file")
+    summarize.add_argument(
+        "--task", type=int, default=None,
+        help="show only this parallel task's records",
+    )
+    summarize.add_argument(
+        "--max-tasks", type=int, default=20,
+        help="cap on incident chains rendered (default 20)",
+    )
+    summarize.set_defaults(func=_cmd_trace_summarize)
 
     mission = sub.add_parser("mission", help="simulate a mission")
     mission.add_argument("--days", type=float, default=1.0)

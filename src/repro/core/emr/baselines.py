@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import VotingInconclusiveError
+from ...obs import NULL_OBS, Observability
 from ...sim.clock import Stopwatch
 from ...sim.machine import Machine
 from ...workloads.base import Workload, WorkloadSpec
@@ -23,7 +24,7 @@ from .frontier import Frontier, FrontierCosts
 from .jobs import Job, JobResult
 from .materialize import MaterializedWorkload
 from .replication import plan_replication
-from .runtime import EmrConfig, EmrHooks, JobEngine, RunResult, RunStats
+from .runtime import EmrConfig, EmrHooks, JobEngine, RunResult, RunStats, record_vote
 from .voting import VoteStatus, vote
 
 _NO_REPLICATION_THRESHOLD = 1.5  # > 1: nothing is frequent enough
@@ -44,6 +45,7 @@ def _finalize(
     start_time: float,
     executor_busy: "list[float]",
     mem_bytes_before: int,
+    obs: Observability = NULL_OBS,
 ) -> RunResult:
     wall_seconds = machine.clock.now - start_time
     dram_bytes = (
@@ -54,6 +56,13 @@ def _finalize(
     energy = machine.energy_meter.measure(
         wall_seconds, executor_busy, dram_bytes=dram_bytes, disk_ios=stats.disk_ios
     )
+    if obs.enabled:
+        obs.tracer.span(
+            "emr.run", t=start_time, dur=wall_seconds,
+            scheme=scheme, workload=workload.name,
+            jobs=stats.jobs, corrections=stats.vote_corrections,
+        )
+        obs.metrics.counter(f"scheme.{scheme}.runs").inc()
     return RunResult(
         scheme=scheme,
         workload=workload.name,
@@ -75,6 +84,7 @@ def _vote_all(
     machine: Machine,
     stopwatch: Stopwatch,
     raise_on_inconclusive: bool,
+    obs: Observability = NULL_OBS,
 ) -> None:
     for ds in spec.datasets:
         results = replica_results[ds.index]
@@ -90,6 +100,7 @@ def _vote_all(
         seconds = compare_bytes * costs.vote_seconds_per_byte
         machine.clock.advance(seconds)
         stopwatch.add("orchestration", seconds)
+        record_vote(obs, machine.clock.now, outcome)
         if outcome.status is VoteStatus.INCONCLUSIVE:
             stats.detected_faults.append(f"ds={ds.index}: inconclusive vote")
             if raise_on_inconclusive:
@@ -111,8 +122,10 @@ def sequential_3mr(
     config: "EmrConfig | None" = None,
     hooks: "EmrHooks | None" = None,
     seed: int = 0,
+    obs: "Observability | None" = None,
 ) -> RunResult:
     """Three sequential full passes on one core, vote at the end."""
+    obs = obs if obs is not None else NULL_OBS
     cfg = config or EmrConfig()
     rng = np.random.default_rng(seed)
     spec = spec or workload.build(rng)
@@ -131,7 +144,7 @@ def sequential_3mr(
     stats.memory_bytes = materialized.allocated_input_bytes
     engine = JobEngine(
         machine, workload, materialized, hooks, rng,
-        cfg.flush_cycles_per_line, stats,
+        cfg.flush_cycles_per_line, stats, obs=obs,
     )
     replica_results: "dict[int, list]" = {ds.index: [] for ds in spec.datasets}
     busy = 0.0
@@ -156,11 +169,11 @@ def sequential_3mr(
             busy += elapsed
     _vote_all(
         materialized, spec, replica_results, stats, cfg.costs, machine,
-        stopwatch, cfg.raise_on_inconclusive,
+        stopwatch, cfg.raise_on_inconclusive, obs=obs,
     )
     result = _finalize(
         machine, workload, materialized, "sequential-3mr", frontier,
-        stats, stopwatch, start_time, [busy], mem_before,
+        stats, stopwatch, start_time, [busy], mem_before, obs=obs,
     )
     return result
 
@@ -172,10 +185,12 @@ def unprotected_parallel_3mr(
     config: "EmrConfig | None" = None,
     hooks: "EmrHooks | None" = None,
     seed: int = 0,
+    obs: "Observability | None" = None,
 ) -> RunResult:
     """Three parallel executors, zero cache hygiene. The replicas read
     shared inputs back to back, so replicas 2 and 3 ride replica 1's
     warm L2 lines — fast, and exactly the unprotected surface."""
+    obs = obs if obs is not None else NULL_OBS
     cfg = config or EmrConfig()
     rng = np.random.default_rng(seed)
     spec = spec or workload.build(rng)
@@ -195,7 +210,7 @@ def unprotected_parallel_3mr(
     stats.memory_bytes = materialized.allocated_input_bytes
     engine = JobEngine(
         machine, workload, materialized, hooks, rng,
-        cfg.flush_cycles_per_line, stats,
+        cfg.flush_cycles_per_line, stats, obs=obs,
     )
     replica_results: "dict[int, list]" = {ds.index: [] for ds in spec.datasets}
     executor_busy = [0.0] * cfg.n_executors
@@ -223,11 +238,11 @@ def unprotected_parallel_3mr(
         stopwatch.add(bucket, seconds)
     _vote_all(
         materialized, spec, replica_results, stats, cfg.costs, machine,
-        stopwatch, cfg.raise_on_inconclusive,
+        stopwatch, cfg.raise_on_inconclusive, obs=obs,
     )
     return _finalize(
         machine, workload, materialized, "unprotected-parallel-3mr", frontier,
-        stats, stopwatch, start_time, executor_busy, mem_before,
+        stats, stopwatch, start_time, executor_busy, mem_before, obs=obs,
     )
 
 
@@ -238,8 +253,10 @@ def single_run(
     config: "EmrConfig | None" = None,
     hooks: "EmrHooks | None" = None,
     seed: int = 0,
+    obs: "Observability | None" = None,
 ) -> RunResult:
     """No redundancy: one pass, outputs committed unverified."""
+    obs = obs if obs is not None else NULL_OBS
     cfg = config or EmrConfig()
     rng = np.random.default_rng(seed)
     spec = spec or workload.build(rng)
@@ -257,7 +274,7 @@ def single_run(
     stats.memory_bytes = materialized.allocated_input_bytes
     engine = JobEngine(
         machine, workload, materialized, hooks, rng,
-        cfg.flush_cycles_per_line, stats,
+        cfg.flush_cycles_per_line, stats, obs=obs,
     )
     busy = 0.0
     for ds in spec.datasets:
@@ -276,5 +293,5 @@ def single_run(
             materialized.commit_output(ds.index, b"")
     return _finalize(
         machine, workload, materialized, "none", frontier,
-        stats, stopwatch, start_time, [busy], mem_before,
+        stats, stopwatch, start_time, [busy], mem_before, obs=obs,
     )

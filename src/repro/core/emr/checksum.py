@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import DetectedFaultError, UncorrectableMemoryError
+from ...obs import NULL_OBS, Observability
 from ...sim.clock import Stopwatch
 from ...sim.machine import Machine
 from ...sim.memory import MemoryRegion
@@ -77,9 +78,15 @@ class ChecksumStats:
 class ChecksumGuard:
     """Region checksum table + verify-on-read machinery."""
 
-    def __init__(self, machine: Machine, materialized: MaterializedWorkload) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        materialized: MaterializedWorkload,
+        obs: Observability = NULL_OBS,
+    ) -> None:
         self.machine = machine
         self.materialized = materialized
+        self.obs = obs
         self._expected: "dict[object, int]" = {}
         self.stats = ChecksumStats()
 
@@ -114,6 +121,12 @@ class ChecksumGuard:
         self.stats.bytes_verified += len(data)
         if crc32(data) == expected:
             return data
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "checksum.mismatch", t=self.machine.clock.now,
+                ds=job.dataset.index, role=role, blob=ref.blob,
+            )
+            self.obs.metrics.counter("checksum.mismatches").inc()
         # Cached copy is corrupt: flush and refetch from the frontier.
         if self.materialized.frontier is Frontier.DRAM:
             base = self.materialized._blob_regions[ref.blob]
@@ -122,8 +135,16 @@ class ChecksumGuard:
         fresh = self._trusted_bytes(ref)
         if crc32(fresh) == expected:
             self.stats.mismatches_corrected += 1
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    "checksum.refetch", t=self.machine.clock.now,
+                    ds=job.dataset.index, role=role, corrected=True,
+                )
+                self.obs.metrics.counter("checksum.refetch_corrections").inc()
             return fresh
         self.stats.mismatches_fatal += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("checksum.fatal_mismatches").inc()
         raise UncorrectableMemoryError(
             ref.offset,
             f"checksum mismatch persists for {ref.blob}+{ref.offset} "
@@ -138,8 +159,10 @@ def checksum_protected_run(
     config: "EmrConfig | None" = None,
     hooks: "EmrHooks | None" = None,
     seed: int = 0,
+    obs: "Observability | None" = None,
 ) -> RunResult:
     """One verified-read pass on a single core (scheme ``checksum``)."""
+    obs = obs if obs is not None else NULL_OBS
     cfg = config or EmrConfig()
     rng = np.random.default_rng(seed)
     spec = spec or workload.build(rng)
@@ -156,7 +179,7 @@ def checksum_protected_run(
         n_executors=1, stopwatch=stopwatch, costs=cfg.costs,
     )
     stats.memory_bytes = materialized.allocated_input_bytes
-    guard = ChecksumGuard(machine, materialized)
+    guard = ChecksumGuard(machine, materialized, obs=obs)
     hashed = guard.register_all(spec)
     setup_seconds = hashed * CRC_INSTRUCTIONS_PER_BYTE / (
         core.spec.base_ipc * core.freq
@@ -219,7 +242,7 @@ def checksum_protected_run(
     stats.vote_corrections = guard.stats.mismatches_corrected
     result = _finalize(
         machine, workload, materialized, "checksum", frontier,
-        stats, stopwatch, start_time, [busy], mem_before,
+        stats, stopwatch, start_time, [busy], mem_before, obs=obs,
     )
     result.breakdown.setdefault("checksum", 0.0)
     return result

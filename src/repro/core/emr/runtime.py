@@ -28,6 +28,7 @@ from ...errors import (
     ConfigurationError,
     DetectedFaultError,
 )
+from ...obs import NULL_OBS, Observability
 from ...radiation.seu import corrupt_bytes
 from ...sim.clock import Stopwatch
 from ...sim.machine import Machine
@@ -137,6 +138,7 @@ class JobEngine:
         rng: np.random.Generator,
         flush_cycles_per_line: int,
         stats: RunStats,
+        obs: "Observability | None" = None,
     ) -> None:
         self.machine = machine
         self.workload = workload
@@ -145,6 +147,7 @@ class JobEngine:
         self.rng = rng
         self.flush_cycles_per_line = flush_cycles_per_line
         self.stats = stats
+        self.obs = obs if obs is not None else NULL_OBS
 
     def run_job(
         self,
@@ -182,6 +185,13 @@ class JobEngine:
                 l1_hits=l1_hits, l2_hits=l2_hits, memory_fills=fills,
             )
             timings["compute"] += cost.seconds
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    "emr.fault", t=machine.clock.now,
+                    ds=job.dataset_index, executor=job.executor_id,
+                    error=str(exc),
+                )
+                self.obs.metrics.counter("emr.detected_faults").inc()
             return (
                 JobResult(job.dataset_index, job.executor_id, None, fault=str(exc)),
                 timings,
@@ -191,6 +201,13 @@ class JobEngine:
         if core.poisoned:
             output = corrupt_bytes(output, self.rng, bits=1)
             core.poisoned = False
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    "emr.corruption", t=machine.clock.now,
+                    ds=job.dataset_index, executor=job.executor_id,
+                    kind="pipeline",
+                )
+                self.obs.metrics.counter("emr.pipeline_corruptions").inc()
         if self.hooks is not None:
             output = self.hooks.after_job_output(runtime, job, output)
         cost = core.execute(
@@ -211,10 +228,35 @@ class JobEngine:
                 flushed * self.flush_cycles_per_line / core.freq
             )
         self.stats.jobs += 1
+        if self.obs.enabled:
+            # The clock advances at the jobset barrier, so the span
+            # anchors at the barrier time with the job's own sim cost.
+            self.obs.tracer.span(
+                "emr.job", t=machine.clock.now,
+                dur=sum(timings.values()),
+                ds=job.dataset_index, executor=job.executor_id,
+            )
+            self.obs.metrics.counter("emr.jobs").inc()
         return (
             JobResult(job.dataset_index, job.executor_id, output),
             timings,
         )
+
+
+def record_vote(obs: Observability, t: float, outcome) -> None:
+    """Shared vote instrumentation (EMR runtime + 3-MR baselines)."""
+    if not obs.enabled:
+        return
+    status = outcome.status.value
+    obs.tracer.event(
+        "emr.vote", t=t, ds=outcome.dataset_index, status=status,
+        dissenting=list(outcome.dissenting_executors),
+    )
+    obs.metrics.counter("emr.votes").inc()
+    if status == "corrected":
+        obs.metrics.counter("emr.vote_corrections").inc()
+    elif status == "inconclusive":
+        obs.metrics.counter("emr.votes_inconclusive").inc()
 
 
 class EmrRuntime:
@@ -227,12 +269,14 @@ class EmrRuntime:
         config: "EmrConfig | None" = None,
         hooks: "EmrHooks | None" = None,
         seed: int = 0,
+        obs: "Observability | None" = None,
     ) -> None:
         self.machine = machine
         self.workload = workload
         self.config = config or EmrConfig()
         self.hooks = hooks
         self.seed = seed
+        self.obs = obs if obs is not None else NULL_OBS
         frontier = self.config.frontier or Frontier.for_machine(machine)
         validate_frontier(machine, frontier)
         self.frontier = frontier
@@ -312,7 +356,7 @@ class EmrRuntime:
         stats.memory_bytes = materialized.allocated_input_bytes
         engine = JobEngine(
             machine, self.workload, materialized, self.hooks, rng,
-            cfg.flush_cycles_per_line, stats,
+            cfg.flush_cycles_per_line, stats, obs=self.obs,
         )
 
         executor_busy = [0.0] * cfg.n_executors
@@ -369,10 +413,28 @@ class EmrRuntime:
             wall_seconds, executor_busy, dram_bytes=dram_bytes,
             disk_ios=stats.disk_ios,
         )
+        outputs = materialized.final_outputs()
+        if self.obs.enabled:
+            self.obs.tracer.span(
+                "emr.run", t=start_time, dur=wall_seconds,
+                scheme="emr", workload=self.workload.name,
+                jobs=stats.jobs, jobsets=stats.jobsets,
+                corrections=stats.vote_corrections,
+            )
+            metrics = self.obs.metrics
+            metrics.counter("emr.runs").inc()
+            output_bytes = sum(len(o) for o in outputs)
+            metrics.counter(f"workload.{self.workload.name}.output_bytes").inc(
+                output_bytes
+            )
+            if wall_seconds > 0:
+                metrics.gauge(
+                    f"workload.{self.workload.name}.bytes_per_sim_s"
+                ).set(output_bytes / wall_seconds)
         return RunResult(
             scheme="emr",
             workload=self.workload.name,
-            outputs=materialized.final_outputs(),
+            outputs=outputs,
             wall_seconds=wall_seconds,
             breakdown=stopwatch.breakdown(),
             energy=energy,
@@ -407,6 +469,7 @@ class EmrRuntime:
             vote_seconds = compare_bytes * self.config.costs.vote_seconds_per_byte
             self.machine.clock.advance(vote_seconds)
             stopwatch.add("orchestration", vote_seconds)
+            record_vote(self.obs, self.machine.clock.now, outcome)
             if outcome.status is VoteStatus.INCONCLUSIVE:
                 stats.detected_faults.append(
                     f"ds={dataset_index}: inconclusive vote"

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...obs import NULL_OBS, Observability
 from ...sim.telemetry import TelemetryTrace
 from .model import CurrentModel
 from .quiescence import QuiescenceDetector
@@ -76,9 +77,13 @@ class IldDetector:
         model: CurrentModel,
         max_instruction_rate: float,
         config: "IldConfig | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.model = model
         self.config = config or IldConfig()
+        #: Observability bundle; settable after construction (the SEL
+        #: testbench wires one into pre-built detectors per episode).
+        self.obs = obs if obs is not None else NULL_OBS
         self.filter = RollingMinimumFilter(self.config.filter_halfwidth_samples)
         self.quiescence = QuiescenceDetector(
             max_instruction_rate,
@@ -205,6 +210,24 @@ class IldDetector:
             state.tail_end_time = -1.0
             state.in_alarm = False
         self.last_alarm_mask = alarm_mask
+        if self.obs.enabled and trace.n_ticks:
+            # Attributes are per-call only (never the accumulating
+            # totals), so a task's records are independent of what any
+            # other episode did and the merged trace stays deterministic.
+            self.obs.tracer.span(
+                "ild.process", t=float(times[0]),
+                dur=float(trace.n_ticks * tick),
+                n_ticks=int(trace.n_ticks),
+                quiescent_ticks=int(quiescent.sum()),
+                detections=len(detections),
+            )
+            self.obs.metrics.counter("ild.ticks_processed").inc(trace.n_ticks)
+            for detection in detections:
+                self.obs.tracer.event(
+                    "ild.detection", t=detection.time,
+                    mean_residual=detection.mean_residual,
+                )
+                self.obs.metrics.counter("ild.detections").inc()
         return detections
 
     # ------------------------------------------------------------------

@@ -9,6 +9,13 @@ class packages them behind one API for operators:
     shield = Radshield.for_machine(machine, ground_trace)
     result = shield.run_protected(workload)        # EMR
     events = shield.process_telemetry(trace)       # ILD closed loop
+    shield.status()                                # health snapshot
+
+Observability: the facade owns an enabled ring-buffer
+:class:`~repro.obs.Observability` bundle by default, threads it into
+the EMR runtime and the ILD detector, and keeps a flight event log
+(:class:`~repro.flightsw.EventLog`) of protection actions — the EVR
+channel an operator would read after an anomaly.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import Observability
 from ..sim.machine import Machine
 from ..sim.telemetry import TelemetryTrace
 from ..workloads.base import Workload, WorkloadSpec
@@ -27,6 +35,21 @@ from .ild import (
     SelDiagnostic,
     TelemetryBlackBox,
     train_ild,
+)
+
+#: The exact top-level keys :meth:`Radshield.status` returns — the
+#: operator-facing contract (see ``docs/observability.md``).
+STATUS_KEYS = (
+    "machine",
+    "power_cycles",
+    "sel_responses",
+    "protected_runs",
+    "seu_corrections",
+    "detected_faults",
+    "detector_samples_trained",
+    "evr_events",
+    "evr_warnings",
+    "metrics",
 )
 
 
@@ -57,6 +80,8 @@ class Radshield:
         machine: Machine,
         detector: IldDetector,
         config: "RadshieldConfig | None" = None,
+        obs: "Observability | None" = None,
+        eventlog: "object | None" = None,
     ) -> None:
         self.machine = machine
         self.detector = detector
@@ -64,6 +89,15 @@ class Radshield:
         self.blackbox = TelemetryBlackBox()
         self.responses: "list[SelResponse]" = []
         self.protected_runs: "list[RunResult]" = []
+        # Ring-buffer tracing + metrics on by default: status() needs
+        # the snapshot, and the in-memory ring costs nothing durable.
+        self.obs = obs if obs is not None else Observability.on()
+        self.detector.obs = self.obs
+        if eventlog is None:
+            from ..flightsw.eventlog import EventLog  # avoid import cycle
+
+            eventlog = EventLog()
+        self.eventlog = eventlog
 
     # ------------------------------------------------------------------
     @classmethod
@@ -113,11 +147,34 @@ class Radshield:
     ) -> RunResult:
         """Run one workload under EMR on the shielded machine."""
         runtime = EmrRuntime(
-            self.machine, workload, config=self.config.emr, seed=seed
+            self.machine, workload, config=self.config.emr, seed=seed,
+            obs=self.obs,
         )
         result = runtime.run(spec=spec)
         self.protected_runs.append(result)
+        self._log_run_verdict(result)
         return result
+
+    def _log_run_verdict(self, result: RunResult) -> None:
+        """One EVR per protected run summarizing the EMR verdict."""
+        from ..flightsw.eventlog import EvrSeverity
+
+        corrections = result.stats.vote_corrections
+        faults = len(result.stats.detected_faults)
+        if faults:
+            severity, verdict = EvrSeverity.WARNING_HI, "detected faults"
+        elif corrections:
+            severity, verdict = EvrSeverity.WARNING_LO, "corrected replicas"
+        else:
+            severity, verdict = EvrSeverity.ACTIVITY_LO, "clean"
+        self.eventlog.log(
+            "emr.verdict",
+            f"{result.workload}: {verdict}",
+            severity=severity,
+            time=self.machine.clock.now,
+            corrections=corrections,
+            faults=faults,
+        )
 
     # ------------------------------------------------------------------
     # SEL side
@@ -130,16 +187,40 @@ class Radshield:
         """One telemetry chunk through the closed loop: detect, record
         a diagnostic, and (if configured) power-cycle the machine —
         which clears any latched short via the machine's hooks."""
+        from ..flightsw.eventlog import EvrSeverity
+
         detections = self.detector.process(trace, app_quiescent=app_quiescent)
         diagnostics = self.blackbox.observe(self.detector, trace, detections)
         responses = []
         for index, detection in enumerate(detections):
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    "sel.detection", t=detection.time,
+                    mean_residual=detection.mean_residual,
+                )
+                self.obs.metrics.counter("sel.detections").inc()
+            self.eventlog.log(
+                "sel.trip",
+                "ILD residual persisted over threshold",
+                severity=EvrSeverity.WARNING_HI,
+                time=detection.time,
+                mean_residual_a=round(detection.mean_residual, 6),
+            )
             power_cycled = False
             if self.config.auto_power_cycle:
                 self.machine.clock.advance_to(detection.time)
                 self.machine.power_cycle()
                 self.detector.reset()
                 power_cycled = True
+                if self.obs.enabled:
+                    self.obs.tracer.event("sel.power_cycle", t=detection.time)
+                    self.obs.metrics.counter("sel.power_cycles").inc()
+                self.eventlog.log(
+                    "sel.power_cycle",
+                    "commanded power cycle to clear latchup",
+                    severity=EvrSeverity.WARNING_HI,
+                    time=detection.time,
+                )
             responses.append(
                 SelResponse(
                     detection_time=detection.time,
@@ -157,13 +238,24 @@ class Radshield:
 
     # ------------------------------------------------------------------
     def status(self) -> "dict[str, object]":
-        """Operator-facing health snapshot."""
+        """Operator-facing health snapshot.
+
+        The keys are exactly :data:`STATUS_KEYS` (a stable schema the
+        regression tests pin). ``metrics`` is the full
+        :meth:`~repro.obs.MetricsRegistry.snapshot` of this shield's
+        observability bundle.
+        """
         corrections = sum(r.stats.vote_corrections for r in self.protected_runs)
+        faults = sum(len(r.stats.detected_faults) for r in self.protected_runs)
         return {
             "machine": self.machine.spec.name,
             "power_cycles": self.machine.power_cycles,
             "sel_responses": len(self.responses),
             "protected_runs": len(self.protected_runs),
             "seu_corrections": corrections,
+            "detected_faults": faults,
             "detector_samples_trained": self.detector.model.trained_on_samples,
+            "evr_events": len(self.eventlog.events()),
+            "evr_warnings": len(self.eventlog.warnings()),
+            "metrics": self.obs.metrics.snapshot(),
         }

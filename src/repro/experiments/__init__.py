@@ -60,24 +60,53 @@ EXTENSIONS = {
 }
 
 
-def _call(runner, workers: "int | None"):
+def _call(
+    runner,
+    workers: "int | None",
+    trace: "str | None" = None,
+    metrics: "object | None" = None,
+):
+    """Invoke a runner with only the keyword arguments it accepts
+    (signature-sniffed, so older runners need no changes)."""
     import inspect
 
-    if workers is not None and "workers" in inspect.signature(runner).parameters:
-        return runner(workers=workers)
-    return runner()
+    params = inspect.signature(runner).parameters
+    kwargs = {}
+    if workers is not None and "workers" in params:
+        kwargs["workers"] = workers
+    if trace is not None and "trace" in params:
+        kwargs["trace"] = trace
+    if metrics is not None and "metrics" in params:
+        kwargs["metrics"] = metrics
+    return runner(**kwargs)
 
 
 def run_all(
-    include_ablations: bool = True, workers: "int | None" = None
+    include_ablations: bool = True,
+    workers: "int | None" = None,
+    trace_dir: "str | None" = None,
+    metrics: "object | None" = None,
 ) -> "dict[str, object]":
     """Run every experiment at bench scale; id -> Table/Series.
 
     ``workers`` fans out the Monte-Carlo drivers (table2, fig10,
     table7, ...) through :mod:`repro.parallel`; results are identical
-    at any setting.
+    at any setting. ``trace_dir`` gives every tracing-capable
+    experiment its own ``<id>.jsonl`` file there; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) accumulates across all of them.
     """
-    results = {name: _call(runner, workers) for name, runner in EXPERIMENTS.items()}
+    import os
+
+    def trace_for(name: str) -> "str | None":
+        if trace_dir is None:
+            return None
+        os.makedirs(trace_dir, exist_ok=True)
+        return os.path.join(trace_dir, f"{name.replace(':', '_')}.jsonl")
+
+    results = {
+        name: _call(runner, workers, trace=trace_for(name), metrics=metrics)
+        for name, runner in EXPERIMENTS.items()
+    }
     if include_ablations:
         for name, runner in ABLATIONS.items():
             results[f"ablation:{name}"] = _call(runner, workers)

@@ -28,6 +28,7 @@ from ..core.ild import (
     train_ild,
 )
 from ..errors import ConfigurationError
+from ..obs import NULL_OBS, MetricsRegistry, Observability
 from ..parallel import pmap
 from ..sim.machine import Machine
 from ..sim.telemetry import CurrentStep, TelemetryConfig, TraceGenerator
@@ -204,20 +205,25 @@ class SelTestbench:
         with_sel: bool = True,
         delta_amps: "float | None" = None,
         workers: "int | None" = 1,
+        trace_path: "str | None" = None,
     ) -> "dict[str, DetectionSummary]":
         """Score every detector episode by episode.
 
         Episodes are independent: each draws its schedule, noise, and
         SEL onset from its own generator spawned off ``seed + 1000``,
         so serial and parallel evaluation produce identical summaries
-        (aggregation happens in episode order either way).
+        (aggregation happens in episode order either way). With
+        ``trace_path``, each episode records the SEL ground truth
+        (``inject.sel``) and the ILD pipeline's spans/detections into
+        one merged JSONL trace.
         """
         cfg = self.config
         episodes = n_episodes or cfg.n_episodes
         summaries = {name: DetectionSummary() for name in detectors}
         tasks = [(self, detectors, with_sel, delta_amps)] * episodes
         per_episode = pmap(
-            _evaluate_episode, tasks, seed=cfg.seed + 1000, workers=workers
+            _evaluate_episode, tasks, seed=cfg.seed + 1000, workers=workers,
+            trace_path=trace_path,
         )
         for episode_scores in per_episode:
             for name, score in episode_scores:
@@ -225,16 +231,29 @@ class SelTestbench:
         return summaries
 
 
-def _evaluate_episode(task, rng: np.random.Generator) -> "list[tuple[str, object]]":
+def _evaluate_episode(
+    task, rng: np.random.Generator, tracer: "object | None" = None
+) -> "list[tuple[str, object]]":
     """Generate one episode and score every detector on it.
 
     Top-level (picklable) worker for :meth:`SelTestbench.evaluate`;
     detectors arrive as pickled copies under the pool, so their
-    streaming state never leaks between episodes or processes.
+    streaming state never leaks between episodes or processes. The
+    optional ``tracer`` (wired by ``pmap(trace_path=...)``) records the
+    SEL truth and is handed to every detector that carries an ``obs``
+    attribute (the ILD pipeline instruments itself).
     """
     bench, detectors, with_sel, delta_amps = task
     cfg = bench.config
+    obs = NULL_OBS
+    if tracer is not None:
+        obs = Observability(tracer=tracer, metrics=MetricsRegistry())
     trace, truth = bench.episode(rng, with_sel=with_sel, delta_amps=delta_amps)
+    if obs.enabled and truth.sel_onset is not None:
+        obs.tracer.event(
+            "inject.sel", t=float(truth.sel_onset),
+            delta_amps=float(truth.sel_delta_amps),
+        )
     onset_tick = (
         int(truth.sel_onset / cfg.tick) if truth.sel_onset is not None
         else trace.n_ticks
@@ -244,7 +263,12 @@ def _evaluate_episode(task, rng: np.random.Generator) -> "list[tuple[str, object
         reset = getattr(detector, "reset", None)
         if reset is not None:
             reset()
+        saved_obs = getattr(detector, "obs", None)
+        if saved_obs is not None:
+            detector.obs = obs
         detections = detector.process(trace)
+        if saved_obs is not None:
+            detector.obs = saved_obs
         mask = getattr(detector, "last_alarm_mask", None)
         if mask is not None and len(mask):
             pre = mask[:onset_tick]

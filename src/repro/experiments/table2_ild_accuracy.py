@@ -12,12 +12,15 @@ static thresholds 38–62 % FN with 28–41 % FP.
 from __future__ import annotations
 
 from ..analysis.report import Table
+from ..obs import LATENCY_BUCKETS_S, MetricsRegistry
 from .common import SelBenchConfig, SelTestbench
 
 
 def run(config: "SelBenchConfig | None" = None,
         include_naive_bayes: bool = False,
-        workers: "int | None" = 1) -> Table:
+        workers: "int | None" = 1,
+        trace: "str | None" = None,
+        metrics: "MetricsRegistry | None" = None) -> Table:
     bench = SelTestbench(config)
     detectors: "dict[str, object]" = {"ILD": bench.train_ild()}
     detectors["Random Forest"] = bench.train_random_forest()
@@ -25,7 +28,9 @@ def run(config: "SelBenchConfig | None" = None,
         detectors["Naive Bayes"] = bench.train_naive_bayes()
     detectors.update(bench.static_baselines())
 
-    summaries = bench.evaluate(detectors, workers=workers)
+    summaries = bench.evaluate(detectors, workers=workers, trace_path=trace)
+    if metrics is not None:
+        _tally_metrics(metrics, summaries)
 
     table = Table(
         title="Table 2: accuracy of ILD in detecting latchups",
@@ -53,3 +58,27 @@ def run(config: "SelBenchConfig | None" = None,
         f"{latency:.1f} s" if latency is not None else "no detections"
     )
     return table
+
+
+def _tally_metrics(metrics, summaries) -> None:
+    """Fold episode scores into the caller's registry (deterministic:
+    built from the aggregated summaries, not from worker processes)."""
+    for name, summary in summaries.items():
+        key = name.replace(" ", "_").lower()
+        metrics.gauge(f"sel.{key}.false_negative_rate").set(
+            summary.false_negative_rate
+        )
+        metrics.gauge(f"sel.{key}.false_positive_rate").set(
+            summary.false_positive_rate
+        )
+        metrics.counter(f"sel.{key}.false_trips").inc(
+            sum(s.false_alarms for s in summary.scores)
+        )
+    ild = summaries.get("ILD")
+    if ild is not None:
+        histogram = metrics.histogram(
+            "sel.ild.detection_latency_s", bounds=LATENCY_BUCKETS_S
+        )
+        for score in ild.scores:
+            if score.detection_latency is not None:
+                histogram.observe(score.detection_latency)

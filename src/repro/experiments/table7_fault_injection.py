@@ -8,6 +8,7 @@ EMR survives MBUs too.
 from __future__ import annotations
 
 from ..analysis.report import Table
+from ..obs import MetricsRegistry
 from ..radiation.events import OutcomeClass
 from ..radiation.injector import CampaignConfig, FaultInjectionCampaign
 from ..workloads import ImageProcessingWorkload
@@ -18,6 +19,8 @@ def run(
     seed: int = 3,
     workload: "ImageProcessingWorkload | None" = None,
     workers: "int | None" = 1,
+    trace: "str | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Table:
     workload = workload or ImageProcessingWorkload(
         map_size=64, template_size=16, stride=8
@@ -25,13 +28,22 @@ def run(
     single_bit = FaultInjectionCampaign(
         workload, CampaignConfig(runs_per_scheme=runs_per_scheme), seed=seed
     )
-    results = single_bit.run(schemes=("none", "3mr", "emr"), workers=workers)
+    # Only the single-bit campaign writes the trace: one file, one
+    # task-index namespace (the MBU campaign would restart at task 0).
+    results = single_bit.run(
+        schemes=("none", "3mr", "emr"), workers=workers, trace_path=trace
+    )
     mbu = FaultInjectionCampaign(
         workload,
         CampaignConfig(runs_per_scheme=runs_per_scheme, bits=2),
         seed=seed + 1,
     )
     results["emr+mbu"] = mbu.run(schemes=("emr",), workers=workers)["emr"]
+    if metrics is not None:
+        for name, value in single_bit.metrics.snapshot()["counters"].items():
+            metrics.counter(name).inc(value)
+        for name, value in mbu.metrics.snapshot()["counters"].items():
+            metrics.counter(f"mbu.{name}").inc(value)
 
     table = Table(
         title="Table 7: fault injection into the image workload",

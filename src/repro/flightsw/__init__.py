@@ -16,6 +16,7 @@ from .components_std import (
     ThermalController,
     standard_components,
 )
+from .eventlog import EventLog, EvrSeverity, FlightEvent
 from .profile import (
     activity_to_segments,
     flight_schedule,
@@ -34,6 +35,9 @@ __all__ = [
     "CommandResponse",
     "Component",
     "DownlinkManager",
+    "EventLog",
+    "EvrSeverity",
+    "FlightEvent",
     "PowerMonitor",
     "RateGroupScheduler",
     "ScheduleResult",

@@ -1,0 +1,144 @@
+"""Flight event log — the EVR channel real flight software keeps.
+
+F´ calls these *event reports* (EVRs): timestamped, severity-tagged
+records a component emits when something noteworthy happens, kept in a
+bounded onboard ring and downlinked on request. Radshield's noteworthy
+moments are exactly the paper's protection actions — an ILD trip, the
+power-cycle response, an EMR vote that corrected a replica — so the
+mission simulator and the :class:`~repro.core.radshield.Radshield`
+facade both write here.
+
+Two commit paths serve the two producers:
+
+* events logged **with an explicit time** (Radshield acting outside the
+  rate-group schedule) commit to the ring immediately;
+* events logged **without one** wait for the component's next rate-group
+  dispatch, which stamps them with the tick time — the F´ behaviour,
+  where the logger component owns the timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import ConfigurationError
+from .component import ActivityCost, Component, TickContext
+
+
+class EvrSeverity(IntEnum):
+    """F´-style severity ladder (ascending urgency)."""
+
+    DIAGNOSTIC = 0
+    ACTIVITY_LO = 1
+    ACTIVITY_HI = 2
+    WARNING_LO = 3
+    WARNING_HI = 4
+    FATAL = 5
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One committed EVR."""
+
+    time: float
+    severity: EvrSeverity
+    name: str
+    message: str
+    args: "tuple[tuple[str, object], ...]" = ()
+
+    def render(self) -> str:
+        suffix = ""
+        if self.args:
+            suffix = " [" + " ".join(f"{k}={v}" for k, v in self.args) + "]"
+        return (
+            f"t={self.time:+12.3f}s {self.severity.name:<11} "
+            f"{self.name}: {self.message}{suffix}"
+        )
+
+
+#: Bookkeeping cost of committing one EVR (format + ring insert).
+_INSTRUCTIONS_PER_EVENT = 20_000
+
+
+class EventLog(Component):
+    """Bounded EVR ring, schedulable as a 1 Hz flight component."""
+
+    rate_hz = 1.0
+
+    def __init__(self, name: str = "evr", capacity: int = 512) -> None:
+        super().__init__(name)
+        if capacity < 1:
+            raise ConfigurationError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self._events: "deque[FlightEvent]" = deque(maxlen=capacity)
+        self._pending: "list[tuple[EvrSeverity, str, str, tuple]]" = []
+        self.total_logged = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def log(
+        self,
+        name: str,
+        message: str,
+        severity: EvrSeverity = EvrSeverity.ACTIVITY_LO,
+        time: "float | None" = None,
+        **args: object,
+    ) -> None:
+        """Record one event. With ``time`` it commits immediately;
+        without, it is stamped and committed at the next dispatch."""
+        packed = tuple(sorted(args.items()))
+        if time is None:
+            self._pending.append((EvrSeverity(severity), name, message, packed))
+        else:
+            self._commit(FlightEvent(float(time), EvrSeverity(severity),
+                                     name, message, packed))
+
+    def _commit(self, event: FlightEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self.total_logged += 1
+
+    # ------------------------------------------------------------------
+    def tick(self, ctx: TickContext) -> ActivityCost:
+        committed = 0
+        for severity, name, message, packed in self._pending:
+            self._commit(FlightEvent(ctx.time, severity, name, message, packed))
+            committed += 1
+        self._pending.clear()
+        ctx.emit(f"{self.name}.events_total", float(self.total_logged))
+        ctx.emit(f"{self.name}.warnings_total", float(len(self.warnings())))
+        return ActivityCost(
+            instructions=10_000 + committed * _INSTRUCTIONS_PER_EVENT
+        )
+
+    def handle_command(self, opcode: str, args: dict) -> "str | None":
+        if opcode == "CLEAR":
+            self._events.clear()
+            self._pending.clear()
+            return None
+        return super().handle_command(opcode, args)
+
+    def telemetry_channels(self):
+        return (f"{self.name}.events_total", f"{self.name}.warnings_total")
+
+    # ------------------------------------------------------------------
+    def events(self) -> "tuple[FlightEvent, ...]":
+        """Committed events, oldest first (pending ones excluded)."""
+        return tuple(self._events)
+
+    def warnings(self) -> "tuple[FlightEvent, ...]":
+        """Committed events at WARNING_LO severity or above."""
+        return tuple(e for e in self._events
+                     if e.severity >= EvrSeverity.WARNING_LO)
+
+    def render(self) -> str:
+        """The whole ring as downlink-ready text."""
+        if not self._events:
+            return "(event log empty)"
+        lines = [event.render() for event in self._events]
+        if self.dropped:
+            lines.insert(0, f"({self.dropped} older event(s) overwritten)")
+        return "\n".join(lines)

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.ild import train_ild
 from ..errors import ConfigurationError
+from ..flightsw.eventlog import EventLog, EvrSeverity
 from ..radiation.environment import MARS_SURFACE, RadiationEnvironment
 from ..radiation.events import SelEvent, SeuEvent
 from ..radiation.injector import CampaignConfig, FaultInjectionCampaign
@@ -65,6 +66,8 @@ class MissionReport:
     power_cycles: int = 0
     workload_runs: int = 0
     silent_corruptions: int = 0
+    #: Flight event log (EVRs) of the mission's protection actions.
+    events: "tuple" = ()
 
     @property
     def availability(self) -> float:
@@ -86,6 +89,7 @@ class MissionReport:
             f"{self.availability * 100:.2f}%; power cycles {self.power_cycles}",
             f"workload runs {self.workload_runs}; "
             f"silent corruptions {self.silent_corruptions}",
+            f"flight events (EVRs): {len(self.events)}",
             self.dataset.summary(),
         ]
         return "\n".join(lines)
@@ -107,6 +111,7 @@ class MissionSimulator:
         duration = cfg.duration_days * 86400.0
 
         machine = Machine.rpi_zero2w(seed=cfg.seed)
+        self._eventlog = EventLog(capacity=4096)
         injector = LatchupInjector(machine)
         thermal = ThermalModel(machine, injector)
         generator = TraceGenerator(TelemetryConfig(tick=cfg.tick))
@@ -150,6 +155,7 @@ class MissionSimulator:
             elapsed = elapsed_end
         report.mission_seconds = elapsed
         report.power_cycles = machine.power_cycles
+        report.events = self._eventlog.events()
         return report
 
     # ------------------------------------------------------------------
@@ -174,6 +180,15 @@ class MissionSimulator:
                 # the next compute burst, no software needed.
                 downtime = machine.power_cycle()
                 report.downtime_seconds += downtime
+                self._eventlog.log(
+                    "sel.trip", "EPS overcurrent breaker tripped",
+                    severity=EvrSeverity.WARNING_HI, time=event.time,
+                    delta_amps=round(event.delta_amps, 3), by="psu-ocp",
+                )
+                self._eventlog.log(
+                    "sel.power_cycle", "breaker power cycle cleared latchup",
+                    severity=EvrSeverity.WARNING_HI, time=event.time,
+                )
                 report.dataset.add(
                     AnomalyRecord(
                         mission_time_s=event.time,
@@ -212,6 +227,15 @@ class MissionSimulator:
                 report.downtime_seconds += downtime
                 if detector is not None:
                     detector.reset()
+                self._eventlog.log(
+                    "sel.trip", "ILD residual persisted over threshold",
+                    severity=EvrSeverity.WARNING_HI, time=detection_time,
+                    latency_s=round(detection_time - onset, 3), by="ild",
+                )
+                self._eventlog.log(
+                    "sel.power_cycle", "commanded power cycle cleared latchup",
+                    severity=EvrSeverity.WARNING_HI, time=detection_time,
+                )
                 for event in list(injector.history):
                     if event.time <= detection_time and not any(
                         r.detail == _sel_detail(event) for r in report.dataset
@@ -233,6 +257,11 @@ class MissionSimulator:
                 machine.clock.advance_to(deadline)
                 thermal.check()
                 report.survived = False
+                self._eventlog.log(
+                    "thermal.damage",
+                    "latchup undetected past thermal deadline; mission lost",
+                    severity=EvrSeverity.FATAL, time=deadline,
+                )
                 for event in injector.history:
                     if not any(r.detail == _sel_detail(event) for r in report.dataset):
                         report.dataset.add(
@@ -282,6 +311,18 @@ class MissionSimulator:
             action = "reboot"
         elif outcome_class is OutcomeClass.SDC:
             report.silent_corruptions += 1
+        severity = {
+            OutcomeClass.NO_EFFECT: EvrSeverity.DIAGNOSTIC,
+            OutcomeClass.CORRECTED: EvrSeverity.WARNING_LO,
+            OutcomeClass.ERROR: EvrSeverity.WARNING_HI,
+            OutcomeClass.SDC: EvrSeverity.WARNING_HI,
+        }[outcome_class]
+        self._eventlog.log(
+            "emr.verdict",
+            f"seu on {seu.target.value}: {outcome_class.value}",
+            severity=severity, time=seu.time,
+            scheme=scheme, action=action,
+        )
         report.dataset.add(
             AnomalyRecord(
                 mission_time_s=seu.time,

@@ -1,0 +1,153 @@
+"""Zero-dependency metrics: counters, gauges, histograms.
+
+The catalog (see ``docs/observability.md``) covers what the paper's
+evaluation keeps asking of the system: detection latency, false-trip
+counts, vote-divergence rate, re-execution counts, injector hit/mask
+statistics, per-workload throughput. A :class:`MetricsRegistry` holds
+one namespace of metrics; :meth:`MetricsRegistry.snapshot` renders it
+as a plain JSON-safe dict — the payload ``Radshield.status()`` folds
+in and experiment drivers dump at the end of a run.
+
+Histograms use fixed, explicit bucket upper bounds (Prometheus-style
+``le`` semantics: a value lands in the first bucket whose bound is
+``>= value``; values above the last bound land in the overflow
+bucket). Fixed bounds keep merged snapshots comparable across runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: Default bounds for sim-seconds latency histograms (detection
+#: latency against the paper's ~5-minute thermal deadline).
+LATENCY_BUCKETS_S = (0.01, 0.1, 1.0, 5.0, 15.0, 60.0, 180.0, 300.0)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"{self.name}: counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket distribution with sum/count/min/max."""
+
+    name: str
+    bounds: "tuple[float, ...]" = LATENCY_BUCKETS_S
+    counts: "list[int]" = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: "float | None" = None
+    max: "float | None" = None
+
+    def __post_init__(self) -> None:
+        self.bounds = tuple(float(b) for b in self.bounds)
+        if not self.bounds:
+            raise ConfigurationError(f"{self.name}: need at least one bound")
+        if any(later <= earlier
+               for later, earlier in zip(self.bounds[1:], self.bounds)):
+            raise ConfigurationError(f"{self.name}: bounds must increase")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> "float | None":
+        return self.sum / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """One namespace of named metrics with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, object]" = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: "tuple[float, ...]" = LATENCY_BUCKETS_S
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds=bounds)
+        )
+        if metric.bounds != tuple(float(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "dict[str, dict]":
+        """JSON-safe view of every metric, names sorted within kind."""
+        counters: "dict[str, float]" = {}
+        gauges: "dict[str, float]" = {}
+        histograms: "dict[str, dict]" = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "mean": metric.mean,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,157 @@
+"""Turn a raw trace into a human-readable incident timeline.
+
+The operator story (``docs/observability.md``): after a campaign or a
+mission chunk, ``repro trace summarize t.jsonl`` answers *why* —
+which injection landed where, whether it corrupted anything, which
+mechanism noticed (a vote, a checksum, ILD), and what the recovery
+action was. The renderer walks each parallel task's records in time
+order and classifies them into the four incident stages:
+
+    injection  → corruption      → detection        → recovery
+    inject.*     emr.corruption    emr.vote(≠unan.)   emr.vote commit
+                 checksum.*        emr.fault          sel.power_cycle
+                                   ild.detection      checksum refetch
+
+A *chain* is a task whose trace contains an injection followed by any
+detection-stage record — the post-hoc fault attribution the paper's
+mechanisms themselves cannot provide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+
+from .trace import TraceRecord
+
+#: Record names per incident stage (prefix match for ``inject.``).
+INJECTION_PREFIX = "inject."
+CORRUPTION_NAMES = frozenset({"emr.corruption", "checksum.mismatch"})
+DETECTION_NAMES = frozenset({
+    "emr.fault",
+    "ild.detection",
+    "checksum.mismatch",
+})
+RECOVERY_NAMES = frozenset({"sel.power_cycle", "checksum.refetch"})
+
+_STAGE_GLYPH = {
+    "injection": "⚡ inject",
+    "corruption": "✗ corrupt",
+    "detection": "! detect",
+    "recovery": "✓ recover",
+    "outcome": "= outcome",
+    "": "  ",
+}
+
+
+def _stage(record: TraceRecord) -> str:
+    name = record.name
+    if name.startswith(INJECTION_PREFIX):
+        return "injection"
+    if name == "emr.vote":
+        status = record.attrs.get("status")
+        if status == "corrected":
+            return "recovery"
+        if status == "inconclusive":
+            return "detection"
+        return ""
+    if name == "emr.corruption":
+        return "corruption"
+    if name in DETECTION_NAMES:
+        return "detection"
+    if name in RECOVERY_NAMES:
+        return "recovery"
+    if name.startswith("campaign.outcome"):
+        return "outcome"
+    return ""
+
+
+def _format_attrs(attrs: "dict[str, object]") -> str:
+    parts = []
+    for key in sorted(attrs):
+        if key == "task":
+            continue
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _group_by_task(records) -> "OrderedDict[int, list[TraceRecord]]":
+    groups: "OrderedDict[int, list[TraceRecord]]" = OrderedDict()
+    for record in records:
+        groups.setdefault(record.task if record.task is not None else 0,
+                          []).append(record)
+    return groups
+
+
+def has_incident_chain(records) -> bool:
+    """True when an injection record precedes a detection or recovery
+    record (the detection side of the chain implies the injection was
+    *observed*, not just applied)."""
+    injected = False
+    for record in records:
+        stage = _stage(record)
+        if stage == "injection":
+            injected = True
+        elif injected and stage in ("detection", "recovery", "corruption"):
+            return True
+    return False
+
+
+def summarize_records(
+    records: "list[TraceRecord]",
+    source: str = "<memory>",
+    max_tasks: "int | None" = 20,
+) -> str:
+    """Render records (e.g. from :func:`repro.obs.read_trace`) as an
+    incident-timeline report."""
+    groups = _group_by_task(records)
+    name_counts = Counter(record.name for record in records)
+
+    lines = [
+        f"trace {source}: {len(records)} records, {len(groups)} task(s)",
+        "record counts: "
+        + (", ".join(f"{name}={count}" for name, count
+                     in sorted(name_counts.items())) or "(empty)"),
+    ]
+
+    chains = [task for task, recs in groups.items() if has_incident_chain(recs)]
+    lines.append(
+        f"incident chains (injection → detection): {len(chains)} of "
+        f"{len(groups)} task(s)"
+    )
+
+    shown = 0
+    for task, recs in groups.items():
+        if task not in chains:
+            continue
+        if max_tasks is not None and shown >= max_tasks:
+            lines.append(f"... {len(chains) - shown} more chain(s) elided")
+            break
+        shown += 1
+        header = f"-- task {task}"
+        scheme = next(
+            (r.attrs["scheme"] for r in recs if "scheme" in r.attrs), None
+        )
+        if scheme is not None:
+            header += f" (scheme={scheme})"
+        lines.append(header + " --")
+        for record in recs:
+            stage = _stage(record)
+            if not stage and record.kind != "span":
+                continue  # uninteresting bookkeeping event
+            if record.kind == "span" and not stage:
+                # Show only top-level run spans, not per-job noise.
+                if record.name not in ("emr.run", "ild.process"):
+                    continue
+            glyph = _STAGE_GLYPH.get(stage, "  ")
+            dur = f" dur={record.dur:.6g}s" if record.dur is not None else ""
+            lines.append(
+                f"  t={record.t:+12.6f}s  {glyph:<10} {record.name:<20}"
+                f"{dur}  {_format_attrs(record.attrs)}".rstrip()
+            )
+    if not chains:
+        lines.append("(no injection→detection chains in this trace)")
+    return "\n".join(lines)

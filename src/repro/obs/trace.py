@@ -1,0 +1,266 @@
+"""Structured tracing: typed span/event records over simulated time.
+
+Radshield's mechanisms are telemetry consumers — perf counters, current
+samples, vote outcomes — yet until this module the reproduction had no
+way to see what the *protection layer itself* was doing. The
+:class:`TraceRecorder` fixes that with a deliberately small contract:
+
+* **Typed records.** Two kinds only: ``event`` (a point in simulated
+  time) and ``span`` (a start time plus a duration). Both carry a
+  dotted name (``emr.vote``, ``ild.detection``, ``inject.seu``) and a
+  flat attribute dict of JSON scalars.
+* **Sim-time timestamps.** ``t`` is *simulated* seconds — from
+  :class:`~repro.sim.clock.SimClock` or a telemetry trace's time axis —
+  never wall time, never a PID. That is what makes merged traces
+  byte-identical across worker counts.
+* **Two sinks.** Every record lands in a bounded in-memory ring buffer
+  (the flight-recorder view, always available) and, when a sink is
+  configured, is appended to a JSON-lines file.
+* **~0 overhead when disabled.** Hot paths guard with
+  ``if obs.enabled:``; a disabled recorder's methods are additionally
+  no-ops, so the cost of tracing-off is one attribute read per site.
+
+Serialization is deterministic: keys are sorted and floats use JSON's
+canonical ``repr`` formatting, so two runs producing the same records
+produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+#: Bump when the record layout changes; readers check it.
+TRACE_SCHEMA_VERSION = 1
+
+KIND_EVENT = "event"
+KIND_SPAN = "span"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: an instantaneous event or a completed span."""
+
+    t: float  # simulated seconds
+    kind: str  # "event" | "span"
+    name: str  # dotted record type, e.g. "emr.vote"
+    dur: "float | None" = None  # span duration (sim seconds); None for events
+    attrs: "dict[str, object]" = field(default_factory=dict)
+    task: "int | None" = None  # parallel task index, assigned at merge
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_EVENT, KIND_SPAN):
+            raise ConfigurationError(f"unknown record kind {self.kind!r}")
+        if self.kind == KIND_SPAN and self.dur is None:
+            raise ConfigurationError("span records need a duration")
+
+    def with_task(self, task: int) -> "TraceRecord":
+        return replace(self, task=task)
+
+    def to_dict(self) -> "dict[str, object]":
+        out: "dict[str, object]" = {
+            "t": float(self.t),
+            "kind": self.kind,
+            "name": self.name,
+        }
+        if self.dur is not None:
+            out["dur"] = float(self.dur)
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.task is not None:
+            out["task"] = self.task
+        return out
+
+    def json_line(self) -> str:
+        """Deterministic single-line JSON (sorted keys, no spaces)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object]") -> "TraceRecord":
+        return cls(
+            t=float(data["t"]),
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            dur=float(data["dur"]) if "dur" in data else None,
+            attrs=dict(data.get("attrs", {})),
+            task=int(data["task"]) if "task" in data else None,
+        )
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord`\\ s into a ring buffer and an
+    optional JSONL sink.
+
+    Parameters
+    ----------
+    sink:
+        ``None`` (ring only), a path (opened/truncated and owned by the
+        recorder — call :meth:`close`), or an open text file object.
+    ring_size:
+        Ring-buffer capacity; ``None`` = unbounded (used by the
+        parallel merge, which drains workers' buffers).
+    clock:
+        Optional object with a ``now`` attribute (a
+        :class:`~repro.sim.clock.SimClock`); supplies default
+        timestamps when a call site omits ``t``.
+    enabled:
+        ``False`` turns every method into a no-op.
+    """
+
+    def __init__(
+        self,
+        sink: "str | Path | object | None" = None,
+        ring_size: "int | None" = 4096,
+        clock: "object | None" = None,
+        enabled: bool = True,
+    ) -> None:
+        if ring_size is not None and ring_size < 1:
+            raise ConfigurationError("ring_size must be >= 1 (or None)")
+        self.enabled = enabled
+        self.clock = clock
+        self._ring: "deque[TraceRecord]" = deque(maxlen=ring_size)
+        self._owns_sink = False
+        if isinstance(sink, (str, Path)):
+            self._sink = open(sink, "w")
+            self._owns_sink = True
+        else:
+            self._sink = sink  # file-like or None
+        self.emitted = 0  # total records, including ones the ring evicted
+
+    # ------------------------------------------------------------------
+    def _timestamp(self, t: "float | None") -> float:
+        if t is not None:
+            return float(t)
+        if self.clock is not None:
+            return float(self.clock.now)
+        return 0.0
+
+    def emit(self, record: TraceRecord) -> None:
+        if not self.enabled:
+            return
+        self._ring.append(record)
+        self.emitted += 1
+        if self._sink is not None:
+            self._sink.write(record.json_line() + "\n")
+
+    def event(self, name: str, t: "float | None" = None, **attrs) -> None:
+        """Record an instantaneous event at sim time ``t``."""
+        if not self.enabled:
+            return
+        self.emit(TraceRecord(t=self._timestamp(t), kind=KIND_EVENT,
+                              name=name, attrs=attrs))
+
+    def span(self, name: str, t: "float | None" = None,
+             dur: float = 0.0, **attrs) -> None:
+        """Record a completed span: start ``t``, duration ``dur``."""
+        if not self.enabled:
+            return
+        self.emit(TraceRecord(t=self._timestamp(t), kind=KIND_SPAN,
+                              name=name, dur=float(dur), attrs=attrs))
+
+    @contextmanager
+    def measure(self, name: str, clock: "object | None" = None, **attrs):
+        """Span context manager over a sim clock that *advances* inside
+        the block (e.g. a whole EMR run against ``machine.clock``)."""
+        if not self.enabled:
+            yield
+            return
+        source = clock if clock is not None else self.clock
+        start = float(source.now) if source is not None else 0.0
+        yield
+        end = float(source.now) if source is not None else start
+        self.span(name, t=start, dur=end - start, **attrs)
+
+    # ------------------------------------------------------------------
+    def records(self) -> "tuple[TraceRecord, ...]":
+        """Ring-buffer contents, oldest first."""
+        return tuple(self._ring)
+
+    def drain(self) -> "list[TraceRecord]":
+        """Pop and return everything in the ring (merge primitive)."""
+        records = list(self._ring)
+        self._ring.clear()
+        return records
+
+    def flush(self) -> None:
+        if self._sink is not None and hasattr(self._sink, "flush"):
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _NullRecorder(TraceRecorder):
+    """The disabled singleton; constructing one elsewhere is fine too."""
+
+    def __init__(self) -> None:
+        super().__init__(sink=None, ring_size=1, enabled=False)
+
+
+#: Shared disabled recorder — safe to reference from any component.
+NULL_TRACER = _NullRecorder()
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+
+def write_records(records, sink: "str | Path | object") -> int:
+    """Write records as JSON lines; returns the count written."""
+    owns = isinstance(sink, (str, Path))
+    fh = open(sink, "w") if owns else sink
+    try:
+        n = 0
+        for record in records:
+            fh.write(record.json_line() + "\n")
+            n += 1
+        return n
+    finally:
+        if owns:
+            fh.close()
+
+
+def merge_task_records(record_lists, sink: "str | Path | object") -> int:
+    """Deterministically merge per-task record lists into one file.
+
+    Records are written in task order (then emission order within a
+    task) with the task index stamped on each line, so the merged file
+    depends only on the records — never on worker count or scheduling.
+    """
+    def stamped():
+        for task_index, records in enumerate(record_lists):
+            for record in records:
+                yield record.with_task(task_index)
+    return write_records(stamped(), sink)
+
+
+def read_trace(path: "str | Path") -> "list[TraceRecord]":
+    """Load a JSONL trace file back into records (skips blank lines)."""
+    records = []
+    with open(path) as fh:
+        for line_number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(TraceRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: bad trace record: {exc}"
+                ) from exc
+    return records

@@ -25,6 +25,15 @@ name) and pure in their arguments: ``fn(item, rng)`` when a seed is
 given, ``fn(item)`` otherwise. Per-task wall time and the executing
 PID are captured for every task; :func:`pmap_report` exposes them so
 benchmarks can attribute cost.
+
+**Tracing.** When ``trace_path`` is given, every task additionally
+receives a fresh in-memory :class:`repro.obs.TraceRecorder` as its
+last argument (``fn(item, rng, tracer)``); the records each task
+emitted ride back with its result and are merged into one JSON-lines
+file *in task order*, each line stamped with its task index. Because
+record content carries only simulated time (never PIDs or wall
+clocks) and the merge order is the task order, the merged trace is
+byte-identical at any ``workers`` setting.
 """
 
 from __future__ import annotations
@@ -104,15 +113,23 @@ def _pool_usable(min_cpus: int = 2) -> bool:
 
 
 def _invoke(payload):
-    """Run one task; returns (value, seconds, pid). Top-level so the
-    pool can pickle it."""
-    fn, item, child_seed = payload
+    """Run one task; returns (value, seconds, pid, trace_records).
+    Top-level so the pool can pickle it."""
+    fn, item, child_seed, with_tracer = payload
+    tracer = None
+    extra = ()
+    if with_tracer:
+        from .obs import TraceRecorder
+
+        tracer = TraceRecorder(ring_size=None)
+        extra = (tracer,)
     started = time.perf_counter()
     if child_seed is None:
-        value = fn(item)
+        value = fn(item, *extra)
     else:
-        value = fn(item, np.random.default_rng(child_seed))
-    return value, time.perf_counter() - started, os.getpid()
+        value = fn(item, np.random.default_rng(child_seed), *extra)
+    records = tracer.drain() if tracer is not None else None
+    return value, time.perf_counter() - started, os.getpid(), records
 
 
 def pmap_report(
@@ -123,6 +140,7 @@ def pmap_report(
     workers: "int | None" = None,
     chunksize: "int | None" = None,
     force_pool: bool = False,
+    trace_path: "str | None" = None,
 ) -> ParallelReport:
     """Map ``fn`` over ``items``, deterministically, maybe in parallel.
 
@@ -130,7 +148,9 @@ def pmap_report(
     ----------
     fn:
         Top-level callable. Called as ``fn(item, rng)`` when ``seed``
-        is given, else ``fn(item)``.
+        is given, else ``fn(item)``. With ``trace_path`` set, a fresh
+        :class:`repro.obs.TraceRecorder` is appended to the argument
+        list (``fn(item, rng, tracer)``).
     seed:
         Root seed (int or :class:`numpy.random.SeedSequence`). Task
         *i* gets the generator spawned at index *i* regardless of the
@@ -143,6 +163,9 @@ def pmap_report(
     force_pool:
         Start the pool even on a single-CPU host (used by the
         determinism tests so the pool path is always exercised).
+    trace_path:
+        Merge every task's trace records into this JSONL file, in
+        task order (byte-identical at any worker count).
     """
     items = list(items)
     n = len(items)
@@ -151,7 +174,11 @@ def pmap_report(
     else:
         root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
         child_seeds = root.spawn(n)
-    payloads = [(fn, item, child) for item, child in zip(items, child_seeds)]
+    with_tracer = trace_path is not None
+    payloads = [
+        (fn, item, child, with_tracer)
+        for item, child in zip(items, child_seeds)
+    ]
 
     effective = resolve_workers(workers, n)
     use_pool = n > 0 and effective > 1 and (force_pool or _pool_usable())
@@ -174,11 +201,17 @@ def pmap_report(
         outcomes = [_invoke(payload) for payload in payloads]
 
     wall = time.perf_counter() - started
-    values = [value for value, _, _ in outcomes]
+    values = [value for value, _, _, _ in outcomes]
     timings = tuple(
         TaskTiming(index=i, seconds=seconds, pid=pid)
-        for i, (_, seconds, pid) in enumerate(outcomes)
+        for i, (_, seconds, pid, _) in enumerate(outcomes)
     )
+    if with_tracer:
+        from .obs import merge_task_records
+
+        merge_task_records(
+            [records or [] for _, _, _, records in outcomes], trace_path
+        )
     return ParallelReport(
         values=values,
         timings=timings,
@@ -196,6 +229,7 @@ def pmap(
     workers: "int | None" = None,
     chunksize: "int | None" = None,
     force_pool: bool = False,
+    trace_path: "str | None" = None,
 ) -> "list":
     """:func:`pmap_report` without the accounting — just the values,
     in input order."""
@@ -206,4 +240,5 @@ def pmap(
         workers=workers,
         chunksize=chunksize,
         force_pool=force_pool,
+        trace_path=trace_path,
     ).values

@@ -34,6 +34,7 @@ from ..core.emr.checksum import checksum_protected_run
 from ..core.emr.jobs import Job
 from ..core.emr.runtime import EmrConfig, EmrHooks, EmrRuntime, RunResult
 from ..errors import ConfigurationError, DetectedFaultError
+from ..obs import NULL_OBS, MetricsRegistry, Observability
 from ..parallel import ParallelReport, pmap_report
 from ..sim.machine import Machine
 from ..workloads.base import Workload, WorkloadSpec
@@ -84,12 +85,14 @@ class _InjectionHooks(EmrHooks):
         job_ordinal: int,
         bits: int,
         rng: np.random.Generator,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.machine = machine
         self.target = target
         self.job_ordinal = job_ordinal
         self.bits = bits
         self.rng = rng
+        self.obs = obs
         self.applied = False
         self.detail = "never fired"
         self._counter = 0
@@ -112,9 +115,24 @@ class _InjectionHooks(EmrHooks):
             # particle hit dead silicon.
             self.applied = True
             self.detail = f"{self.target}: {exc}"
+            self._record_strike(dead_silicon=True)
             return
         self.applied = True
         self.detail = str(record) if record is not None else f"{self.target}: no live state"
+        self._record_strike(dead_silicon=record is None)
+
+    def _record_strike(self, dead_silicon: bool) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.tracer.event(
+            "inject.seu", t=self.machine.clock.now,
+            target=self.target.value, bits=self.bits,
+            job_ordinal=self.job_ordinal, dead_silicon=dead_silicon,
+            detail=self.detail,
+        )
+        self.obs.metrics.counter("inject.strikes").inc()
+        if dead_silicon:
+            self.obs.metrics.counter("inject.dead_silicon").inc()
 
     def _strike(self, job: Job):
         machine, rng = self.machine, self.rng
@@ -156,19 +174,29 @@ def _pick_target(weights: "dict[SeuTarget, float]", rng: np.random.Generator) ->
     return targets[int(rng.choice(len(targets), p=probabilities))]
 
 
-def run_campaign_trial(task: TrialTask, rng: np.random.Generator) -> InjectionOutcome:
+def run_campaign_trial(
+    task: TrialTask,
+    rng: np.random.Generator,
+    tracer: "object | None" = None,
+) -> InjectionOutcome:
     """One injection trial: fresh machine, one strike, one outcome.
 
     Pure in ``(task, rng)`` — no closure over campaign state — so it
-    runs identically under the process pool and the serial path.
+    runs identically under the process pool and the serial path. With
+    ``tracer`` (supplied by :func:`repro.parallel.pmap_report` when the
+    campaign traces), the trial's injection, any corruption/fault/vote
+    records, and the final outcome ride back with the result.
     """
+    obs = NULL_OBS
+    if tracer is not None:
+        obs = Observability(tracer=tracer, metrics=MetricsRegistry())
     machine = task.machine_factory()
     target = _pick_target(task.config.weights, rng)
     single_pass = task.scheme in ("none", "checksum")
     n_jobs = len(task.spec.datasets) * (1 if single_pass else 3)
     hooks = _InjectionHooks(
         machine, target, int(rng.integers(0, n_jobs)),
-        task.config.bits, rng,
+        task.config.bits, rng, obs=obs,
     )
     emr_config = EmrConfig(
         replication_threshold=task.config.replication_threshold,
@@ -179,23 +207,23 @@ def run_campaign_trial(task: TrialTask, rng: np.random.Generator) -> InjectionOu
     try:
         if task.scheme == "none":
             result = single_run(machine, task.workload, spec=task.spec,
-                                config=emr_config, hooks=hooks)
+                                config=emr_config, hooks=hooks, obs=obs)
         elif task.scheme == "3mr":
             result = sequential_3mr(machine, task.workload, spec=task.spec,
-                                    config=emr_config, hooks=hooks)
+                                    config=emr_config, hooks=hooks, obs=obs)
         elif task.scheme == "unprotected-parallel":
             result = unprotected_parallel_3mr(
                 machine, task.workload, spec=task.spec,
-                config=emr_config, hooks=hooks,
+                config=emr_config, hooks=hooks, obs=obs,
             )
         elif task.scheme == "emr":
             runtime = EmrRuntime(machine, task.workload, config=emr_config,
-                                 hooks=hooks)
+                                 hooks=hooks, obs=obs)
             result = runtime.run(spec=task.spec)
         elif task.scheme == "checksum":
             result = checksum_protected_run(
                 machine, task.workload, spec=task.spec,
-                config=emr_config, hooks=hooks,
+                config=emr_config, hooks=hooks, obs=obs,
             )
         else:
             raise ConfigurationError(f"unknown scheme {task.scheme!r}")
@@ -214,6 +242,11 @@ def run_campaign_trial(task: TrialTask, rng: np.random.Generator) -> InjectionOu
         outcome = OutcomeClass.CORRECTED
     else:
         outcome = OutcomeClass.NO_EFFECT
+    if obs.enabled:
+        obs.tracer.event(
+            "campaign.outcome", t=machine.clock.now,
+            scheme=task.scheme, outcome=outcome.value, target=target.value,
+        )
     return InjectionOutcome(
         scheme=task.scheme,
         outcome=outcome,
@@ -239,6 +272,10 @@ class FaultInjectionCampaign:
         #: Accounting of the most recent :meth:`run` (per-trial timing,
         #: worker count, pool/serial mode).
         self.last_report: "ParallelReport | None" = None
+        #: Campaign-level metrics of the most recent :meth:`run`.
+        #: Populated post-hoc from the (deterministic) outcome list, so
+        #: it needs no cross-process merging.
+        self.metrics = MetricsRegistry()
 
     def _golden(self, spec: WorkloadSpec) -> "list[bytes]":
         return self.workload.reference_outputs(spec)
@@ -247,12 +284,15 @@ class FaultInjectionCampaign:
         self,
         schemes: "tuple[str, ...]" = ("none", "3mr", "emr"),
         workers: "int | None" = 1,
+        trace_path: "str | None" = None,
     ) -> "dict[str, Counter]":
         """Returns scheme -> Counter over :class:`OutcomeClass`.
 
         Trials are independent: each gets its own generator spawned
         from ``SeedSequence(seed)``, so any ``workers`` value — serial
-        included — produces the same outcomes in the same order.
+        included — produces the same outcomes in the same order. With
+        ``trace_path``, every trial's records merge (in trial order)
+        into one JSONL trace, byte-identical at any worker count.
         """
         rng = np.random.default_rng(self.seed)
         spec = self.workload.build(rng)
@@ -270,7 +310,8 @@ class FaultInjectionCampaign:
             for _ in range(self.config.runs_per_scheme)
         ]
         report = pmap_report(
-            run_campaign_trial, tasks, seed=self.seed, workers=workers
+            run_campaign_trial, tasks, seed=self.seed, workers=workers,
+            trace_path=trace_path,
         )
         self.last_report = report
         self.outcomes: "list[InjectionOutcome]" = list(report.values)
@@ -281,4 +322,19 @@ class FaultInjectionCampaign:
                 if outcome.scheme == scheme:
                     counts[outcome.outcome] += 1
             table[scheme] = counts
+        self.metrics = self._tally_metrics()
         return table
+
+    def _tally_metrics(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.counter("inject.trials").inc(len(self.outcomes))
+        for outcome in self.outcomes:
+            metrics.counter(
+                f"campaign.{outcome.scheme}.{outcome.outcome.value}"
+            ).inc()
+            metrics.counter(f"inject.target.{outcome.target.value}").inc()
+            if outcome.outcome is OutcomeClass.NO_EFFECT:
+                metrics.counter("inject.masked").inc()
+            else:
+                metrics.counter("inject.hits").inc()
+        return metrics

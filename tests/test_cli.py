@@ -33,6 +33,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["mission", "--environment", "venus"])
 
+    def test_trace_rejected_for_untraced_experiment(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not support --trace"):
+            main(["run", "table4", "--trace", str(tmp_path / "t.jsonl")])
+
+    def test_module_name_alias_resolves(self, capsys):
+        assert main(["run", "table4_protected_area"]) == 0
+        assert "75%" in capsys.readouterr().out
+
+    def test_trace_summarize(self, capsys, tmp_path):
+        from repro.obs import TraceRecord, write_records
+
+        path = tmp_path / "t.jsonl"
+        write_records(
+            [
+                TraceRecord(t=0.01, kind="event", name="inject.seu",
+                            attrs={"target": "dram", "bits": 1}, task=0),
+                TraceRecord(t=0.02, kind="event", name="emr.fault",
+                            attrs={"ds": 1, "scheme": "emr"}, task=0),
+                TraceRecord(t=0.05, kind="event", name="toy.noise", task=1),
+            ],
+            path,
+        )
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "incident chains (injection → detection): 1 of 2" in out
+        assert "inject.seu" in out
+
+        assert main(["trace", "summarize", str(path), "--task", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 task(s)" in out
+
+        with pytest.raises(SystemExit, match="no records for task"):
+            main(["trace", "summarize", str(path), "--task", "7"])
+
     def test_mission_smoke(self, capsys, tmp_path):
         csv_path = tmp_path / "log.csv"
         code = main([

@@ -12,6 +12,8 @@ from repro.flightsw import (
     CommandDispatcher,
     Component,
     DownlinkManager,
+    EventLog,
+    EvrSeverity,
     RateGroupScheduler,
     Sequencer,
     TelemetryDb,
@@ -223,3 +225,63 @@ class TestEndToEndWithIld:
         )
         detections = detector.process(trace)
         assert detections and detections[0].time - 200.0 < 60.0
+
+
+class TestEventLog:
+    def _ctx(self, time=5.0):
+        return TickContext(
+            time=time, dt=1.0, telemetry=TelemetryDb(),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_explicit_time_commits_immediately(self):
+        log = EventLog()
+        log.log("sel.trip", "latchup detected", time=12.5,
+                severity=EvrSeverity.WARNING_HI, mean_residual_a=0.061)
+        (event,) = log.events()
+        assert event.time == 12.5
+        assert event.severity is EvrSeverity.WARNING_HI
+        assert event.args == (("mean_residual_a", 0.061),)
+        assert "sel.trip" in event.render()
+
+    def test_pending_stamped_at_dispatch(self):
+        log = EventLog()
+        log.log("camera.capture", "frame stored")
+        assert log.events() == ()  # not committed until the tick
+        ctx = self._ctx(time=7.0)
+        cost = log.tick(ctx)
+        (event,) = log.events()
+        assert event.time == 7.0
+        assert cost.instructions > 10_000  # commit work was charged
+        assert ctx.telemetry.latest("evr.events_total").value == 1.0
+
+    def test_ring_wraps_and_counts_dropped(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.log("tick", f"event {i}", time=float(i))
+        assert log.dropped == 2
+        assert log.total_logged == 5
+        assert [e.time for e in log.events()] == [2.0, 3.0, 4.0]
+        assert "overwritten" in log.render()
+
+    def test_warnings_filter(self):
+        log = EventLog()
+        log.log("housekeeping", "nominal", time=0.0,
+                severity=EvrSeverity.ACTIVITY_LO)
+        log.log("sel.trip", "trip", time=1.0, severity=EvrSeverity.WARNING_LO)
+        log.log("thermal.damage", "dead", time=2.0,
+                severity=EvrSeverity.FATAL)
+        assert [e.name for e in log.warnings()] == ["sel.trip", "thermal.damage"]
+
+    def test_clear_command(self):
+        log = EventLog()
+        log.log("a", "x", time=0.0)
+        log.log("b", "y")  # pending
+        assert log.handle_command("CLEAR", {}) is None
+        log.tick(self._ctx())
+        assert log.events() == ()
+        assert log.handle_command("NOPE", {}) is not None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.radshield import Radshield, RadshieldConfig, SelResponse
+from repro.core.radshield import (
+    STATUS_KEYS,
+    Radshield,
+    RadshieldConfig,
+    SelResponse,
+)
 from repro.radiation import LatchupInjector
 from repro.sim import (
     CurrentStep,
@@ -100,6 +105,35 @@ class TestClosedLoop:
         status = shield.status()
         assert status["machine"] == "raspberry-pi-zero-2w"
         assert status["detector_samples_trained"] > 1000
+
+    def test_status_schema_is_stable(self, shield):
+        # STATUS_KEYS is the operator-facing contract: exactly these
+        # keys, in this order, and a JSON-serializable payload.
+        import json
+
+        status = shield.status()
+        assert tuple(status) == STATUS_KEYS
+        assert set(status["metrics"]) == {"counters", "gauges", "histograms"}
+        json.dumps(status)
+
+    def test_protection_actions_reach_obs_and_evrs(self, shield, generator):
+        workload = AesWorkload(chunk_bytes=64, chunks=8)
+        shield.run_protected(workload, spec=workload.build(np.random.default_rng(8)))
+        injector = LatchupInjector(shield.machine)
+        injector.induce_delta(0.07)
+        trace = generator.generate(
+            navigation_schedule(400, rng=np.random.default_rng(9)),
+            rng=np.random.default_rng(9),
+            current_steps=[CurrentStep(start=0.0, delta_amps=0.07)],
+        )
+        shield.process_telemetry(trace)
+        status = shield.status()
+        counters = status["metrics"]["counters"]
+        assert counters["sel.detections"] >= 1
+        assert counters["sel.power_cycles"] >= 1
+        assert status["evr_events"] >= 2  # verdict EVR + SEL trip EVRs
+        names = {r.name for r in shield.obs.tracer.records()}
+        assert {"emr.run", "sel.detection", "sel.power_cycle"} <= names
 
 
 class TestUplinkDeployment:
