@@ -13,6 +13,9 @@ straightforward reference implementation, verifies each one is
    (eagerly zeroed simulated DRAM, per-dataset golden-output loop,
    serial) vs the current engine (calloc-backed devices, batched
    golden outputs, ``--workers N`` deterministic pool).
+4. The campaign trial store: a cold Table 7 campaign against an empty
+   store vs the warm rerun, which must execute **zero** trials (every
+   result replays from disk) while producing identical values.
 
 Usage::
 
@@ -160,6 +163,41 @@ def bench_table7(runs_per_scheme: int, workers: int) -> dict:
     }
 
 
+def bench_campaign_store(runs_per_scheme: int, workers: int) -> dict:
+    import tempfile
+
+    from repro.campaign import TrialStore, execute
+    from repro.experiments.table7_fault_injection import campaign
+    from repro.obs import MetricsRegistry
+
+    camp = campaign(runs_per_scheme=runs_per_scheme, seed=3)
+    with tempfile.TemporaryDirectory() as root:
+        store = TrialStore(root)
+        cold, cold_s = _timed(
+            execute, camp, workers=workers, store=store,
+            metrics=MetricsRegistry(),
+        )
+        warm_metrics = MetricsRegistry()
+        warm, warm_s = _timed(
+            execute, camp, workers=workers, store=store,
+            metrics=warm_metrics,
+        )
+    assert warm.executed == 0, "warm campaign re-ran stored trials"
+    assert warm.store_hits == len(camp.trials), "store missed trials"
+    assert warm.values == cold.values, "warm values diverged from cold"
+    counters = warm_metrics.snapshot()["counters"]
+    return {
+        "trials": len(camp.trials),
+        "workers": workers,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "warm_executed": int(counters["campaign.trials.executed"]),
+        "warm_store_hits": int(counters["campaign.store.hits"]),
+        "identical_values": True,
+    }
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=20,
@@ -193,7 +231,19 @@ def main(argv: "list[str] | None" = None) -> int:
           f"after      {t7['after_s']:8.2f} s    "
           f"{t7['speedup']:.1f}x  (mode={t7['mode']})")
 
-    ok = aes["speedup"] >= 5.0 and t7["speedup"] >= 2.0
+    print(f"campaign store, cold vs warm, {args.runs} runs/scheme ...")
+    results["campaign_store"] = bench_campaign_store(args.runs, args.workers)
+    cs = results["campaign_store"]
+    print(f"  cold   {cs['cold_s']:8.2f} s    "
+          f"warm       {cs['warm_s']:8.2f} s    "
+          f"{cs['speedup']:.1f}x  "
+          f"(warm executed {cs['warm_executed']}/{cs['trials']} trials)")
+
+    ok = (
+        aes["speedup"] >= 5.0
+        and t7["speedup"] >= 2.0
+        and cs["warm_executed"] == 0
+    )
     results["pass"] = bool(ok)
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.out}  (pass={ok})")

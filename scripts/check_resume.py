@@ -1,0 +1,152 @@
+"""CI resume-equality check: kill a campaign mid-run, resume it, and
+require the merged results to match an uninterrupted run byte-for-byte.
+
+The drill:
+
+1. launch ``python -m repro campaign run <id> --store <dir>`` as a
+   subprocess and ``SIGKILL`` it as soon as the store holds at least
+   one — but not every — completed trial (a hard kill, so the atomic
+   store-write guarantee is what's actually under test);
+2. resume in-process with :func:`repro.campaign.execute` against the
+   same store, asserting via the ``campaign.store.hits`` /
+   ``campaign.trials.executed`` counters that the surviving trials were
+   replayed, not re-run;
+3. run the same campaign cold, with no store, and require the rendered
+   aggregate (and the raw values) to be identical.
+
+The store directory is left in place so CI can publish it as an
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_resume.py [--campaign table2]
+        [--store campaign-store] [--timeout 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _store_count(root: Path) -> int:
+    return len(list(root.glob("??/*.json")))
+
+
+def interrupt_subprocess_run(
+    campaign_id: str, store_dir: Path, total: int, timeout: float
+) -> int:
+    """Start the campaign in a subprocess; kill it mid-grid.
+
+    Returns the number of trials the store held at the kill. If the
+    subprocess finishes every trial before we catch it (fast machine,
+    tiny grid), trim the store back so the resume still has work to do.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "run",
+            campaign_id, "--store", str(store_dir),
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while proc.poll() is None and time.monotonic() < deadline:
+            if _store_count(store_dir) >= 1:
+                proc.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.05)
+        proc.wait(timeout=timeout)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    completed = _store_count(store_dir)
+    if completed == 0:
+        raise SystemExit(
+            f"subprocess died with no completed trials (rc={proc.returncode})"
+        )
+    if completed >= total:
+        # The run outpaced the poll: drop half the entries so the
+        # resume path is still exercised.
+        for path in sorted(store_dir.glob("??/*.json"))[: total // 2 or 1]:
+            path.unlink()
+        completed = _store_count(store_dir)
+        print(f"note: campaign finished before the kill; "
+              f"trimmed store back to {completed}/{total}")
+    return completed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--campaign", default="table2",
+                        help="campaign id from repro.experiments.CAMPAIGNS")
+    parser.add_argument("--store", default="campaign-store",
+                        help="store directory (kept, for the CI artifact)")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    from repro.campaign import TrialStore, execute, status
+    from repro.experiments import CAMPAIGNS
+    from repro.obs import MetricsRegistry
+
+    factory = CAMPAIGNS[args.campaign]
+    camp = factory()
+    total = len(camp.trials)
+    store_dir = Path(args.store)
+    store_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"campaign {args.campaign!r}: {total} trials")
+    completed = interrupt_subprocess_run(
+        args.campaign, store_dir, total, args.timeout
+    )
+    print(f"killed mid-run with {completed}/{total} trials in the store")
+
+    store = TrialStore(store_dir)
+    st = status(camp, store)
+    assert st.completed == completed, (
+        f"status() sees {st.completed} completed, store holds {completed}"
+    )
+
+    metrics = MetricsRegistry()
+    resumed = execute(camp, store=store, metrics=metrics)
+    counters = metrics.snapshot()["counters"]
+    executed = int(counters["campaign.trials.executed"])
+    hits = int(counters["campaign.store.hits"])
+    assert hits == completed, f"resume replayed {hits}, expected {completed}"
+    assert executed == total - completed, (
+        f"resume executed {executed}, expected {total - completed}"
+    )
+    print(f"resumed: {executed} executed, {hits} replayed from store")
+
+    cold = execute(factory())
+    assert resumed.values == cold.values, (
+        "resumed values diverged from the uninterrupted run"
+    )
+    if camp.aggregate is not None:
+        resumed_rendered = camp.aggregate(resumed.values, metrics=None).render()
+        cold_rendered = factory().aggregate(cold.values, metrics=None).render()
+        assert resumed_rendered == cold_rendered, (
+            "resumed aggregate render diverged from the uninterrupted run"
+        )
+        print("rendered aggregates byte-identical")
+    print(f"PASS: interrupt + resume == uninterrupted "
+          f"({executed} re-executed, {hits} replayed); store at {store_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

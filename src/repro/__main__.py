@@ -4,7 +4,10 @@ Usage::
 
     python -m repro list
     python -m repro run table2 [--out results.txt] [--trace t.jsonl] [--metrics]
-    python -m repro run-all [--out-dir results/] [--trace-dir traces/]
+    python -m repro run-all [--out-dir results/] [--trace-dir traces/] [--store dir/]
+    python -m repro campaign run table7 --store store/ [--workers 4]
+    python -m repro campaign status table7 --store store/
+    python -m repro campaign resume table7 --store store/
     python -m repro mission --days 1 --environment deep-space [--csv log.csv]
     python -m repro trace summarize t.jsonl [--task 4]
 """
@@ -19,8 +22,8 @@ from pathlib import Path
 
 
 def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
-    """Pass --workers / --trace / --metrics through to runners that
-    understand them (signature-sniffed)."""
+    """Pass --workers / --trace / --metrics / --store through to
+    runners that understand them (signature-sniffed)."""
     params = inspect.signature(runner).parameters
     kwargs = {}
     workers = getattr(args, "workers", None)
@@ -37,6 +40,13 @@ def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
         from .obs import MetricsRegistry
 
         kwargs["metrics"] = MetricsRegistry()
+    store = getattr(args, "store", None)
+    if store is not None:
+        if "store" not in params:
+            raise SystemExit(
+                f"{args.experiment}: this experiment does not support --store"
+            )
+        kwargs["store"] = store
     return kwargs
 
 
@@ -110,7 +120,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         metrics = MetricsRegistry()
     results = run_all(
         include_ablations=not args.no_ablations, workers=args.workers,
-        trace_dir=args.trace_dir, metrics=metrics,
+        trace_dir=args.trace_dir, metrics=metrics, store=args.store,
     )
     out_dir = Path(args.out_dir) if args.out_dir else None
     if out_dir:
@@ -127,6 +137,61 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.trace_dir:
         print(f"wrote traces under: {args.trace_dir}")
     if metrics is not None:
+        print("metrics:")
+        print(json.dumps(metrics.snapshot(), indent=2))
+    return 0
+
+
+def _resolve_campaign(name: str):
+    from .experiments import CAMPAIGNS
+
+    factory = CAMPAIGNS.get(name)
+    if factory is None:
+        raise SystemExit(
+            f"unknown campaign {name!r}; known: {', '.join(sorted(CAMPAIGNS))}"
+        )
+    return factory()
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import TrialStore, execute, status
+    from .obs import MetricsRegistry
+
+    camp = _resolve_campaign(args.campaign)
+    store = TrialStore(args.store)
+    if args.campaign_command == "status":
+        st = status(camp, store)
+        print(
+            f"{st.name}: {st.completed}/{st.total} trials complete, "
+            f"{st.pending} pending (store: {args.store})"
+        )
+        return 0
+
+    # `run` and `resume` are the same operation — the store makes every
+    # run a resume. The two verbs exist so scripts read naturally.
+    metrics = MetricsRegistry()
+    result = execute(
+        camp, workers=args.workers, store=store, trace_path=args.trace,
+        metrics=metrics,
+    )
+    counters = metrics.snapshot()["counters"]
+    print(
+        f"{result.name}: {int(counters.get('campaign.trials.executed', 0))} "
+        f"executed, {result.store_hits} replayed from store, "
+        f"{len(result.specs)} total"
+    )
+    if camp.aggregate is not None:
+        rendered = camp.aggregate(result.values, metrics=None).render()
+    else:
+        rendered = None
+    if args.out and rendered is not None:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out}")
+    elif rendered is not None:
+        print(rendered)
+    if args.trace:
+        print(f"wrote trace: {args.trace}")
+    if args.metrics:
         print("metrics:")
         print(json.dumps(metrics.snapshot(), indent=2))
     return 0
@@ -198,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="trial-store directory: completed trials are persisted "
+             "there and skipped when the experiment reruns",
+    )
+
     run_all_cmd = sub.add_parser("run-all", help="run every experiment")
     run_all_cmd.add_argument("--out-dir", help="write one file per experiment")
     run_all_cmd.add_argument("--no-ablations", action="store_true")
@@ -214,7 +285,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print one merged metrics snapshot as JSON at the end",
     )
+    run_all_cmd.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="trial-store directory shared by every campaign-backed "
+             "experiment; an interrupted run-all resumes from here",
+    )
     run_all_cmd.set_defaults(func=_cmd_run_all)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="drive an experiment's declarative trial grid against a store",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    for verb, help_text in (
+        ("run", "execute the campaign (skips trials already in the store)"),
+        ("resume", "alias of run: the store makes every run a resume"),
+        ("status", "report completed vs. pending trials without running"),
+    ):
+        verb_parser = campaign_sub.add_parser(verb, help=help_text)
+        verb_parser.add_argument("campaign")
+        verb_parser.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="trial-store directory (created if missing)",
+        )
+        if verb != "status":
+            verb_parser.add_argument(
+                "--workers", type=int, default=None,
+                help="parallel worker processes (results identical at any value)",
+            )
+            verb_parser.add_argument(
+                "--trace", default=None, metavar="FILE",
+                help="write the merged JSONL trace of this run",
+            )
+            verb_parser.add_argument("--out", help="write rendered output to a file")
+            verb_parser.add_argument(
+                "--metrics", action="store_true",
+                help="print the campaign metrics snapshot as JSON",
+            )
+        verb_parser.set_defaults(func=_cmd_campaign)
 
     trace = sub.add_parser("trace", help="inspect a recorded trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

@@ -1,0 +1,44 @@
+"""Unified resumable campaign engine.
+
+Declare a grid of trials (:class:`Campaign` / :class:`Trial`), run it
+with :func:`execute` — deterministically parallel via
+:func:`repro.parallel.pmap`, per-trial RNG pinned by
+``(seed_root, seed_index)`` — and point it at a :class:`TrialStore`
+to make the run resumable: completed trials are fingerprinted
+(:class:`TrialSpec`), persisted, and skipped on rerun, with aggregate
+output byte-identical to an uninterrupted run.
+
+See ``docs/campaigns.md`` for the spec format, fingerprinting rules
+and resume semantics.
+"""
+
+from .engine import CampaignResult, CampaignStatus, execute, status
+from .reports import decode_report, encode_report
+from .spec import (
+    CODE_VERSION,
+    Campaign,
+    Trial,
+    TrialSpec,
+    canonical_json,
+    jsonify,
+    trial_rng,
+)
+from .store import STORE_SCHEMA, TrialStore
+
+__all__ = [
+    "CODE_VERSION",
+    "STORE_SCHEMA",
+    "Campaign",
+    "CampaignResult",
+    "CampaignStatus",
+    "Trial",
+    "TrialSpec",
+    "TrialStore",
+    "canonical_json",
+    "decode_report",
+    "encode_report",
+    "execute",
+    "jsonify",
+    "status",
+    "trial_rng",
+]

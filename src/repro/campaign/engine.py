@@ -1,0 +1,214 @@
+"""The campaign executor: run a declared grid, skip what's done.
+
+:func:`execute` is the one way any experiment's trials reach
+:func:`repro.parallel.pmap`. For each trial it:
+
+1. resolves the trial's fingerprint (:meth:`Campaign.specs`);
+2. consults the :class:`~repro.campaign.store.TrialStore` (if given)
+   and **skips** trials whose fingerprint is already stored;
+3. runs the missing trials through ``pmap`` — each in a worker with
+   its own :func:`~repro.campaign.spec.trial_rng` generator and (when
+   tracing) a fresh per-trial :class:`~repro.obs.TraceRecorder`;
+4. canonicalises every result — stored hit or fresh execution alike —
+   through an ``encode -> JSON -> decode`` round-trip, so resumed and
+   cold runs aggregate **byte-identically**;
+5. persists each fresh result (with its trace records) *as it lands*
+   — not after the batch — so a run killed mid-grid keeps every
+   completed trial; finally merges all trace records, in grid order,
+   into one JSONL file.
+
+Store accounting lands in the caller's
+:class:`~repro.obs.metrics.MetricsRegistry` under
+``campaign.store.hits`` / ``campaign.store.misses`` /
+``campaign.trials.executed`` — the counters CI uses to prove a resume
+actually skipped completed work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..parallel import ParallelReport, pmap_report
+from .spec import Campaign, TrialSpec, jsonify, trial_rng
+from .store import STORE_SCHEMA, TrialStore
+
+__all__ = ["CampaignResult", "CampaignStatus", "execute", "status"]
+
+
+def _execute_trial(payload):
+    """Run one trial in a worker; top-level so the pool can pickle it.
+
+    Returns ``(value, records)`` where ``records`` is the trial's
+    trace (``None`` when tracing is off). The tracer is created here —
+    not by ``pmap`` — so the records can ride into the store and a
+    resumed run can replay them without re-executing the trial.
+    """
+    fn, item, seed_root, seed_index, with_tracer = payload
+    tracer = None
+    if with_tracer:
+        from ..obs import TraceRecorder
+
+        tracer = TraceRecorder(ring_size=None)
+    value = fn(item, trial_rng(seed_root, seed_index), tracer)
+    return value, (tracer.drain() if tracer is not None else None)
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """How much of a campaign a store already holds."""
+
+    name: str
+    total: int
+    completed: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.completed
+
+
+@dataclass
+class CampaignResult:
+    """Everything :func:`execute` produced, in grid order."""
+
+    name: str
+    values: "list"
+    specs: "list[TrialSpec]"
+    executed: int
+    store_hits: int
+    report: "ParallelReport | None"
+
+    @property
+    def fingerprints(self) -> "list[str]":
+        return [spec.fingerprint for spec in self.specs]
+
+
+def _canonical_result(campaign: Campaign, value):
+    """Encode + JSON round-trip: the exact object a store hit yields."""
+    encoded = campaign.encode(value) if campaign.encode is not None else value
+    return json.loads(json.dumps(jsonify(encoded)))
+
+
+def execute(
+    campaign: Campaign,
+    *,
+    workers: "int | None" = 1,
+    store=None,
+    trace_path: "str | None" = None,
+    metrics=None,
+    force_pool: bool = False,
+    chunksize: "int | None" = None,
+) -> CampaignResult:
+    """Run ``campaign``, skipping trials the store already holds."""
+    store = TrialStore.coerce(store)
+    specs = campaign.specs()
+    with_tracer = trace_path is not None
+
+    hits: "dict[int, dict]" = {}
+    if store is not None:
+        for index, spec in enumerate(specs):
+            entry = store.get(spec.fingerprint)
+            if entry is not None:
+                hits[index] = entry
+
+    pending = [i for i in range(len(specs)) if i not in hits]
+    payloads = [
+        (
+            campaign.trial_fn,
+            campaign.trials[i].item,
+            specs[i].seed_root,
+            specs[i].seed_index,
+            with_tracer,
+        )
+        for i in pending
+    ]
+
+    canonical: "dict[int, object]" = {}
+    record_dicts: "dict[int, list | None]" = {}
+
+    def _absorb(position: int, outcome) -> None:
+        """Canonicalise and persist one trial the moment it lands —
+        incremental, so a run killed mid-grid keeps its progress."""
+        value, records = outcome
+        i = pending[position]
+        canonical[i] = _canonical_result(campaign, value)
+        record_dicts[i] = (
+            None if records is None else [r.to_dict() for r in records]
+        )
+        if store is not None:
+            spec = specs[i]
+            store.put(
+                spec.fingerprint,
+                {
+                    "schema": STORE_SCHEMA,
+                    "fingerprint": spec.fingerprint,
+                    "campaign": campaign.name,
+                    "params": spec.params,
+                    "seed_root": spec.seed_root,
+                    "seed_index": spec.seed_index,
+                    "result": canonical[i],
+                    "records": record_dicts[i],
+                },
+            )
+
+    report = pmap_report(
+        _execute_trial,
+        payloads,
+        workers=workers,
+        force_pool=force_pool,
+        chunksize=chunksize,
+        on_result=_absorb,
+    )
+
+    trace_missing = 0
+    for i, entry in hits.items():
+        canonical[i] = entry["result"]
+        record_dicts[i] = entry.get("records")
+        if with_tracer and record_dicts[i] is None:
+            trace_missing += 1
+
+    decode = campaign.decode if campaign.decode is not None else lambda v: v
+    values = [decode(canonical[i]) for i in range(len(specs))]
+
+    if with_tracer:
+        from ..obs import TraceRecord, merge_task_records
+
+        merge_task_records(
+            [
+                [TraceRecord.from_dict(d) for d in (record_dicts[i] or [])]
+                for i in range(len(specs))
+            ],
+            trace_path,
+        )
+
+    if metrics is not None:
+        metrics.counter("campaign.trials.total").inc(len(specs))
+        metrics.counter("campaign.trials.executed").inc(len(pending))
+        if store is not None:
+            metrics.counter("campaign.store.hits").inc(len(hits))
+            metrics.counter("campaign.store.misses").inc(len(pending))
+        if trace_missing:
+            metrics.counter("campaign.trace.missing").inc(trace_missing)
+
+    return CampaignResult(
+        name=campaign.name,
+        values=values,
+        specs=specs,
+        executed=len(pending),
+        store_hits=len(hits),
+        report=report,
+    )
+
+
+def status(campaign: Campaign, store) -> CampaignStatus:
+    """How many of ``campaign``'s trials ``store`` already holds."""
+    store = TrialStore.coerce(store)
+    specs = campaign.specs()
+    completed = 0
+    if store is not None:
+        completed = sum(
+            1 for spec in specs if store.get(spec.fingerprint) is not None
+        )
+    return CampaignStatus(
+        name=campaign.name, total=len(specs), completed=completed
+    )

@@ -1,0 +1,65 @@
+"""JSON codec for :class:`~repro.analysis.report.Table` and
+:class:`~repro.analysis.report.Series`.
+
+Single-shot experiments (one deterministic computation, no trial grid)
+run through the engine as one-trial campaigns whose trial builds the
+finished report object. This codec lets those reports ride through the
+trial store: ``decode_report(encode_report(r)).render()`` is
+byte-identical to ``r.render()`` because every cell the renderer
+touches is a JSON scalar (str / int / float) and floats round-trip
+exactly through JSON.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Series, Table
+from ..errors import ConfigurationError
+
+
+def encode_report(report) -> dict:
+    """JSON-safe form of a ``Table`` or ``Series``."""
+    if isinstance(report, Table):
+        return {
+            "kind": "table",
+            "title": report.title,
+            "columns": list(report.columns),
+            "rows": [list(row) for row in report.rows],
+            "notes": report.notes,
+        }
+    if isinstance(report, Series):
+        return {
+            "kind": "series",
+            "title": report.title,
+            "x_label": report.x_label,
+            "y_label": report.y_label,
+            "series": [
+                {"name": name, "xs": list(xs), "ys": list(ys)}
+                for name, (xs, ys) in report.series.items()
+            ],
+            "notes": report.notes,
+        }
+    raise ConfigurationError(
+        f"cannot encode report of type {type(report).__name__}"
+    )
+
+
+def decode_report(data: dict):
+    """Rebuild the ``Table`` / ``Series`` encoded by :func:`encode_report`."""
+    kind = data.get("kind")
+    if kind == "table":
+        table = Table(
+            title=data["title"], columns=list(data["columns"]),
+            notes=data["notes"],
+        )
+        for row in data["rows"]:
+            table.add_row(*row)
+        return table
+    if kind == "series":
+        series = Series(
+            title=data["title"], x_label=data["x_label"],
+            y_label=data["y_label"], notes=data["notes"],
+        )
+        for entry in data["series"]:
+            series.add(entry["name"], entry["xs"], entry["ys"])
+        return series
+    raise ConfigurationError(f"cannot decode report kind {kind!r}")

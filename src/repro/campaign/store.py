@@ -1,0 +1,82 @@
+"""Content-addressed on-disk store for completed campaign trials.
+
+Layout: ``<root>/<fp[:2]>/<fp>.json`` — one JSON document per trial,
+keyed by the trial's fingerprint (:class:`repro.campaign.spec.TrialSpec`).
+Two-level fan-out keeps directories small for multi-thousand-trial
+campaigns.
+
+Writes are atomic (temp file + ``os.replace``) so a campaign killed
+mid-write never leaves a truncated entry: a trial is either fully in
+the store or absent, which is exactly the invariant resume relies on.
+Unreadable/corrupt entries are treated as absent and re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["TrialStore", "STORE_SCHEMA"]
+
+#: Entry schema version; entries with a different schema are ignored.
+STORE_SCHEMA = 1
+
+
+class TrialStore:
+    """Directory of fingerprint-addressed trial results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def coerce(cls, store) -> "TrialStore | None":
+        """Accept a TrialStore, a path, or None."""
+        if store is None or isinstance(store, cls):
+            return store
+        return cls(store)
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> "dict | None":
+        """The stored entry, or None if absent/corrupt/stale-schema."""
+        path = self.path(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA:
+            return None
+        return entry
+
+    def put(self, fingerprint: str, entry: dict) -> None:
+        """Atomically persist one trial entry."""
+        path = self.path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path(fingerprint).exists()
+
+    def fingerprints(self) -> "list[str]":
+        """Every fingerprint currently stored (sorted)."""
+        return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())

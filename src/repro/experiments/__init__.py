@@ -59,12 +59,65 @@ EXTENSIONS = {
     "mission_survival": extensions.mission_survival,
 }
 
+#: experiment id -> zero-argument campaign factory (bench-scale
+#: defaults). These are the declarative grids behind EXPERIMENTS —
+#: ``repro campaign run/status/resume`` drives them against a store.
+CAMPAIGNS = {
+    "fig1": fig01_launch_costs.campaign,
+    "fig2": fig02_sel_current_trace.campaign,
+    "fig5": fig05_current_correlation.campaign,
+    "fig10": fig10_misdetection.campaign,
+    "fig11": fig11_emr_runtime.campaign,
+    "fig12": fig12_input_size.campaign,
+    "fig13": fig13_replication_sweep.campaign,
+    "fig14": fig14_energy.campaign,
+    "table4": table4_protected_area.campaign,
+    "table5": table5_workloads.campaign,
+    "table6": table6_breakdown.campaign,
+    "table7": table7_fault_injection.campaign,
+    "table8": table8_dev_overhead.campaign,
+    "ablation:scheduling_order": ablations.scheduling_order_campaign,
+    "ablation:rolling_window": ablations.rolling_window_campaign,
+    "ablation:bubble_cadence": ablations.bubble_cadence_campaign,
+    "ablation:redundancy_level": ablations.redundancy_level_campaign,
+    "extension:checksum_comparison": extensions.checksum_comparison_campaign,
+    "extension:physics_rates": extensions.physics_rates_campaign,
+    "extension:flightsw_ild": extensions.flightsw_ild_campaign,
+    "extension:feature_selection": extensions.feature_selection_campaign,
+    "extension:mission_survival": extensions.mission_survival_campaign,
+}
+
+
+def sel_campaign(n_episodes: int = 4):
+    """The Table 2 detector-lineup grid at CI scale: the campaign the
+    resume-equality job interrupts and completes."""
+    from .common import SelBenchConfig, SelTestbench
+
+    bench = SelTestbench(SelBenchConfig(
+        n_episodes=n_episodes, episode_seconds=120.0,
+    ))
+    detectors = {"ILD": bench.train_ild()}
+    detectors.update(bench.static_baselines())
+    return bench.campaign(detectors)
+
+
+def _table3_campaign():
+    from .common import SelBenchConfig, SelTestbench
+
+    bench = SelTestbench(SelBenchConfig(n_episodes=4))
+    return bench.campaign({"ILD": bench.train_ild()}, with_sel=False)
+
+
+CAMPAIGNS["table2"] = sel_campaign
+CAMPAIGNS["table3"] = _table3_campaign
+
 
 def _call(
     runner,
     workers: "int | None",
     trace: "str | None" = None,
     metrics: "object | None" = None,
+    store: "object | None" = None,
 ):
     """Invoke a runner with only the keyword arguments it accepts
     (signature-sniffed, so older runners need no changes)."""
@@ -78,6 +131,8 @@ def _call(
         kwargs["trace"] = trace
     if metrics is not None and "metrics" in params:
         kwargs["metrics"] = metrics
+    if store is not None and "store" in params:
+        kwargs["store"] = store
     return runner(**kwargs)
 
 
@@ -86,6 +141,7 @@ def run_all(
     workers: "int | None" = None,
     trace_dir: "str | None" = None,
     metrics: "object | None" = None,
+    store: "object | None" = None,
 ) -> "dict[str, object]":
     """Run every experiment at bench scale; id -> Table/Series.
 
@@ -93,7 +149,10 @@ def run_all(
     table7, ...) through :mod:`repro.parallel`; results are identical
     at any setting. ``trace_dir`` gives every tracing-capable
     experiment its own ``<id>.jsonl`` file there; ``metrics`` (a
-    :class:`repro.obs.MetricsRegistry`) accumulates across all of them.
+    :class:`repro.obs.MetricsRegistry`) accumulates across all of
+    them. ``store`` (a :class:`repro.campaign.TrialStore` or path)
+    makes every campaign-backed experiment resumable: trials completed
+    by an earlier, interrupted invocation are replayed from disk.
     """
     import os
 
@@ -104,12 +163,13 @@ def run_all(
         return os.path.join(trace_dir, f"{name.replace(':', '_')}.jsonl")
 
     results = {
-        name: _call(runner, workers, trace=trace_for(name), metrics=metrics)
+        name: _call(runner, workers, trace=trace_for(name), metrics=metrics,
+                    store=store)
         for name, runner in EXPERIMENTS.items()
     }
     if include_ablations:
         for name, runner in ABLATIONS.items():
-            results[f"ablation:{name}"] = _call(runner, workers)
+            results[f"ablation:{name}"] = _call(runner, workers, store=store)
         for name, runner in EXTENSIONS.items():
-            results[f"extension:{name}"] = _call(runner, workers)
+            results[f"extension:{name}"] = _call(runner, workers, store=store)
     return results

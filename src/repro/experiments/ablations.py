@@ -7,6 +7,9 @@ DESIGN.md calls out three design choices worth isolating:
 * the rolling-minimum **window** — filter halfwidth vs. quiescent
   noise floor and decision delay;
 * the **bubble cadence** — overhead vs. worst-case detection latency.
+
+Each ablation is a one-trial campaign: the trial builds the finished
+table, so a pointed ``store`` skips the recompute on rerun.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Table
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 from ..core.emr import EmrConfig, EmrRuntime, Frontier, schedule_summary
 from ..core.ild import BubblePolicy, RollingMinimumFilter
 from ..sim.machine import Machine
@@ -21,8 +25,22 @@ from ..sim.telemetry import TelemetryConfig, TraceGenerator, quiescent_segment
 from ..workloads import AesWorkload
 
 
-def scheduling_order(seed: int = 0) -> Table:
-    """Rotated vs. naive job ordering: jobset count, balance, runtime."""
+def _single_trial(name: str, build, params: dict, item) -> Campaign:
+    return Campaign(
+        name=name,
+        trial_fn=build,
+        trials=[Trial(params=params, item=item)],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def _run_single(camp: Campaign, store=None, metrics=None) -> Table:
+    return execute(camp, store=store, metrics=metrics).values[0]
+
+
+def _scheduling_order_trial(task, rng, tracer=None) -> Table:
+    (seed,) = task
     workload = AesWorkload(chunk_bytes=128, chunks=30)
     spec = workload.build(np.random.default_rng(seed))
     table = Table(
@@ -49,8 +67,20 @@ def scheduling_order(seed: int = 0) -> Table:
     return table
 
 
-def rolling_window(seed: int = 0, duration: float = 60.0) -> Table:
-    """Filter halfwidth vs. residual noise floor and decision delay."""
+def scheduling_order_campaign(seed: int = 0) -> Campaign:
+    return _single_trial(
+        "ablation-scheduling-order", _scheduling_order_trial,
+        {"seed": seed}, (seed,),
+    )
+
+
+def scheduling_order(seed: int = 0, store=None, metrics=None) -> Table:
+    """Rotated vs. naive job ordering: jobset count, balance, runtime."""
+    return _run_single(scheduling_order_campaign(seed), store, metrics)
+
+
+def _rolling_window_trial(task, rng, tracer=None) -> Table:
+    seed, duration = task
     generator = TraceGenerator(TelemetryConfig())
     rng = np.random.default_rng(seed)
     trace = generator.generate(
@@ -72,14 +102,21 @@ def rolling_window(seed: int = 0, duration: float = 60.0) -> Table:
     return table
 
 
-def redundancy_level(seed: int = 0, injection_runs: int = 8) -> Table:
-    """Generalizing EMR's modular redundancy: 2 (detect-only DMR),
-    3 (the paper's vote-and-correct), and 5 executors.
+def rolling_window_campaign(seed: int = 0, duration: float = 60.0) -> Campaign:
+    return _single_trial(
+        "ablation-rolling-window", _rolling_window_trial,
+        {"seed": seed, "duration": duration}, (seed, duration),
+    )
 
-    DMR halves the compute cost but can only *detect* a divergence —
-    a disagreement aborts the dataset instead of out-voting the bad
-    replica. 5-MR tolerates two simultaneous faults at ~5/3 the cost.
-    """
+
+def rolling_window(seed: int = 0, duration: float = 60.0,
+                   store=None, metrics=None) -> Table:
+    """Filter halfwidth vs. residual noise floor and decision delay."""
+    return _run_single(rolling_window_campaign(seed, duration), store, metrics)
+
+
+def _redundancy_level_trial(task, rng, tracer=None) -> Table:
+    seed, injection_runs = task
     from ..sim.machine import MachineSpec
 
     workload = AesWorkload(chunk_bytes=128, chunks=24)
@@ -135,8 +172,29 @@ def redundancy_level(seed: int = 0, injection_runs: int = 8) -> Table:
     return table
 
 
-def bubble_cadence() -> Table:
-    """Bubble pause period vs. overhead and worst-case latency."""
+def redundancy_level_campaign(seed: int = 0, injection_runs: int = 8) -> Campaign:
+    return _single_trial(
+        "ablation-redundancy-level", _redundancy_level_trial,
+        {"seed": seed, "injection_runs": injection_runs},
+        (seed, injection_runs),
+    )
+
+
+def redundancy_level(seed: int = 0, injection_runs: int = 8,
+                     store=None, metrics=None) -> Table:
+    """Generalizing EMR's modular redundancy: 2 (detect-only DMR),
+    3 (the paper's vote-and-correct), and 5 executors.
+
+    DMR halves the compute cost but can only *detect* a divergence —
+    a disagreement aborts the dataset instead of out-voting the bad
+    replica. 5-MR tolerates two simultaneous faults at ~5/3 the cost.
+    """
+    return _run_single(
+        redundancy_level_campaign(seed, injection_runs), store, metrics
+    )
+
+
+def _bubble_cadence_trial(task, rng, tracer=None) -> Table:
     table = Table(
         title="Ablation: bubble cadence",
         columns=[
@@ -157,3 +215,14 @@ def bubble_cadence() -> Table:
         "~5-minute thermal deadline"
     )
     return table
+
+
+def bubble_cadence_campaign() -> Campaign:
+    return _single_trial(
+        "ablation-bubble-cadence", _bubble_cadence_trial, {}, None,
+    )
+
+
+def bubble_cadence(store=None, metrics=None) -> Table:
+    """Bubble pause period vs. overhead and worst-case latency."""
+    return _run_single(bubble_cadence_campaign(), store, metrics)

@@ -11,11 +11,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from ..analysis.metrics import DetectionSummary, EpisodeTruth, score_episode
+from ..analysis.metrics import DetectionSummary, EpisodeScore, EpisodeTruth, score_episode
+from ..campaign import Campaign, Trial, execute
 from ..core.emr import EmrConfig, EmrRuntime, sequential_3mr, unprotected_parallel_3mr
 from ..core.emr.runtime import RunResult
 from ..core.ild import (
@@ -29,8 +30,7 @@ from ..core.ild import (
 )
 from ..errors import ConfigurationError
 from ..obs import NULL_OBS, MetricsRegistry, Observability
-from ..parallel import pmap
-from ..sim.machine import Machine
+from ..sim.machine import Machine, SnapshotFactory
 from ..sim.telemetry import CurrentStep, TelemetryConfig, TraceGenerator
 from ..workloads.base import Workload
 from ..workloads.navigation import navigation_schedule
@@ -198,6 +198,42 @@ class SelTestbench:
     # ------------------------------------------------------------------
     # Evaluation loop
     # ------------------------------------------------------------------
+    def campaign(
+        self,
+        detectors: "dict[str, object]",
+        n_episodes: "int | None" = None,
+        with_sel: bool = True,
+        delta_amps: "float | None" = None,
+    ) -> Campaign:
+        """Declarative episode grid behind :meth:`evaluate`.
+
+        One trial per episode; the seed root ``seed + 1000`` with the
+        episode index as spawn key reproduces the historical
+        ``pmap(seed=...)`` streams exactly, so results are stable
+        across worker counts and across resumes from a trial store.
+        """
+        cfg = self.config
+        episodes = n_episodes or cfg.n_episodes
+        item = (self, detectors, with_sel, delta_amps)
+        return Campaign(
+            name="sel-evaluate",
+            trial_fn=_evaluate_episode,
+            trials=[
+                Trial(params={"episode": i}, item=item) for i in range(episodes)
+            ],
+            seed=cfg.seed + 1000,
+            context={
+                "config": asdict(cfg),
+                "detectors": {
+                    name: type(det).__name__ for name, det in detectors.items()
+                },
+                "with_sel": with_sel,
+                "delta_amps": delta_amps,
+            },
+            encode=_encode_episode_scores,
+            decode=_decode_episode_scores,
+        )
+
     def evaluate(
         self,
         detectors: "dict[str, object]",
@@ -206,6 +242,8 @@ class SelTestbench:
         delta_amps: "float | None" = None,
         workers: "int | None" = 1,
         trace_path: "str | None" = None,
+        store=None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> "dict[str, DetectionSummary]":
         """Score every detector episode by episode.
 
@@ -215,17 +253,19 @@ class SelTestbench:
         (aggregation happens in episode order either way). With
         ``trace_path``, each episode records the SEL ground truth
         (``inject.sel``) and the ILD pipeline's spans/detections into
-        one merged JSONL trace.
+        one merged JSONL trace. With ``store``, completed episodes are
+        kept in the trial store and skipped on re-runs.
         """
-        cfg = self.config
-        episodes = n_episodes or cfg.n_episodes
         summaries = {name: DetectionSummary() for name in detectors}
-        tasks = [(self, detectors, with_sel, delta_amps)] * episodes
-        per_episode = pmap(
-            _evaluate_episode, tasks, seed=cfg.seed + 1000, workers=workers,
-            trace_path=trace_path,
+        result = execute(
+            self.campaign(
+                detectors, n_episodes=n_episodes, with_sel=with_sel,
+                delta_amps=delta_amps,
+            ),
+            workers=workers, trace_path=trace_path, store=store,
+            metrics=metrics,
         )
-        for episode_scores in per_episode:
+        for episode_scores in result.values:
             for name, score in episode_scores:
                 summaries[name].add(score)
         return summaries
@@ -289,6 +329,43 @@ def _evaluate_episode(
     return scores
 
 
+def _encode_episode_scores(scores) -> "list[dict]":
+    """JSON-safe form of one episode's ``[(name, EpisodeScore)]``."""
+    return [
+        {
+            "name": name,
+            "truth": {
+                "duration": score.truth.duration,
+                "sel_onset": score.truth.sel_onset,
+                "sel_delta_amps": score.truth.sel_delta_amps,
+            },
+            "detected": score.detected,
+            "detection_latency": score.detection_latency,
+            "false_alarms": score.false_alarms,
+            "pre_onset_alarm_ticks": score.pre_onset_alarm_ticks,
+            "pre_onset_ticks": score.pre_onset_ticks,
+        }
+        for name, score in scores
+    ]
+
+
+def _decode_episode_scores(data) -> "list[tuple[str, EpisodeScore]]":
+    return [
+        (
+            entry["name"],
+            EpisodeScore(
+                truth=EpisodeTruth(**entry["truth"]),
+                detected=entry["detected"],
+                detection_latency=entry["detection_latency"],
+                false_alarms=entry["false_alarms"],
+                pre_onset_alarm_ticks=entry["pre_onset_alarm_ticks"],
+                pre_onset_ticks=entry["pre_onset_ticks"],
+            ),
+        )
+        for entry in data
+    ]
+
+
 # ----------------------------------------------------------------------
 # EMR scheme runner
 # ----------------------------------------------------------------------
@@ -320,7 +397,12 @@ def run_schemes(
     scale: int = 1,
     seed: int = 0,
 ) -> SchemeRun:
-    """Run EMR and both baselines on identical fresh machines."""
+    """Run EMR and both baselines on identical fresh machines.
+
+    The base factory runs once; each scheme receives a clone stamped
+    from the captured :meth:`Machine.snapshot`, so all three schemes
+    start from byte-identical state by construction.
+    """
     spec = workload.build(np.random.default_rng(seed), scale=scale)
     threshold = (
         replication_threshold
@@ -328,12 +410,13 @@ def run_schemes(
         else workload.default_replication_threshold
     )
     config = EmrConfig(replication_threshold=threshold, frontier=frontier)
-    emr = EmrRuntime(machine_factory(), workload, config=config).run(spec=spec)
+    provision = SnapshotFactory(machine_factory)
+    emr = EmrRuntime(provision(), workload, config=config).run(spec=spec)
     sequential = sequential_3mr(
-        machine_factory(), workload, spec=spec, frontier=frontier, config=config
+        provision(), workload, spec=spec, frontier=frontier, config=config
     )
     unprotected = unprotected_parallel_3mr(
-        machine_factory(), workload, spec=spec, config=config
+        provision(), workload, spec=spec, config=config
     )
     return SchemeRun(
         workload=workload.name,

@@ -9,6 +9,10 @@
 * **flight-software Table 2** — ILD accuracy when the activity comes
   from the F´-style component stack instead of the synthetic
   navigation schedule.
+
+Every extension runs through the campaign engine: the single-shot
+tables are one-trial campaigns, the mission-survival rerun is a grid
+over seeds (one paired sky per trial, resumable mid-campaign).
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Table
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 from ..core.emr import (
     EmrConfig,
     EmrRuntime,
@@ -30,8 +35,18 @@ from ..sim.machine import Machine
 from ..workloads import AesWorkload
 
 
-def checksum_comparison(seed: int = 0, injection_runs: int = 10) -> Table:
-    """Checksum guard vs. EMR vs. 3-MR: cost and coverage."""
+def _single_trial(name: str, build, params: dict, item) -> Campaign:
+    return Campaign(
+        name=name,
+        trial_fn=build,
+        trials=[Trial(params=params, item=item)],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def _checksum_trial(task, rng, tracer=None) -> Table:
+    seed, injection_runs = task
     workload = AesWorkload(chunk_bytes=128, chunks=40)
     spec = workload.build(np.random.default_rng(seed))
     config = EmrConfig(replication_threshold=0.2)
@@ -87,8 +102,25 @@ def checksum_comparison(seed: int = 0, injection_runs: int = 10) -> Table:
     return table
 
 
-def physics_rates() -> Table:
-    """CRÈME-style estimates vs. the paper's quoted anchors."""
+def checksum_comparison_campaign(seed: int = 0,
+                                 injection_runs: int = 10) -> Campaign:
+    return _single_trial(
+        "extension-checksum-comparison", _checksum_trial,
+        {"seed": seed, "injection_runs": injection_runs},
+        (seed, injection_runs),
+    )
+
+
+def checksum_comparison(seed: int = 0, injection_runs: int = 10,
+                        store=None, metrics=None) -> Table:
+    """Checksum guard vs. EMR vs. 3-MR: cost and coverage."""
+    return execute(
+        checksum_comparison_campaign(seed, injection_runs),
+        store=store, metrics=metrics,
+    ).values[0]
+
+
+def _physics_rates_trial(task, rng, tracer=None) -> Table:
     rates = estimate_environment_rates()
     bits = SNAPDRAGON_801.sensitive_bits
     table = Table(
@@ -114,11 +146,21 @@ def physics_rates() -> Table:
     return table
 
 
-def feature_selection(seed: int = 0) -> Table:
-    """Validate Table 1's metric choice: "instruction completion rate,
-    bus cycle rate, and CPU frequency were by far the most correlated
-    with the computer's total current draw" (§3.1), via the same
-    random-forest importance pass the paper describes."""
+def physics_rates_campaign() -> Campaign:
+    return _single_trial(
+        "extension-physics-rates", _physics_rates_trial, {}, None,
+    )
+
+
+def physics_rates(store=None, metrics=None) -> Table:
+    """CRÈME-style estimates vs. the paper's quoted anchors."""
+    return execute(
+        physics_rates_campaign(), store=store, metrics=metrics,
+    ).values[0]
+
+
+def _feature_selection_trial(task, rng, tracer=None) -> Table:
+    (seed,) = task
     from collections import defaultdict
 
     from ..core.ild import select_features
@@ -157,10 +199,27 @@ def feature_selection(seed: int = 0) -> Table:
     return table
 
 
-def mission_survival(n_seeds: int = 3, duration_days: float = 0.5) -> Table:
-    """Paired mission reruns (§5 writ large): the same seeded radiation
-    sky flown with and without Radshield; survival, silent corruption,
-    and availability compared."""
+def feature_selection_campaign(seed: int = 0) -> Campaign:
+    return _single_trial(
+        "extension-feature-selection", _feature_selection_trial,
+        {"seed": seed}, (seed,),
+    )
+
+
+def feature_selection(seed: int = 0, store=None, metrics=None) -> Table:
+    """Validate Table 1's metric choice: "instruction completion rate,
+    bus cycle rate, and CPU frequency were by far the most correlated
+    with the computer's total current draw" (§3.1), via the same
+    random-forest importance pass the paper describes."""
+    return execute(
+        feature_selection_campaign(seed), store=store, metrics=metrics,
+    ).values[0]
+
+
+def _mission_pair_trial(task, rng, tracer=None) -> dict:
+    seed, duration_days = task
+    from dataclasses import replace as dc_replace
+
     from ..missions import MissionConfig, MissionSimulator
     from ..radiation.environment import RadiationEnvironment
 
@@ -170,31 +229,63 @@ def mission_survival(n_seeds: int = 3, duration_days: float = 0.5) -> Table:
         sel_per_year=900.0,  # compressed so every run sees a latchup
         sel_delta_amps_range=(0.07, 0.25),
     )
+    base = MissionConfig(
+        duration_days=duration_days, environment=sky,
+        tick=8e-3, seed=seed * 7 + 1,
+    )
+    shielded = MissionSimulator(base).run()
+    bare = MissionSimulator(
+        dc_replace(base, ild_enabled=False, emr_enabled=False)
+    ).run()
+    return {
+        "seed": base.seed,
+        "shielded_survived": shielded.survived,
+        "bare_survived": bare.survived,
+        "shielded_sdc": shielded.silent_corruptions,
+        "bare_sdc": bare.silent_corruptions,
+        "shielded_availability": shielded.availability,
+    }
+
+
+def mission_survival_campaign(n_seeds: int = 3,
+                              duration_days: float = 0.5) -> Campaign:
+    return Campaign(
+        name="extension-mission-survival",
+        trial_fn=_mission_pair_trial,
+        trials=[
+            Trial(params={"seed": seed, "duration_days": duration_days},
+                  item=(seed, duration_days))
+            for seed in range(n_seeds)
+        ],
+        context={"environment": "deep-space", "n_seeds": n_seeds},
+    )
+
+
+def mission_survival(n_seeds: int = 3, duration_days: float = 0.5,
+                     workers: "int | None" = 1,
+                     store=None, metrics=None) -> Table:
+    """Paired mission reruns (§5 writ large): the same seeded radiation
+    sky flown with and without Radshield; survival, silent corruption,
+    and availability compared."""
+    result = execute(
+        mission_survival_campaign(n_seeds, duration_days),
+        workers=workers, store=store, metrics=metrics,
+    )
     table = Table(
         title="Extension: mission survival, Radshield vs. bare",
         columns=["seed", "protected survives", "bare survives",
                  "protected SDCs", "bare SDCs", "protected availability"],
     )
     protected_wins = 0
-    for seed in range(n_seeds):
-        base = MissionConfig(
-            duration_days=duration_days, environment=sky,
-            tick=8e-3, seed=seed * 7 + 1,
-        )
-        from dataclasses import replace as dc_replace
-
-        shielded = MissionSimulator(base).run()
-        bare = MissionSimulator(
-            dc_replace(base, ild_enabled=False, emr_enabled=False)
-        ).run()
-        protected_wins += shielded.survived and not bare.survived
+    for value in result.values:
+        protected_wins += value["shielded_survived"] and not value["bare_survived"]
         table.add_row(
-            base.seed,
-            "yes" if shielded.survived else "NO",
-            "yes" if bare.survived else "NO",
-            shielded.silent_corruptions,
-            bare.silent_corruptions,
-            f"{shielded.availability * 100:.2f}%",
+            value["seed"],
+            "yes" if value["shielded_survived"] else "NO",
+            "yes" if value["bare_survived"] else "NO",
+            value["shielded_sdc"],
+            value["bare_sdc"],
+            f"{value['shielded_availability'] * 100:.2f}%",
         )
     table.notes = (
         f"{protected_wins}/{n_seeds} skies killed the bare spacecraft "
@@ -203,9 +294,8 @@ def mission_survival(n_seeds: int = 3, duration_days: float = 0.5) -> Table:
     return table
 
 
-def flightsw_ild_accuracy(seed: int = 0, n_episodes: int = 4) -> Table:
-    """Table 2's protocol with the F´-style flight software driving
-    the activity instead of the synthetic navigation schedule."""
+def _flightsw_trial(task, rng, tracer=None) -> Table:
+    seed, n_episodes = task
     from ..analysis.metrics import DetectionSummary, EpisodeTruth, score_episode
     from ..core.ild import train_ild
     from ..flightsw import flight_schedule
@@ -259,3 +349,22 @@ def flightsw_ild_accuracy(seed: int = 0, n_episodes: int = 4) -> Table:
         "same detector pipeline as Table 2"
     )
     return table
+
+
+def flightsw_ild_campaign(seed: int = 0, n_episodes: int = 4) -> Campaign:
+    return _single_trial(
+        "extension-flightsw-ild", _flightsw_trial,
+        {"seed": seed, "n_episodes": n_episodes}, (seed, n_episodes),
+    )
+
+
+def flightsw_ild_accuracy(seed: int = 0, n_episodes: int = 4,
+                          store=None, metrics=None) -> Table:
+    """Table 2's protocol with the F´-style flight software driving
+    the activity instead of the synthetic navigation schedule.
+
+    The episode stream shares one generator sequentially, so this
+    stays a single trial."""
+    return execute(
+        flightsw_ild_campaign(seed, n_episodes), store=store, metrics=metrics,
+    ).values[0]

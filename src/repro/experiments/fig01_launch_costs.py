@@ -9,9 +9,10 @@ from ..analysis.launchcosts import (
     satellite_series,
 )
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 
 
-def run() -> Series:
+def _build(task, rng, tracer=None) -> Series:
     figure = Series(
         title="Fig 1: cost of launching 1 kg to LEO vs. active LEO satellites",
         x_label="year",
@@ -24,3 +25,18 @@ def run() -> Series:
         f"satellite count since 2010 up {satellite_growth_factor():.0f}x"
     )
     return figure
+
+
+def campaign() -> Campaign:
+    return Campaign(
+        name="fig1-launch-costs",
+        trial_fn=_build,
+        trials=[Trial(params={})],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def run(store=None, metrics=None) -> Series:
+    result = execute(campaign(), store=store, metrics=metrics)
+    return result.values[0]

@@ -11,17 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 from ..sim.telemetry import CurrentStep, TelemetryConfig, TraceGenerator
 from ..workloads.navigation import navigation_schedule
 
 
-def run(
-    duration: float = 600.0,
-    sel_delta_amps: float = 0.07,
-    threshold_amps: float = 4.0,
-    points: int = 120,
-    seed: int = 0,
-) -> Series:
+def _build(task, rng, tracer=None) -> Series:
+    duration, sel_delta_amps, threshold_amps, points, seed = task
     generator = TraceGenerator(TelemetryConfig(tick=4e-3))
     rng = np.random.default_rng(seed)
     schedule = navigation_schedule(duration, rng=np.random.default_rng(seed + 1))
@@ -55,3 +51,47 @@ def run(
         f"{nominal_busy_max:.2f} A — static thresholds cannot separate them"
     )
     return figure
+
+
+def campaign(
+    duration: float = 600.0,
+    sel_delta_amps: float = 0.07,
+    threshold_amps: float = 4.0,
+    points: int = 120,
+    seed: int = 0,
+) -> Campaign:
+    params = {
+        "duration": duration, "sel_delta_amps": sel_delta_amps,
+        "threshold_amps": threshold_amps, "points": points, "seed": seed,
+    }
+    return Campaign(
+        name="fig2-sel-current-trace",
+        trial_fn=_build,
+        trials=[
+            Trial(
+                params=params,
+                item=(duration, sel_delta_amps, threshold_amps, points, seed),
+            )
+        ],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def run(
+    duration: float = 600.0,
+    sel_delta_amps: float = 0.07,
+    threshold_amps: float = 4.0,
+    points: int = 120,
+    seed: int = 0,
+    store=None,
+    metrics=None,
+) -> Series:
+    result = execute(
+        campaign(
+            duration=duration, sel_delta_amps=sel_delta_amps,
+            threshold_amps=threshold_amps, points=points, seed=seed,
+        ),
+        store=store, metrics=metrics,
+    )
+    return result.values[0]

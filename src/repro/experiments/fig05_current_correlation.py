@@ -10,11 +10,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 from ..sim.telemetry import TelemetryConfig, TraceGenerator
 from ..workloads.matmul import staircase_schedule
 
 
-def run(step_duration: float = 4.0, seed: int = 0) -> Series:
+def _build(task, rng, tracer=None) -> Series:
+    step_duration, seed = task
     generator = TraceGenerator(TelemetryConfig(tick=4e-3))
     rng = np.random.default_rng(seed)
     segments = staircase_schedule(step_duration=step_duration)
@@ -51,3 +53,27 @@ def run(step_duration: float = 4.0, seed: int = 0) -> Series:
         "per raw tick"
     )
     return figure
+
+
+def campaign(step_duration: float = 4.0, seed: int = 0) -> Campaign:
+    return Campaign(
+        name="fig5-current-correlation",
+        trial_fn=_build,
+        trials=[
+            Trial(
+                params={"step_duration": step_duration, "seed": seed},
+                item=(step_duration, seed),
+            )
+        ],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def run(step_duration: float = 4.0, seed: int = 0,
+        store=None, metrics=None) -> Series:
+    result = execute(
+        campaign(step_duration=step_duration, seed=seed),
+        store=store, metrics=metrics,
+    )
+    return result.values[0]

@@ -14,15 +14,17 @@ any ``workers`` setting.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 
 from ..analysis.report import Series
-from ..parallel import pmap
+from ..campaign import Campaign, Trial, execute
 from ..sim.telemetry import CurrentStep, quiescent_segment
 from .common import SelBenchConfig, SelTestbench
 
 
-def _misdetection_trial(task, rng: np.random.Generator) -> int:
+def _misdetection_trial(task, rng: np.random.Generator, tracer=None) -> int:
     """One episode at one current delta; returns 1 on a miss."""
     generator, detector, n_cores, delta, sel_window_seconds = task
     onset = float(rng.uniform(30.0, 90.0))
@@ -43,27 +45,59 @@ def _misdetection_trial(task, rng: np.random.Generator) -> int:
     return int(not hit)
 
 
+def campaign(
+    deltas: "np.ndarray | None" = None,
+    trials_per_delta: int = 6,
+    sel_window_seconds: float = 60.0,
+    config: "SelBenchConfig | None" = None,
+) -> Campaign:
+    """(ΔI, trial) grid; seed root ``seed + 500`` with the flattened
+    cell index as spawn key preserves the historical pmap streams."""
+    bench = SelTestbench(config)
+    detector = bench.train_ild()
+    if deltas is None:
+        deltas = np.arange(0.01, 0.1001, 0.01)
+    trials = [
+        Trial(
+            params={"delta": float(delta), "trial": j},
+            item=(bench.generator, detector, bench.config.n_cores,
+                  float(delta), sel_window_seconds),
+        )
+        for delta in deltas
+        for j in range(trials_per_delta)
+    ]
+    return Campaign(
+        name="fig10-misdetection",
+        trial_fn=_misdetection_trial,
+        trials=trials,
+        seed=bench.config.seed + 500,
+        context={
+            "config": asdict(bench.config),
+            "trials_per_delta": trials_per_delta,
+            "sel_window_seconds": sel_window_seconds,
+        },
+    )
+
+
 def run(
     deltas: "np.ndarray | None" = None,
     trials_per_delta: int = 6,
     sel_window_seconds: float = 60.0,
     config: "SelBenchConfig | None" = None,
     workers: "int | None" = 1,
+    store=None,
+    metrics=None,
 ) -> Series:
-    bench = SelTestbench(config)
-    detector = bench.train_ild()
     if deltas is None:
         deltas = np.arange(0.01, 0.1001, 0.01)
-
-    tasks = [
-        (bench.generator, detector, bench.config.n_cores, float(delta),
-         sel_window_seconds)
-        for delta in deltas
-        for _ in range(trials_per_delta)
-    ]
-    misses = pmap(
-        _misdetection_trial, tasks, seed=bench.config.seed + 500, workers=workers
+    result = execute(
+        campaign(
+            deltas=deltas, trials_per_delta=trials_per_delta,
+            sel_window_seconds=sel_window_seconds, config=config,
+        ),
+        workers=workers, store=store, metrics=metrics,
     )
+    misses = result.values
     fn_rates = [
         sum(misses[i * trials_per_delta : (i + 1) * trials_per_delta])
         / trials_per_delta

@@ -8,7 +8,9 @@ than unprotected; EMR lands 7–77 % above the unprotected baseline.
 from __future__ import annotations
 
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, execute
 from ..core.emr import Frontier
+from ..radiation.injector import workload_identity
 from ..workloads import (
     AesWorkload,
     DeflateWorkload,
@@ -31,20 +33,46 @@ def default_instances() -> "list":
     ]
 
 
-def run(scale: int = 1, seed: int = 0) -> Series:
+def _runtime_trial(task, rng, tracer=None) -> dict:
+    workload, scale, seed = task
+    result = run_schemes(workload, frontier=Frontier.DRAM, scale=scale, seed=seed)
+    return {
+        "name": result.workload,
+        "emr_relative": result.emr_relative,
+        "sequential_relative": result.sequential_relative,
+    }
+
+
+def campaign(scale: int = 1, seed: int = 0) -> Campaign:
+    return Campaign(
+        name="fig11-emr-runtime",
+        trial_fn=_runtime_trial,
+        trials=[
+            Trial(
+                params={"workload": workload_identity(workload),
+                        "scale": scale, "seed": seed},
+                item=(workload, scale, seed),
+            )
+            for workload in default_instances()
+        ],
+        context={"frontier": "DRAM"},
+    )
+
+
+def run(scale: int = 1, seed: int = 0, workers: "int | None" = 1,
+        store=None, metrics=None) -> Series:
     figure = Series(
         title="Fig 11: relative runtime vs. unprotected parallel 3-MR (DRAM frontier)",
         x_label="workload",
         y_label="relative runtime",
     )
-    names, emr_rel, seq_rel = [], [], []
-    for workload in default_instances():
-        result = run_schemes(
-            workload, frontier=Frontier.DRAM, scale=scale, seed=seed
-        )
-        names.append(workload.name)
-        emr_rel.append(round(result.emr_relative, 3))
-        seq_rel.append(round(result.sequential_relative, 3))
+    result = execute(
+        campaign(scale=scale, seed=seed),
+        workers=workers, store=store, metrics=metrics,
+    )
+    names = [value["name"] for value in result.values]
+    emr_rel = [round(value["emr_relative"], 3) for value in result.values]
+    seq_rel = [round(value["sequential_relative"], 3) for value in result.values]
     figure.add("EMR", names, emr_rel)
     figure.add("serial_3MR", names, seq_rel)
     figure.add("unprotected_parallel_3MR", names, [1.0] * len(names))

@@ -11,9 +11,49 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, execute
 from ..core.emr import EmrConfig, EmrRuntime, Frontier, sequential_3mr
-from ..sim.machine import Machine
+from ..radiation.injector import workload_identity
+from ..sim.machine import Machine, SnapshotFactory
 from ..workloads import AesWorkload
+
+
+def _size_trial(task, rng, tracer=None) -> dict:
+    workload, scale, seed = task
+    spec = workload.build(np.random.default_rng(seed), scale=scale)
+    provision = SnapshotFactory(Machine.rpi_zero2w)
+    out = {"size_kib": spec.total_input_bytes / 1024}
+    for frontier, tag in ((Frontier.DRAM, "DRAM"), (Frontier.STORAGE, "disk")):
+        config = EmrConfig(
+            replication_threshold=workload.default_replication_threshold,
+            frontier=frontier,
+        )
+        emr = EmrRuntime(provision(), workload, config=config).run(spec=spec)
+        seq = sequential_3mr(
+            provision(), workload, spec=spec, frontier=frontier, config=config,
+        )
+        out[f"emr_{tag}"] = emr.wall_seconds
+        out[f"seq_{tag}"] = seq.wall_seconds
+    return out
+
+
+def campaign(
+    scales: "tuple[int, ...]" = (1, 2, 4),
+    chunk_bytes: int = 128,
+    base_chunks: int = 40,
+    seed: int = 0,
+) -> Campaign:
+    workload = AesWorkload(chunk_bytes=chunk_bytes, chunks=base_chunks)
+    return Campaign(
+        name="fig12-input-size",
+        trial_fn=_size_trial,
+        trials=[
+            Trial(params={"scale": scale, "seed": seed},
+                  item=(workload, scale, seed))
+            for scale in scales
+        ],
+        context={"workload": workload_identity(workload)},
+    )
 
 
 def run(
@@ -21,35 +61,27 @@ def run(
     chunk_bytes: int = 128,
     base_chunks: int = 40,
     seed: int = 0,
+    workers: "int | None" = 1,
+    store=None,
+    metrics=None,
 ) -> Series:
-    workload = AesWorkload(chunk_bytes=chunk_bytes, chunks=base_chunks)
     figure = Series(
         title="Fig 12: AES-256 runtime vs. input size and frontier",
         x_label="input KiB",
         y_label="simulated seconds",
     )
-    curves: "dict[str, list]" = {
-        "EMR (DRAM)": [],
-        "3MR (DRAM)": [],
-        "EMR (disk)": [],
-        "3MR (disk)": [],
+    result = execute(
+        campaign(scales=scales, chunk_bytes=chunk_bytes,
+                 base_chunks=base_chunks, seed=seed),
+        workers=workers, store=store, metrics=metrics,
+    )
+    sizes = [value["size_kib"] for value in result.values]
+    curves = {
+        "EMR (DRAM)": [round(v["emr_DRAM"], 5) for v in result.values],
+        "3MR (DRAM)": [round(v["seq_DRAM"], 5) for v in result.values],
+        "EMR (disk)": [round(v["emr_disk"], 5) for v in result.values],
+        "3MR (disk)": [round(v["seq_disk"], 5) for v in result.values],
     }
-    sizes = []
-    for scale in scales:
-        spec = workload.build(np.random.default_rng(seed), scale=scale)
-        sizes.append(spec.total_input_bytes / 1024)
-        for frontier, tag in ((Frontier.DRAM, "DRAM"), (Frontier.STORAGE, "disk")):
-            config = EmrConfig(
-                replication_threshold=workload.default_replication_threshold,
-                frontier=frontier,
-            )
-            emr = EmrRuntime(Machine.rpi_zero2w(), workload, config=config).run(spec=spec)
-            seq = sequential_3mr(
-                Machine.rpi_zero2w(), workload, spec=spec,
-                frontier=frontier, config=config,
-            )
-            curves[f"EMR ({tag})"].append(round(emr.wall_seconds, 5))
-            curves[f"3MR ({tag})"].append(round(seq.wall_seconds, 5))
     for name, values in curves.items():
         figure.add(name, sizes, values)
     dram_gap = curves["3MR (DRAM)"][-1] / curves["EMR (DRAM)"][-1]

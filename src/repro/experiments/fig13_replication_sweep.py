@@ -13,7 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, execute
 from ..core.emr import EmrConfig, EmrRuntime, Frontier, plan_replication
+from ..radiation.injector import workload_identity
 from ..sim.machine import Machine, MachineSpec
 from ..workloads import AesWorkload, DnnWorkload, ImageProcessingWorkload
 
@@ -60,24 +62,59 @@ def sweep_workload(
     return fractions, runtimes, memory
 
 
-def run(seed: int = 0, thresholds=None) -> Series:
+def _sweep_trial(task, rng, tracer=None) -> dict:
+    workload, thresholds, seed = task
+    fractions, runtimes, memory = sweep_workload(workload, thresholds, seed)
+    return {
+        "name": workload.name,
+        "fractions": fractions,
+        "runtimes": runtimes,
+        "memory": memory,
+    }
+
+
+def campaign(seed: int = 0, thresholds=None) -> Campaign:
     workloads = (
         AesWorkload(),
         ImageProcessingWorkload(),
         DnnWorkload(),
     )
+    return Campaign(
+        name="fig13-replication-sweep",
+        trial_fn=_sweep_trial,
+        trials=[
+            Trial(
+                params={"workload": workload_identity(workload), "seed": seed},
+                item=(workload, thresholds, seed),
+            )
+            for workload in workloads
+        ],
+        context={
+            "thresholds": list(thresholds) if thresholds is not None else None
+        },
+    )
+
+
+def run(seed: int = 0, thresholds=None, workers: "int | None" = 1,
+        store=None, metrics=None) -> Series:
     figure = Series(
         title="Fig 13: replicated-portion size vs. runtime and memory",
         x_label="replicated fraction of input (%)",
         y_label="runtime (s) / memory (KiB)",
     )
+    result = execute(
+        campaign(seed=seed, thresholds=thresholds),
+        workers=workers, store=store, metrics=metrics,
+    )
     sweet_spots = []
-    for workload in workloads:
-        fractions, runtimes, memory = sweep_workload(workload, thresholds, seed)
-        figure.add(f"{workload.name}.runtime", fractions, runtimes)
-        figure.add(f"{workload.name}.memory_kib", fractions, memory)
+    for value in result.values:
+        fractions, runtimes, memory = (
+            value["fractions"], value["runtimes"], value["memory"]
+        )
+        figure.add(f"{value['name']}.runtime", fractions, runtimes)
+        figure.add(f"{value['name']}.memory_kib", fractions, memory)
         best = fractions[int(np.argmin(runtimes))]
-        sweet_spots.append(f"{workload.name}@{best:.1f}%")
+        sweet_spots.append(f"{value['name']}@{best:.1f}%")
     figure.notes = (
         "runtime minima (sweet spots): " + ", ".join(sweet_spots)
         + "; 0% replication serializes (serial-3MR-like), full replication "

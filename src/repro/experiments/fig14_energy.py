@@ -10,25 +10,56 @@ from __future__ import annotations
 
 from ..analysis.energy import radshield_energy_joules
 from ..analysis.report import Series
+from ..campaign import Campaign, Trial, execute
 from ..core.emr import Frontier
+from ..radiation.injector import workload_identity
 from ..workloads import paper_workloads
 from .common import run_schemes
 
 
-def run(scale: int = 1, seed: int = 0) -> Series:
+def _energy_trial(task, rng, tracer=None) -> dict:
+    workload, scale, seed = task
+    runs = run_schemes(workload, frontier=Frontier.DRAM, scale=scale, seed=seed)
+    base = runs.unprotected.energy.total_joules
+    return {
+        "name": runs.workload,
+        "sequential_relative": runs.sequential.energy.total_joules / base,
+        "emr_relative": runs.emr.energy.total_joules / base,
+        "radshield_relative": radshield_energy_joules(runs.emr) / base,
+    }
+
+
+def campaign(scale: int = 1, seed: int = 0) -> Campaign:
+    return Campaign(
+        name="fig14-energy",
+        trial_fn=_energy_trial,
+        trials=[
+            Trial(
+                params={"workload": workload_identity(workload),
+                        "scale": scale, "seed": seed},
+                item=(workload, scale, seed),
+            )
+            for workload in paper_workloads()
+        ],
+        context={"frontier": "DRAM"},
+    )
+
+
+def run(scale: int = 1, seed: int = 0, workers: "int | None" = 1,
+        store=None, metrics=None) -> Series:
     figure = Series(
         title="Fig 14: relative energy vs. unprotected parallel 3-MR (DRAM frontier)",
         x_label="workload",
         y_label="relative energy",
     )
-    names, seq_rel, emr_rel, shield_rel = [], [], [], []
-    for workload in paper_workloads():
-        runs = run_schemes(workload, frontier=Frontier.DRAM, scale=scale, seed=seed)
-        base = runs.unprotected.energy.total_joules
-        names.append(workload.name)
-        seq_rel.append(round(runs.sequential.energy.total_joules / base, 3))
-        emr_rel.append(round(runs.emr.energy.total_joules / base, 3))
-        shield_rel.append(round(radshield_energy_joules(runs.emr) / base, 3))
+    result = execute(
+        campaign(scale=scale, seed=seed),
+        workers=workers, store=store, metrics=metrics,
+    )
+    names = [value["name"] for value in result.values]
+    seq_rel = [round(value["sequential_relative"], 3) for value in result.values]
+    emr_rel = [round(value["emr_relative"], 3) for value in result.values]
+    shield_rel = [round(value["radshield_relative"], 3) for value in result.values]
     figure.add("serial_3MR", names, seq_rel)
     figure.add("EMR", names, emr_rel)
     figure.add("Radshield (EMR+ILD)", names, shield_rel)

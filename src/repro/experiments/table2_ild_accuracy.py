@@ -20,7 +20,8 @@ def run(config: "SelBenchConfig | None" = None,
         include_naive_bayes: bool = False,
         workers: "int | None" = 1,
         trace: "str | None" = None,
-        metrics: "MetricsRegistry | None" = None) -> Table:
+        metrics: "MetricsRegistry | None" = None,
+        store=None) -> Table:
     bench = SelTestbench(config)
     detectors: "dict[str, object]" = {"ILD": bench.train_ild()}
     detectors["Random Forest"] = bench.train_random_forest()
@@ -28,7 +29,10 @@ def run(config: "SelBenchConfig | None" = None,
         detectors["Naive Bayes"] = bench.train_naive_bayes()
     detectors.update(bench.static_baselines())
 
-    summaries = bench.evaluate(detectors, workers=workers, trace_path=trace)
+    summaries = bench.evaluate(
+        detectors, workers=workers, trace_path=trace, store=store,
+        metrics=metrics,
+    )
     if metrics is not None:
         _tally_metrics(metrics, summaries)
 

@@ -19,6 +19,9 @@ def run(
     machine_spec: "MachineSpec | None" = None,
     measure_fp_rate: bool = True,
     config: "SelBenchConfig | None" = None,
+    workers: "int | None" = 1,
+    store=None,
+    metrics=None,
 ) -> Table:
     policy = policy or BubblePolicy()
     spec = machine_spec or MachineSpec()
@@ -27,7 +30,8 @@ def run(
     if measure_fp_rate:
         bench = SelTestbench(config or SelBenchConfig(n_episodes=4))
         summaries = bench.evaluate(
-            {"ILD": bench.train_ild()}, with_sel=False
+            {"ILD": bench.train_ild()}, with_sel=False,
+            workers=workers, store=store, metrics=metrics,
         )
         fp_per_hour = summaries["ILD"].spurious_alarms_per_hour
     else:

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+from dataclasses import asdict, is_dataclass
+
 from ..analysis.report import Table
 from ..analysis.vulnerability import DieModel
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 
 
-def run(die: "DieModel | None" = None) -> Table:
-    die = die or DieModel()
+def _build(task, rng, tracer=None) -> Table:
+    (die,) = task
     table = Table(
         title="Table 4: relative protected circuit area (Snapdragon-845-like die)",
         columns=["Reliability Scheme", "Relative Area Protected"],
@@ -25,3 +28,24 @@ def run(die: "DieModel | None" = None) -> Table:
         f"shared cache {die.shared_cache:.0%}, uncore {die.uncore:.0%}"
     )
     return table
+
+
+def campaign(die: "DieModel | None" = None) -> Campaign:
+    die = die or DieModel()
+    return Campaign(
+        name="table4-protected-area",
+        trial_fn=_build,
+        trials=[
+            Trial(
+                params={"die": asdict(die) if is_dataclass(die) else vars(die)},
+                item=(die,),
+            )
+        ],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def run(die: "DieModel | None" = None, store=None, metrics=None) -> Table:
+    result = execute(campaign(die=die), store=store, metrics=metrics)
+    return result.values[0]

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..analysis.vulnerability import time_share_breakdown
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 from ..core.emr import Frontier
+from ..radiation.injector import workload_identity
 from ..workloads import ImageProcessingWorkload
 from .common import run_schemes
 
@@ -22,14 +24,8 @@ _BUCKET_LABELS = (
 )
 
 
-def run(scale: int = 1, seed: int = 0,
-        workload: "ImageProcessingWorkload | None" = None) -> Table:
-    # Dense stride: the paper matches *every* window, which is what
-    # makes compute dominate the breakdown (their compute runs for
-    # 2400 s against 1.8 s of disk). stride=4 gives 625 windows here.
-    workload = workload or ImageProcessingWorkload(
-        map_size=128, template_size=32, stride=4
-    )
+def _build(task, rng, tracer=None) -> Table:
+    workload, scale, seed = task
     runs = run_schemes(workload, frontier=Frontier.DRAM, scale=scale, seed=seed)
     table = Table(
         title="Table 6: image-processing runtime by operation (DRAM frontier)",
@@ -53,3 +49,37 @@ def run(scale: int = 1, seed: int = 0,
         "(paper 96%)"
     )
     return table
+
+
+def campaign(scale: int = 1, seed: int = 0,
+             workload: "ImageProcessingWorkload | None" = None) -> Campaign:
+    # Dense stride: the paper matches *every* window, which is what
+    # makes compute dominate the breakdown (their compute runs for
+    # 2400 s against 1.8 s of disk). stride=4 gives 625 windows here.
+    workload = workload or ImageProcessingWorkload(
+        map_size=128, template_size=32, stride=4
+    )
+    return Campaign(
+        name="table6-breakdown",
+        trial_fn=_build,
+        trials=[
+            Trial(
+                params={"workload": workload_identity(workload),
+                        "scale": scale, "seed": seed},
+                item=(workload, scale, seed),
+            )
+        ],
+        context={"frontier": "DRAM"},
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def run(scale: int = 1, seed: int = 0,
+        workload: "ImageProcessingWorkload | None" = None,
+        store=None, metrics=None) -> Table:
+    result = execute(
+        campaign(scale=scale, seed=seed, workload=workload),
+        store=store, metrics=metrics,
+    )
+    return result.values[0]

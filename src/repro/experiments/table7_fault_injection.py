@@ -7,44 +7,30 @@ EMR survives MBUs too.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from ..analysis.report import Table
+from ..campaign import Campaign, Trial
 from ..obs import MetricsRegistry
 from ..radiation.events import OutcomeClass
-from ..radiation.injector import CampaignConfig, FaultInjectionCampaign
+from ..radiation.injector import (
+    CampaignConfig,
+    FaultInjectionCampaign,
+    decode_outcome,
+    encode_outcome,
+    run_campaign_trial,
+    tally_outcome_metrics,
+)
 from ..workloads import ImageProcessingWorkload
 
+_SINGLE_BIT_SCHEMES = ("none", "3mr", "emr")
 
-def run(
-    runs_per_scheme: int = 20,
-    seed: int = 3,
-    workload: "ImageProcessingWorkload | None" = None,
-    workers: "int | None" = 1,
-    trace: "str | None" = None,
-    metrics: "MetricsRegistry | None" = None,
-) -> Table:
-    workload = workload or ImageProcessingWorkload(
-        map_size=64, template_size=16, stride=8
-    )
-    single_bit = FaultInjectionCampaign(
-        workload, CampaignConfig(runs_per_scheme=runs_per_scheme), seed=seed
-    )
-    # Only the single-bit campaign writes the trace: one file, one
-    # task-index namespace (the MBU campaign would restart at task 0).
-    results = single_bit.run(
-        schemes=("none", "3mr", "emr"), workers=workers, trace_path=trace
-    )
-    mbu = FaultInjectionCampaign(
-        workload,
-        CampaignConfig(runs_per_scheme=runs_per_scheme, bits=2),
-        seed=seed + 1,
-    )
-    results["emr+mbu"] = mbu.run(schemes=("emr",), workers=workers)["emr"]
-    if metrics is not None:
-        for name, value in single_bit.metrics.snapshot()["counters"].items():
-            metrics.counter(name).inc(value)
-        for name, value in mbu.metrics.snapshot()["counters"].items():
-            metrics.counter(f"mbu.{name}").inc(value)
 
+def _default_workload() -> ImageProcessingWorkload:
+    return ImageProcessingWorkload(map_size=64, template_size=16, stride=8)
+
+
+def _build_table(results: "dict[str, Counter]", runs_per_scheme: int) -> Table:
     table = Table(
         title="Table 7: fault injection into the image workload",
         columns=["Scheme", "Corrected", "No Effect", "Error", "SDC"],
@@ -65,3 +51,109 @@ def run(
         "QEMU tool could not)"
     )
     return table
+
+
+def campaign(
+    runs_per_scheme: int = 20,
+    seed: int = 3,
+    workload: "ImageProcessingWorkload | None" = None,
+) -> Campaign:
+    """Both injection stages as ONE resumable grid.
+
+    The single-bit stage draws from seed root ``seed`` at its own
+    positional indices; the MBU stage draws from ``seed + 1`` with
+    indices restarting at 0 (per-trial overrides), so every trial's
+    generator matches the two historical sub-campaigns exactly.
+    """
+    workload = workload or _default_workload()
+    single = FaultInjectionCampaign(
+        workload, CampaignConfig(runs_per_scheme=runs_per_scheme), seed=seed
+    )
+    mbu = FaultInjectionCampaign(
+        workload, CampaignConfig(runs_per_scheme=runs_per_scheme, bits=2),
+        seed=seed + 1,
+    )
+    trials = []
+    for index, trial in enumerate(single.trials(_SINGLE_BIT_SCHEMES)):
+        trials.append(
+            Trial(
+                params={"stage": "single-bit", **trial.params},
+                item=trial.item, seed_root=seed, seed_index=index,
+            )
+        )
+    for index, trial in enumerate(mbu.trials(("emr",))):
+        trials.append(
+            Trial(
+                params={"stage": "mbu", **trial.params},
+                item=trial.item, seed_root=seed + 1, seed_index=index,
+            )
+        )
+
+    n_single = len(_SINGLE_BIT_SCHEMES) * runs_per_scheme
+
+    def aggregate(values, metrics=None) -> Table:
+        results: "dict[str, Counter]" = {}
+        for offset, scheme in enumerate(_SINGLE_BIT_SCHEMES):
+            chunk = values[offset * runs_per_scheme:(offset + 1) * runs_per_scheme]
+            results[scheme] = Counter(outcome.outcome for outcome in chunk)
+        results["emr+mbu"] = Counter(
+            outcome.outcome for outcome in values[n_single:]
+        )
+        if metrics is not None:
+            single_tally = tally_outcome_metrics(values[:n_single])
+            for name, value in single_tally.snapshot()["counters"].items():
+                metrics.counter(name).inc(value)
+            mbu_tally = tally_outcome_metrics(values[n_single:])
+            for name, value in mbu_tally.snapshot()["counters"].items():
+                metrics.counter(f"mbu.{name}").inc(value)
+        return _build_table(results, runs_per_scheme)
+
+    return Campaign(
+        name="table7-fault-injection",
+        trial_fn=run_campaign_trial,
+        trials=trials,
+        context={
+            "workload": workload.name,
+            "single_bit_seed": seed,
+            "mbu_seed": seed + 1,
+            "runs_per_scheme": runs_per_scheme,
+        },
+        encode=encode_outcome,
+        decode=decode_outcome,
+        aggregate=aggregate,
+    )
+
+
+def run(
+    runs_per_scheme: int = 20,
+    seed: int = 3,
+    workload: "ImageProcessingWorkload | None" = None,
+    workers: "int | None" = 1,
+    trace: "str | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    store=None,
+) -> Table:
+    workload = workload or _default_workload()
+    single_bit = FaultInjectionCampaign(
+        workload, CampaignConfig(runs_per_scheme=runs_per_scheme), seed=seed
+    )
+    # Only the single-bit campaign writes the trace: one file, one
+    # task-index namespace (the MBU campaign would restart at task 0).
+    results = single_bit.run(
+        schemes=_SINGLE_BIT_SCHEMES, workers=workers, trace_path=trace,
+        store=store,
+    )
+    mbu = FaultInjectionCampaign(
+        workload,
+        CampaignConfig(runs_per_scheme=runs_per_scheme, bits=2),
+        seed=seed + 1,
+    )
+    results["emr+mbu"] = mbu.run(schemes=("emr",), workers=workers,
+                                 store=store)["emr"]
+    if metrics is not None:
+        for name, value in single_bit.metrics.snapshot()["counters"].items():
+            metrics.counter(name).inc(value)
+        for name, value in mbu.metrics.snapshot()["counters"].items():
+            metrics.counter(f"mbu.{name}").inc(value)
+
+    return _build_table(results, runs_per_scheme)

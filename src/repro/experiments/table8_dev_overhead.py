@@ -8,9 +8,10 @@ from __future__ import annotations
 
 from ..analysis.devoverhead import available_workloads, measure_overhead
 from ..analysis.report import Table
+from ..campaign import Campaign, Trial, decode_report, encode_report, execute
 
 
-def run() -> Table:
+def _build(task, rng, tracer=None) -> Table:
     table = Table(
         title="Table 8: net line change to adopt EMR from a 3-MR implementation",
         columns=["Operation", "Net line change", "Added", "Removed"],
@@ -24,3 +25,18 @@ def run() -> Table:
         "diffing runnable snippet pairs, comments and blanks excluded"
     )
     return table
+
+
+def campaign() -> Campaign:
+    return Campaign(
+        name="table8-dev-overhead",
+        trial_fn=_build,
+        trials=[Trial(params={})],
+        encode=encode_report,
+        decode=decode_report,
+    )
+
+
+def run(store=None, metrics=None) -> Table:
+    result = execute(campaign(), store=store, metrics=metrics)
+    return result.values[0]

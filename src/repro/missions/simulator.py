@@ -111,7 +111,9 @@ class MissionSimulator:
         duration = cfg.duration_days * 86400.0
 
         machine = Machine.rpi_zero2w(seed=cfg.seed)
-        self._eventlog = EventLog(capacity=4096)
+        # Local to this run (not instance state): one simulator can be
+        # reused or run concurrently without cross-run EVR leakage.
+        eventlog = EventLog(capacity=4096)
         injector = LatchupInjector(machine)
         thermal = ThermalModel(machine, injector)
         generator = TraceGenerator(TelemetryConfig(tick=cfg.tick))
@@ -143,7 +145,7 @@ class MissionSimulator:
             pending_sels = [e for e in pending_sels if e.time >= elapsed_end]
             self._run_telemetry_chunk(
                 machine, injector, thermal, generator, detector,
-                chunk, elapsed, chunk_sels, rng, report,
+                chunk, elapsed, chunk_sels, rng, report, eventlog,
             )
             if not report.survived:
                 break
@@ -151,17 +153,17 @@ class MissionSimulator:
             chunk_seus = [e for e in pending_seus if elapsed <= e.time < elapsed_end]
             pending_seus = [e for e in pending_seus if e.time >= elapsed_end]
             for seu in chunk_seus:
-                self._handle_seu(seu, rng, report)
+                self._handle_seu(seu, rng, report, eventlog)
             elapsed = elapsed_end
         report.mission_seconds = elapsed
         report.power_cycles = machine.power_cycles
-        report.events = self._eventlog.events()
+        report.events = eventlog.events()
         return report
 
     # ------------------------------------------------------------------
     def _run_telemetry_chunk(
         self, machine, injector, thermal, generator, detector,
-        chunk_seconds, chunk_start, chunk_sels, rng, report,
+        chunk_seconds, chunk_start, chunk_sels, rng, report, eventlog,
     ) -> None:
         cfg = self.config
         # Latch events at their onset times (current steps local to chunk).
@@ -180,12 +182,12 @@ class MissionSimulator:
                 # the next compute burst, no software needed.
                 downtime = machine.power_cycle()
                 report.downtime_seconds += downtime
-                self._eventlog.log(
+                eventlog.log(
                     "sel.trip", "EPS overcurrent breaker tripped",
                     severity=EvrSeverity.WARNING_HI, time=event.time,
                     delta_amps=round(event.delta_amps, 3), by="psu-ocp",
                 )
-                self._eventlog.log(
+                eventlog.log(
                     "sel.power_cycle", "breaker power cycle cleared latchup",
                     severity=EvrSeverity.WARNING_HI, time=event.time,
                 )
@@ -227,12 +229,12 @@ class MissionSimulator:
                 report.downtime_seconds += downtime
                 if detector is not None:
                     detector.reset()
-                self._eventlog.log(
+                eventlog.log(
                     "sel.trip", "ILD residual persisted over threshold",
                     severity=EvrSeverity.WARNING_HI, time=detection_time,
                     latency_s=round(detection_time - onset, 3), by="ild",
                 )
-                self._eventlog.log(
+                eventlog.log(
                     "sel.power_cycle", "commanded power cycle cleared latchup",
                     severity=EvrSeverity.WARNING_HI, time=detection_time,
                 )
@@ -257,7 +259,7 @@ class MissionSimulator:
                 machine.clock.advance_to(deadline)
                 thermal.check()
                 report.survived = False
-                self._eventlog.log(
+                eventlog.log(
                     "thermal.damage",
                     "latchup undetected past thermal deadline; mission lost",
                     severity=EvrSeverity.FATAL, time=deadline,
@@ -280,7 +282,7 @@ class MissionSimulator:
         machine.clock.advance_to(chunk_start + chunk_seconds)
 
     # ------------------------------------------------------------------
-    def _handle_seu(self, seu: SeuEvent, rng, report: MissionReport) -> None:
+    def _handle_seu(self, seu: SeuEvent, rng, report: MissionReport, eventlog) -> None:
         """Evaluate one upset by running the flight workload with that
         strike injected, under the mission's protection scheme."""
         cfg = self.config
@@ -317,7 +319,7 @@ class MissionSimulator:
             OutcomeClass.ERROR: EvrSeverity.WARNING_HI,
             OutcomeClass.SDC: EvrSeverity.WARNING_HI,
         }[outcome_class]
-        self._eventlog.log(
+        eventlog.log(
             "emr.verdict",
             f"seu on {seu.target.value}: {outcome_class.value}",
             severity=severity, time=seu.time,

@@ -141,6 +141,7 @@ def pmap_report(
     chunksize: "int | None" = None,
     force_pool: bool = False,
     trace_path: "str | None" = None,
+    on_result=None,
 ) -> ParallelReport:
     """Map ``fn`` over ``items``, deterministically, maybe in parallel.
 
@@ -166,6 +167,12 @@ def pmap_report(
     trace_path:
         Merge every task's trace records into this JSONL file, in
         task order (byte-identical at any worker count).
+    on_result:
+        Optional ``on_result(index, value)`` callback, invoked in the
+        *parent* process, in ascending task order, as each task's
+        result arrives (the pool path streams through ``imap``). This
+        is the campaign engine's incremental-persistence hook: a run
+        killed mid-grid keeps every trial already absorbed.
     """
     items = list(items)
     n = len(items)
@@ -183,6 +190,14 @@ def pmap_report(
     effective = resolve_workers(workers, n)
     use_pool = n > 0 and effective > 1 and (force_pool or _pool_usable())
 
+    def _stream(iterable) -> "list":
+        collected = []
+        for index, outcome in enumerate(iterable):
+            collected.append(outcome)
+            if on_result is not None:
+                on_result(index, outcome[0])
+        return collected
+
     started = time.perf_counter()
     outcomes = None
     mode = "serial"
@@ -192,13 +207,15 @@ def pmap_report(
         try:
             context = multiprocessing.get_context("fork")
             with context.Pool(processes=effective) as pool:
-                outcomes = pool.map(_invoke, payloads, chunksize=chunksize)
+                outcomes = _stream(
+                    pool.imap(_invoke, payloads, chunksize=chunksize)
+                )
             mode = "fork-pool"
         except (OSError, ValueError):
             outcomes = None  # fall through to the serial path
     if outcomes is None:
         effective = 1
-        outcomes = [_invoke(payload) for payload in payloads]
+        outcomes = _stream(_invoke(payload) for payload in payloads)
 
     wall = time.perf_counter() - started
     values = [value for value, _, _, _ in outcomes]

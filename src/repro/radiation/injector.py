@@ -29,13 +29,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..campaign import Campaign, Trial, execute
 from ..core.emr.baselines import sequential_3mr, single_run, unprotected_parallel_3mr
 from ..core.emr.checksum import checksum_protected_run
 from ..core.emr.jobs import Job
 from ..core.emr.runtime import EmrConfig, EmrHooks, EmrRuntime, RunResult
 from ..errors import ConfigurationError, DetectedFaultError
 from ..obs import NULL_OBS, MetricsRegistry, Observability
-from ..parallel import ParallelReport, pmap_report
+from ..parallel import ParallelReport
 from ..sim.machine import Machine
 from ..workloads.base import Workload, WorkloadSpec
 from .events import OutcomeClass, SeuTarget
@@ -255,6 +256,63 @@ def run_campaign_trial(
     )
 
 
+def encode_outcome(outcome: InjectionOutcome) -> dict:
+    """JSON-safe form of one trial outcome (for the campaign store)."""
+    return {
+        "scheme": outcome.scheme,
+        "outcome": outcome.outcome.value,
+        "target": outcome.target.value,
+        "detail": outcome.detail,
+    }
+
+
+def decode_outcome(data: dict) -> InjectionOutcome:
+    return InjectionOutcome(
+        scheme=data["scheme"],
+        outcome=OutcomeClass(data["outcome"]),
+        target=SeuTarget(data["target"]),
+        detail=data["detail"],
+    )
+
+
+def tally_outcome_metrics(outcomes: "list[InjectionOutcome]") -> MetricsRegistry:
+    """Fold a (deterministic) outcome list into campaign metrics —
+    post-hoc, so it needs no cross-process merging."""
+    metrics = MetricsRegistry()
+    metrics.counter("inject.trials").inc(len(outcomes))
+    for outcome in outcomes:
+        metrics.counter(
+            f"campaign.{outcome.scheme}.{outcome.outcome.value}"
+        ).inc()
+        metrics.counter(f"inject.target.{outcome.target.value}").inc()
+        if outcome.outcome is OutcomeClass.NO_EFFECT:
+            metrics.counter("inject.masked").inc()
+        else:
+            metrics.counter("inject.hits").inc()
+    return metrics
+
+
+def _factory_id(factory) -> str:
+    """Deterministic identity of a machine factory (for fingerprints)."""
+    name = getattr(factory, "__qualname__", None)
+    if name:
+        return f"{getattr(factory, '__module__', '')}.{name}"
+    return type(factory).__name__
+
+
+def workload_identity(workload: Workload) -> dict:
+    """JSON-safe identity of a workload instance: its registered name
+    plus every scalar constructor attribute (scale knobs)."""
+    return {
+        "name": workload.name,
+        "params": {
+            key: value
+            for key, value in sorted(vars(workload).items())
+            if isinstance(value, (bool, int, float, str))
+        },
+    }
+
+
 class FaultInjectionCampaign:
     """Runs the Table 7 experiment for one workload."""
 
@@ -280,41 +338,84 @@ class FaultInjectionCampaign:
     def _golden(self, spec: WorkloadSpec) -> "list[bytes]":
         return self.workload.reference_outputs(spec)
 
+    def trials(
+        self, schemes: "tuple[str, ...]" = ("none", "3mr", "emr")
+    ) -> "list[Trial]":
+        """The scheme x run grid as campaign trials (scheme-major, the
+        order the original hand-rolled loop used — trial *i* draws the
+        generator spawned at index *i*, exactly as before)."""
+        rng = np.random.default_rng(self.seed)
+        spec = self.workload.build(rng)
+        golden = tuple(self._golden(spec))
+        return [
+            Trial(
+                params={"scheme": scheme, "run": run},
+                item=TrialTask(
+                    scheme=scheme,
+                    workload=self.workload,
+                    spec=spec,
+                    golden=golden,
+                    config=self.config,
+                    machine_factory=self.machine_factory,
+                ),
+            )
+            for scheme in schemes
+            for run in range(self.config.runs_per_scheme)
+        ]
+
+    def campaign(
+        self, schemes: "tuple[str, ...]" = ("none", "3mr", "emr")
+    ) -> Campaign:
+        """This injection campaign as a declarative ``repro.campaign``
+        grid — the unit the engine fingerprints, runs, and resumes."""
+        return Campaign(
+            name=f"fault-injection:{self.workload.name}",
+            trial_fn=run_campaign_trial,
+            trials=self.trials(schemes),
+            seed=self.seed,
+            context={
+                "workload": workload_identity(self.workload),
+                "machine_factory": _factory_id(self.machine_factory),
+                "runs_per_scheme": self.config.runs_per_scheme,
+                "bits": self.config.bits,
+                "replication_threshold": self.config.replication_threshold,
+                "weights": {
+                    target.value: weight
+                    for target, weight in self.config.weights.items()
+                },
+            },
+            encode=encode_outcome,
+            decode=decode_outcome,
+        )
+
     def run(
         self,
         schemes: "tuple[str, ...]" = ("none", "3mr", "emr"),
         workers: "int | None" = 1,
         trace_path: "str | None" = None,
+        store=None,
+        metrics=None,
     ) -> "dict[str, Counter]":
         """Returns scheme -> Counter over :class:`OutcomeClass`.
 
-        Trials are independent: each gets its own generator spawned
-        from ``SeedSequence(seed)``, so any ``workers`` value — serial
+        Trials are independent: each gets its own generator pinned to
+        ``(seed, trial_index)``, so any ``workers`` value — serial
         included — produces the same outcomes in the same order. With
         ``trace_path``, every trial's records merge (in trial order)
-        into one JSONL trace, byte-identical at any worker count.
+        into one JSONL trace, byte-identical at any worker count. With
+        ``store``, completed trials are skipped on rerun and their
+        stored outcomes (and trace records) replayed — a resumed
+        campaign is byte-identical to a cold one.
         """
-        rng = np.random.default_rng(self.seed)
-        spec = self.workload.build(rng)
-        golden = tuple(self._golden(spec))
-        tasks = [
-            TrialTask(
-                scheme=scheme,
-                workload=self.workload,
-                spec=spec,
-                golden=golden,
-                config=self.config,
-                machine_factory=self.machine_factory,
-            )
-            for scheme in schemes
-            for _ in range(self.config.runs_per_scheme)
-        ]
-        report = pmap_report(
-            run_campaign_trial, tasks, seed=self.seed, workers=workers,
+        result = execute(
+            self.campaign(schemes),
+            workers=workers,
+            store=store,
             trace_path=trace_path,
+            metrics=metrics,
         )
-        self.last_report = report
-        self.outcomes: "list[InjectionOutcome]" = list(report.values)
+        self.last_report = result.report
+        self.outcomes: "list[InjectionOutcome]" = list(result.values)
         table: "dict[str, Counter]" = {}
         for scheme in schemes:
             counts: Counter = Counter()
@@ -322,19 +423,5 @@ class FaultInjectionCampaign:
                 if outcome.scheme == scheme:
                     counts[outcome.outcome] += 1
             table[scheme] = counts
-        self.metrics = self._tally_metrics()
+        self.metrics = tally_outcome_metrics(self.outcomes)
         return table
-
-    def _tally_metrics(self) -> MetricsRegistry:
-        metrics = MetricsRegistry()
-        metrics.counter("inject.trials").inc(len(self.outcomes))
-        for outcome in self.outcomes:
-            metrics.counter(
-                f"campaign.{outcome.scheme}.{outcome.outcome.value}"
-            ).inc()
-            metrics.counter(f"inject.target.{outcome.target.value}").inc()
-            if outcome.outcome is OutcomeClass.NO_EFFECT:
-                metrics.counter("inject.masked").inc()
-            else:
-                metrics.counter("inject.hits").inc()
-        return metrics

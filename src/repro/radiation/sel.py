@@ -37,11 +37,23 @@ class ActiveLatchup:
         return now - self.onset_time
 
 
+@dataclass(frozen=True)
+class InjectorSnapshot:
+    """Latchup bookkeeping state, captured with the machine's."""
+
+    active: "tuple[tuple[SelEvent, float], ...]"
+    history: "tuple[SelEvent, ...]"
+    cleared_count: int
+
+
 class LatchupInjector:
     """Manages latchup state on one machine.
 
     Also records every injected event so experiments can compute
-    ground-truth detection labels.
+    ground-truth detection labels. Registers itself as an attached
+    component, so :meth:`Machine.snapshot`/:meth:`Machine.restore`
+    keep the injector's active-event list consistent with the
+    machine's ``extra_current_draw``.
     """
 
     def __init__(self, machine: Machine) -> None:
@@ -50,6 +62,24 @@ class LatchupInjector:
         self.history: "list[SelEvent]" = []
         self.cleared_count = 0
         machine.on_power_cycle(self._on_power_cycle)
+        machine.attach("latchup-injector", self)
+
+    def snapshot(self) -> InjectorSnapshot:
+        return InjectorSnapshot(
+            active=tuple(
+                (latchup.event, latchup.onset_time) for latchup in self.active
+            ),
+            history=tuple(self.history),
+            cleared_count=self.cleared_count,
+        )
+
+    def restore(self, snap: InjectorSnapshot) -> None:
+        self.active = [
+            ActiveLatchup(event=event, onset_time=onset)
+            for event, onset in snap.active
+        ]
+        self.history = list(snap.history)
+        self.cleared_count = snap.cleared_count
 
     def induce(self, event: SelEvent) -> ActiveLatchup:
         """Latch a short: current rises immediately and persistently."""

@@ -18,7 +18,7 @@ as soon as they are produced.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -50,6 +50,28 @@ class CacheStats:
         self.flushed_lines = 0
         self.injected_flips = 0
         self.corrected_errors = 0
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Logical state of one cache level.
+
+    ``lines`` preserves LRU order (oldest first) — recency is semantic
+    state: it decides the next eviction victim.
+    """
+
+    lines: "tuple[tuple[int, bytes], ...]"
+    checks: "tuple[tuple[int, bytes], ...]"
+    dirty: "tuple[int, ...]"
+    stats: CacheStats
+
+
+@dataclass(frozen=True)
+class HierarchySnapshot:
+    """State of every level of a :class:`CacheHierarchy`."""
+
+    l1: "tuple[CacheSnapshot, ...]"
+    l2: CacheSnapshot
 
 
 @dataclass
@@ -183,6 +205,25 @@ class Cache:
     def __contains__(self, line_index: int) -> bool:
         return line_index in self._lines
 
+    # -- snapshot / restore -------------------------------------------
+    def snapshot(self) -> CacheSnapshot:
+        return CacheSnapshot(
+            lines=tuple(
+                (index, bytes(data)) for index, data in self._lines.items()
+            ),
+            checks=tuple(sorted(self._checks.items())),
+            dirty=tuple(sorted(self._dirty)),
+            stats=replace(self.stats),
+        )
+
+    def restore(self, snap: CacheSnapshot) -> None:
+        self._lines = OrderedDict(
+            (index, bytearray(data)) for index, data in snap.lines
+        )
+        self._checks = dict(snap.checks)
+        self._dirty = set(snap.dirty)
+        self.stats = replace(snap.stats)
+
     # -- radiation interface ------------------------------------------
     def flip_bit(self, line_index: int, byte_offset: int, bit: int) -> None:
         """Flip one bit of a resident line copy (a particle strike)."""
@@ -311,6 +352,22 @@ class CacheHierarchy:
         for l1 in self.l1:
             flushed += l1.flush_all()
         return flushed
+
+    def snapshot(self) -> HierarchySnapshot:
+        return HierarchySnapshot(
+            l1=tuple(cache.snapshot() for cache in self.l1),
+            l2=self.l2.snapshot(),
+        )
+
+    def restore(self, snap: HierarchySnapshot) -> None:
+        if len(snap.l1) != len(self.l1):
+            raise ConfigurationError(
+                f"snapshot has {len(snap.l1)} L1 caches, hierarchy has "
+                f"{len(self.l1)}"
+            )
+        for cache, cache_snap in zip(self.l1, snap.l1):
+            cache.restore(cache_snap)
+        self.l2.restore(snap.l2)
 
     def total_stats(self) -> CacheStats:
         agg = CacheStats()

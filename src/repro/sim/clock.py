@@ -16,6 +16,7 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._reset_guards: "list" = []
 
     @property
     def now(self) -> float:
@@ -35,8 +36,35 @@ class SimClock:
             self._now = t
         return self._now
 
-    def reset(self, start: float = 0.0) -> None:
-        """Rewind the clock (used when a fresh experiment reuses a machine)."""
+    def on_reset(self, guard) -> None:
+        """Register a reset guard: a callable returning a description of
+        pending component state (or ``None``/empty when clean).
+
+        A machine's components register guards so that rewinding the
+        clock under live state — resident cache lines, allocated DRAM,
+        an active latchup's current draw — fails loudly instead of
+        silently producing a machine whose timestamps contradict its
+        contents. The supported way to reuse a machine for a fresh
+        experiment is ``Machine.snapshot()`` / ``Machine.restore()``,
+        which rewinds *all* state together.
+        """
+        self._reset_guards.append(guard)
+
+    def reset(self, start: float = 0.0, *, force: bool = False) -> None:
+        """Rewind the clock; refuses while components hold pending state.
+
+        ``force=True`` skips the guards (used by ``Machine.restore``,
+        which rewinds component state in the same operation).
+        """
+        if not force:
+            pending = [msg for msg in (g() for g in self._reset_guards) if msg]
+            if pending:
+                raise SimulationError(
+                    "clock reset with pending component state ("
+                    + "; ".join(pending)
+                    + ") — restore a Machine snapshot for a fresh "
+                    "experiment, or pass force=True"
+                )
         self._now = float(start)
 
     def __repr__(self) -> str:

@@ -83,6 +83,18 @@ class CoreCounters:
         )
 
 
+@dataclass(frozen=True)
+class CoreSnapshot:
+    """Dynamic state of one core (spec is static, held by the machine)."""
+
+    core_id: int
+    freq: float
+    counters: CoreCounters
+    busy_seconds: float
+    poisoned: bool
+    damaged: bool
+
+
 @dataclass
 class ExecutionCost:
     """Simulated time (and cycles) one burst of work consumed."""
@@ -157,6 +169,28 @@ class Core:
     def reset_faults(self) -> None:
         """A power cycle clears latched pipeline state (not SEL damage)."""
         self.poisoned = False
+
+    def snapshot(self) -> CoreSnapshot:
+        return CoreSnapshot(
+            core_id=self.core_id,
+            freq=self.freq,
+            counters=self.counters.snapshot(),
+            busy_seconds=self.busy_seconds,
+            poisoned=self.poisoned,
+            damaged=self.damaged,
+        )
+
+    def restore(self, snap: CoreSnapshot) -> None:
+        if snap.core_id != self.core_id:
+            raise ConfigurationError(
+                f"snapshot of core {snap.core_id} cannot restore core "
+                f"{self.core_id}"
+            )
+        self.freq = snap.freq
+        self.counters = snap.counters.snapshot()
+        self.busy_seconds = snap.busy_seconds
+        self.poisoned = snap.poisoned
+        self.damaged = snap.damaged
 
     def __repr__(self) -> str:
         flags = "".join(

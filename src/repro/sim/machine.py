@@ -18,19 +18,21 @@ no ECC DRAM, so EMR's reliability frontier falls back to storage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import hashlib
+from dataclasses import dataclass, field, fields, is_dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError
-from .cache import AccessTrace, CacheHierarchy
+from ..errors import ConfigurationError, SimulationError
+from .cache import AccessTrace, CacheHierarchy, HierarchySnapshot
 from .clock import SimClock
-from .core import Core, CoreGroup, CoreSpec
+from .core import Core, CoreGroup, CoreSnapshot, CoreSpec
 from .dvfs import OndemandGovernor
-from .memory import SimMemory
+from .memory import MemorySnapshot, SimMemory
 from .power import EnergyMeter, PowerModel, PowerModelParams
 from .sensor import CurrentSensor, SensorParams
-from .storage import FlashStorage
+from .storage import FlashStorage, StorageSnapshot
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,76 @@ class MachineSpec:
     def __post_init__(self) -> None:
         if self.n_cores <= 0:
             raise ConfigurationError("n_cores must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Complete dynamic state of a :class:`Machine` at one instant.
+
+    Pure data (dataclasses, bytes, plain scalars): picklable into
+    worker processes and hashable into a :meth:`Machine.state_digest`.
+    The power model, sensor, governor and energy meter carry no
+    dynamic state — they are functions of the spec — so the spec entry
+    covers them. ``attached`` holds the snapshots of components
+    registered via :meth:`Machine.attach` (e.g. the latchup injector's
+    active-event list).
+    """
+
+    spec: MachineSpec
+    rng_state: dict
+    clock_now: float
+    cores: "tuple[CoreSnapshot, ...]"
+    memory: MemorySnapshot
+    caches: HierarchySnapshot
+    storage: StorageSnapshot
+    extra_current_draw: float
+    reboots: int
+    power_cycles: int
+    attached: "tuple[tuple[str, object], ...]" = ()
+
+
+def _digest_update(h, value) -> None:
+    """Feed ``value`` into ``h`` canonically.
+
+    Containers are framed, dict keys sorted, floats hashed by repr
+    (exact round-trip), numpy arrays by raw bytes — so equal logical
+    state always produces equal digests, across processes.
+    """
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"T" if value else b"F")
+    elif isinstance(value, (int, np.integer)):
+        h.update(b"i%d;" % int(value))
+    elif isinstance(value, (float, np.floating)):
+        h.update(b"f" + repr(float(value)).encode() + b";")
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        h.update(b"s%d:" % len(raw) + raw)
+    elif isinstance(value, bytes):
+        h.update(b"b%d:" % len(value) + value)
+    elif isinstance(value, np.ndarray):
+        h.update(b"a" + str(value.dtype).encode() + b":" + value.tobytes())
+    elif isinstance(value, (tuple, list)):
+        h.update(b"(")
+        for item in value:
+            _digest_update(h, item)
+        h.update(b")")
+    elif isinstance(value, dict):
+        h.update(b"{")
+        for key in sorted(value):
+            _digest_update(h, key)
+            _digest_update(h, value[key])
+        h.update(b"}")
+    elif is_dataclass(value):
+        h.update(b"d" + type(value).__name__.encode() + b"<")
+        for f in fields(value):
+            _digest_update(h, getattr(value, f.name))
+        h.update(b">")
+    else:
+        raise ConfigurationError(
+            f"cannot digest state of type {type(value).__name__}"
+        )
 
 
 class Machine:
@@ -89,6 +161,8 @@ class Machine:
         self.reboots = 0
         self.power_cycles = 0
         self._power_cycle_hooks: list = []
+        self._attached: "dict[str, object]" = {}
+        self.clock.on_reset(self._pending_state)
 
     # ------------------------------------------------------------------
     # Topology
@@ -114,6 +188,117 @@ class Machine:
 
     def write_via_cache(self, addr: int, data: bytes, group: int) -> AccessTrace:
         return self.caches.write(addr, data, group)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def attach(self, name: str, component) -> None:
+        """Register a stateful component (e.g. a latchup injector) so
+        its state rides along with :meth:`snapshot`/:meth:`restore`.
+
+        The component must expose ``snapshot()`` and ``restore(state)``.
+        """
+        if not (hasattr(component, "snapshot") and hasattr(component, "restore")):
+            raise ConfigurationError(
+                f"attached component {name!r} needs snapshot()/restore()"
+            )
+        if name in self._attached:
+            raise ConfigurationError(f"component {name!r} already attached")
+        self._attached[name] = component
+
+    def _pending_state(self) -> "str | None":
+        """Reset-guard summary of live component state (see SimClock)."""
+        issues = []
+        resident = sum(len(c) for c in (*self.caches.l1, self.caches.l2))
+        if resident:
+            issues.append(f"{resident} resident cache lines")
+        if self.memory.allocated_bytes:
+            issues.append(f"{self.memory.allocated_bytes}B DRAM allocated")
+        if self.storage.cached_files:
+            issues.append(f"{len(self.storage.cached_files)} cached flash pages")
+        if self.extra_current_draw:
+            issues.append(f"{self.extra_current_draw:.3f}A latchup draw")
+        return "; ".join(issues) or None
+
+    def snapshot(self) -> MachineSnapshot:
+        """Capture every piece of dynamic state — clock, cores, caches,
+        DRAM, flash, RNG, SEL current draw and attached components —
+        as pure, picklable data."""
+        return MachineSnapshot(
+            spec=self.spec,
+            rng_state=copy.deepcopy(self.rng.bit_generator.state),
+            clock_now=self.clock.now,
+            cores=tuple(core.snapshot() for core in self.cores),
+            memory=self.memory.snapshot(),
+            caches=self.caches.snapshot(),
+            storage=self.storage.snapshot(),
+            extra_current_draw=self.extra_current_draw,
+            reboots=self.reboots,
+            power_cycles=self.power_cycles,
+            attached=tuple(
+                (name, component.snapshot())
+                for name, component in sorted(self._attached.items())
+            ),
+        )
+
+    def restore(self, snap: MachineSnapshot) -> None:
+        """Rewind this machine — in place, hooks intact — to ``snap``.
+
+        The snapshot must come from a machine with an identical spec,
+        and the set of attached components must match the snapshot's
+        (their state is restored too; silently dropping either side
+        would leave e.g. latchup current and injector bookkeeping
+        contradicting each other).
+        """
+        if snap.spec != self.spec:
+            raise ConfigurationError(
+                f"snapshot of {snap.spec.name!r} cannot restore a "
+                f"{self.spec.name!r} machine"
+            )
+        snap_names = [name for name, _ in snap.attached]
+        if snap_names != sorted(self._attached):
+            raise SimulationError(
+                f"snapshot carries attached components {snap_names}, "
+                f"machine has {sorted(self._attached)}"
+            )
+        self.rng.bit_generator.state = copy.deepcopy(snap.rng_state)
+        self.clock.reset(snap.clock_now, force=True)
+        for core, core_snap in zip(self.cores, snap.cores):
+            core.restore(core_snap)
+        self.memory.restore(snap.memory)
+        self.caches.restore(snap.caches)
+        self.storage.restore(snap.storage)
+        self.extra_current_draw = snap.extra_current_draw
+        self.reboots = snap.reboots
+        self.power_cycles = snap.power_cycles
+        for name, state in snap.attached:
+            self._attached[name].restore(state)
+
+    @classmethod
+    def from_snapshot(cls, snap: MachineSnapshot) -> "Machine":
+        """A fresh machine materialised from a snapshot.
+
+        Only detached snapshots qualify: attached components (latchup
+        injectors) hold references to *their* machine and cannot be
+        conjured here — build the machine, re-attach components, then
+        :meth:`restore`.
+        """
+        if snap.attached:
+            raise SimulationError(
+                "snapshot carries attached-component state "
+                f"({[name for name, _ in snap.attached]}); materialise "
+                "the machine first, attach components, then restore()"
+            )
+        machine = cls(snap.spec)
+        machine.restore(snap)
+        return machine
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical encoding of :meth:`snapshot` —
+        equal digests iff equal logical machine state."""
+        h = hashlib.sha256()
+        _digest_update(h, self.snapshot())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,3 +388,24 @@ class Machine:
             f"DRAM {'ECC' if self.spec.dram_ecc else 'no-ECC'}, "
             f"t={self.clock.now:.3f}s)"
         )
+
+
+class SnapshotFactory:
+    """A machine factory that stamps out clones of a template state.
+
+    The base factory runs once (optionally followed by a ``warm``
+    callable that stages inputs, trains state, etc.); every call then
+    materialises an identical fresh machine from the captured
+    snapshot. Because the factory is plain data it pickles into
+    :func:`repro.parallel.pmap` workers, so campaign trials can share
+    one warmed template instead of re-deriving it per trial.
+    """
+
+    def __init__(self, base_factory=None, warm=None) -> None:
+        machine = (base_factory or Machine.rpi_zero2w)()
+        if warm is not None:
+            warm(machine)
+        self.snapshot = machine.snapshot()
+
+    def __call__(self) -> Machine:
+        return Machine.from_snapshot(self.snapshot)

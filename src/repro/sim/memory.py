@@ -12,7 +12,7 @@ flips silently corrupt the data a reader sees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -80,6 +80,31 @@ class MemoryStats:
         self.injected_flips = 0
         self.corrected_addresses.clear()
 
+    def copy(self) -> "MemoryStats":
+        return replace(self, corrected_addresses=list(self.corrected_addresses))
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Full logical state of one :class:`SimMemory` device.
+
+    Only the touched prefix (``high_water`` bytes) is materialised:
+    every byte beyond it is guaranteed zero, because writes and
+    injected flips are the only mutation paths and both advance the
+    high-water mark. A snapshot of a mostly-empty 48 MB device is
+    therefore KB-sized and cheap to pickle into worker processes.
+    """
+
+    size: int
+    has_ecc: bool
+    high_water: int
+    data: bytes
+    checks: "bytes | None"
+    bump: int
+    allocations: "tuple[MemoryRegion, ...]"
+    dirty_words: "tuple[int, ...]"
+    stats: MemoryStats
+
 
 class SimMemory:
     """Byte-addressable simulated DRAM.
@@ -117,6 +142,14 @@ class SimMemory:
         # every write re-encodes, so untouched words are valid codewords
         # and decoding them is the identity.
         self._dirty_words: set[int] = set()
+        # Word-aligned upper bound of every byte ever written or
+        # flipped; bytes at or beyond it are still calloc-zero. Keeps
+        # snapshots proportional to *touched* memory, not capacity.
+        self._high_water = 0
+
+    def _note_touch(self, end: int) -> None:
+        if end > self._high_water:
+            self._high_water = min(self.size, (end + _WORD - 1) // _WORD * _WORD)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -195,6 +228,7 @@ class SimMemory:
         self._check_span(addr, n)
         if n == 0:
             return
+        self._note_touch(addr + n)
         if self.has_ecc:
             first_word = addr // _WORD
             last_word = (addr + n - 1) // _WORD
@@ -285,6 +319,7 @@ class SimMemory:
         self._data[addr] ^= 1 << bit
         self.stats.injected_flips += 1
         self._dirty_words.add(addr // _WORD)
+        self._note_touch(addr + 1)
 
     def flip_check_bit(self, word_index: int, bit: int) -> None:
         """Flip one ECC check bit (particles hit check storage too)."""
@@ -295,6 +330,7 @@ class SimMemory:
         self._checks[word_index] ^= 1 << (bit & 7)
         self.stats.injected_flips += 1
         self._dirty_words.add(word_index)
+        self._note_touch((word_index + 1) * _WORD)
 
     def peek(self, addr: int, n: int) -> bytes:
         """Raw store contents, bypassing ECC (for tests and injectors)."""
@@ -307,6 +343,56 @@ class SimMemory:
         if self._bump:
             self.read(0, self._bump)
         return self.stats.corrected_errors - before
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MemorySnapshot:
+        """Capture the device's full logical state (see MemorySnapshot)."""
+        hw = self._high_water
+        return MemorySnapshot(
+            size=self.size,
+            has_ecc=self.has_ecc,
+            high_water=hw,
+            data=self._data[:hw].tobytes(),
+            checks=(
+                None
+                if self._checks is None
+                else self._checks[: hw // _WORD].tobytes()
+            ),
+            bump=self._bump,
+            allocations=tuple(self._allocations),
+            dirty_words=tuple(sorted(self._dirty_words)),
+            stats=self.stats.copy(),
+        )
+
+    def restore(self, snap: MemorySnapshot) -> None:
+        """Rewind to a snapshot taken from an identically-shaped device."""
+        if snap.size != self.size or snap.has_ecc != self.has_ecc:
+            raise AllocationError(
+                f"{self.name}: snapshot shape ({snap.size}B, "
+                f"ecc={snap.has_ecc}) does not match device "
+                f"({self.size}B, ecc={self.has_ecc})"
+            )
+        hw = snap.high_water
+        # Zero only the span this device touched beyond the snapshot's
+        # high-water mark — the calloc tail past our own mark is
+        # untouched, so a restore never faults in the full capacity.
+        if self._high_water > hw:
+            self._data[hw : self._high_water] = 0
+            if self._checks is not None:
+                self._checks[hw // _WORD : self._high_water // _WORD] = 0
+        if hw:
+            self._data[:hw] = np.frombuffer(snap.data, dtype=np.uint8)
+            if self._checks is not None:
+                self._checks[: hw // _WORD] = np.frombuffer(
+                    snap.checks, dtype=np.uint8
+                )
+        self._high_water = hw
+        self._bump = snap.bump
+        self._allocations = list(snap.allocations)
+        self._dirty_words = set(snap.dirty_words)
+        self.stats = snap.stats.copy()
 
     def __repr__(self) -> str:
         kind = "ECC" if self.has_ecc else "non-ECC"

@@ -14,10 +14,10 @@ The model mirrors this split: the backing store is an ECC
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError, InvalidAddressError
-from .memory import SimMemory
+from .memory import MemorySnapshot, SimMemory
 
 
 @dataclass
@@ -40,6 +40,16 @@ class StorageStats:
         self.page_cache_drops = 0
         self.read_ios = 0
         self.write_ios = 0
+
+
+@dataclass(frozen=True)
+class StorageSnapshot:
+    """Logical state of a flash device: media, file table, page cache."""
+
+    backing: MemorySnapshot
+    files: "tuple[tuple[str, tuple[int, int]], ...]"
+    page_cache: "tuple[tuple[str, bytes], ...]"
+    stats: StorageStats
 
 
 @dataclass(frozen=True)
@@ -174,6 +184,27 @@ class FlashStorage:
     @property
     def cached_files(self) -> tuple[str, ...]:
         return tuple(self._page_cache)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StorageSnapshot:
+        return StorageSnapshot(
+            backing=self._backing.snapshot(),
+            files=tuple(self._files.items()),
+            page_cache=tuple(
+                (name, bytes(page)) for name, page in self._page_cache.items()
+            ),
+            stats=replace(self.stats),
+        )
+
+    def restore(self, snap: StorageSnapshot) -> None:
+        self._backing.restore(snap.backing)
+        self._files = dict(snap.files)
+        self._page_cache = {
+            name: bytearray(page) for name, page in snap.page_cache
+        }
+        self.stats = replace(snap.stats)
 
     # ------------------------------------------------------------------
     # Radiation interface
