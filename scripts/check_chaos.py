@@ -1,0 +1,98 @@
+"""CI chaos smoke: run the seeded scenario matrix and hold the line.
+
+The harness fuzzes the whole protection stack — latchups, workload
+SEUs, strikes on the ILD filter state, EMR vote buffers and the event
+log, wedged replays — and asserts the end-to-end invariants inside
+each episode (no silent corruption escapes, baseline current restored
+after every recovery, the mission always terminates). This script adds
+the two cross-run invariants CI cares about:
+
+1. **zero violations** across the full matrix, and
+2. **byte-identical reports** between a serial run and a parallel run
+   (``--workers``), compared via a canonical-JSON sha256 digest — the
+   chaos campaign must be as deterministic as the experiments it
+   certifies.
+
+With ``--store`` it also reruns against the populated trial store and
+requires the replayed reports to hash identically, proving the decode
+path round-trips.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_chaos.py [--workers 2]
+        [--store chaos-store] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the parallel pass")
+    parser.add_argument("--store", default=None,
+                        help="optional trial-store dir for the replay pass")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.chaos import default_scenarios, render_reports, run_chaos
+
+    scenarios = default_scenarios()
+    print(f"chaos matrix: {len(scenarios)} scenarios")
+
+    t0 = time.monotonic()
+    serial_reports, serial_digest = run_chaos(
+        scenarios, seed=args.seed, workers=1
+    )
+    print(f"serial pass: {time.monotonic() - t0:.1f}s, "
+          f"digest {serial_digest}")
+    print(render_reports(serial_reports))
+
+    violations = [
+        (r.scenario, v) for r in serial_reports for v in r.violations
+    ]
+    if violations:
+        for scenario, violation in violations:
+            print(f"VIOLATION [{scenario}]: {violation}")
+        print(f"FAIL: {len(violations)} invariant violation(s)")
+        return 1
+
+    t0 = time.monotonic()
+    parallel_reports, parallel_digest = run_chaos(
+        scenarios, seed=args.seed, workers=args.workers
+    )
+    print(f"parallel pass (workers={args.workers}): "
+          f"{time.monotonic() - t0:.1f}s, digest {parallel_digest}")
+    if parallel_digest != serial_digest:
+        print(f"FAIL: parallel digest {parallel_digest} != "
+              f"serial digest {serial_digest}")
+        return 1
+    assert len(parallel_reports) == len(serial_reports)
+
+    if args.store:
+        store_dir = Path(args.store)
+        store_dir.mkdir(parents=True, exist_ok=True)
+        _, first_digest = run_chaos(
+            scenarios, seed=args.seed, workers=1, store=store_dir
+        )
+        _, replay_digest = run_chaos(
+            scenarios, seed=args.seed, workers=1, store=store_dir
+        )
+        if not (first_digest == replay_digest == serial_digest):
+            print(f"FAIL: store replay digest {replay_digest} != "
+                  f"first {first_digest} != serial {serial_digest}")
+            return 1
+        print(f"store replay byte-identical; store at {store_dir}")
+
+    print(f"PASS: {len(scenarios)} scenarios, 0 violations, "
+          f"serial == parallel ({serial_digest})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,10 @@ Usage::
     python -m repro campaign status table7 --store store/
     python -m repro campaign resume table7 --store store/
     python -m repro mission --days 1 --environment deep-space [--csv log.csv]
+    python -m repro mission --supervised --environment low-earth-orbit
     python -m repro trace summarize t.jsonl [--task 4]
+    python -m repro chaos list
+    python -m repro chaos run [--workers 4] [--store dir/] [--scenario NAME]
 """
 
 from __future__ import annotations
@@ -223,6 +226,7 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         environment=ENVIRONMENTS[args.environment],
         ild_enabled=not args.no_ild,
         emr_enabled=not args.no_emr,
+        supervised=args.supervised,
         seed=args.seed,
     )
     report = MissionSimulator(config).run()
@@ -231,6 +235,39 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         Path(args.csv).write_text(report.dataset.to_csv())
         print(f"wrote anomaly dataset: {args.csv}")
     return 0 if report.survived else 2
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import default_scenarios, render_reports, run_chaos
+
+    scenarios = default_scenarios()
+    if args.chaos_command == "list":
+        for scenario in scenarios:
+            strikes = ",".join(scenario.control_strikes) or "-"
+            print(
+                f"{scenario.name:<24} seed={scenario.seed:<4} "
+                f"level={scenario.start_level:<9} "
+                f"sel/h={scenario.sel_per_hour:<4g} seu={scenario.seu_strikes} "
+                f"control={strikes}"
+            )
+        return 0
+
+    if args.scenario is not None:
+        scenarios = tuple(s for s in scenarios if s.name == args.scenario)
+        if not scenarios:
+            raise SystemExit(f"unknown scenario {args.scenario!r}")
+    reports, digest = run_chaos(
+        scenarios,
+        seed=args.seed,
+        workers=args.workers,
+        store=args.store,
+        trace_path=args.trace,
+    )
+    print(render_reports(reports))
+    if args.trace:
+        print(f"wrote trace: {args.trace}")
+    violations = sum(len(r.violations) for r in reports)
+    return 0 if violations == 0 else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,9 +384,43 @@ def build_parser() -> argparse.ArgumentParser:
     mission.add_argument("--environment", default="low-earth-orbit")
     mission.add_argument("--no-ild", action="store_true")
     mission.add_argument("--no-emr", action="store_true")
+    mission.add_argument(
+        "--supervised", action="store_true",
+        help="route SEL alarms through the recovery supervisor "
+             "(checkpoint/rollback/replay) and run the degradation policy",
+    )
     mission.add_argument("--seed", type=int, default=0)
     mission.add_argument("--csv", help="write the anomaly dataset as CSV")
     mission.set_defaults(func=_cmd_mission)
+
+    chaos = sub.add_parser(
+        "chaos", help="fuzz the whole protection stack with seeded faults"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser(
+        "list", help="list the standing chaos scenarios"
+    ).set_defaults(func=_cmd_chaos)
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run the chaos matrix and check invariants"
+    )
+    chaos_run.add_argument(
+        "--scenario", default=None,
+        help="run only the scenario with this name",
+    )
+    chaos_run.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (reports identical at any value)",
+    )
+    chaos_run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="trial-store directory; completed scenarios are skipped on rerun",
+    )
+    chaos_run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the merged JSONL trace of the run",
+    )
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -1,0 +1,37 @@
+"""Chaos harness: seeded whole-stack fault fuzzing with end-to-end
+invariant checking. See ``docs/recovery.md`` and ``repro chaos run``.
+"""
+
+from .harness import (
+    ChaosReport,
+    chaos_campaign,
+    decode_chaos_report,
+    encode_chaos_report,
+    render_reports,
+    reports_digest,
+    run_chaos,
+    run_chaos_trial,
+    run_scenario,
+)
+from .scenarios import (
+    CONTROL_SURFACES,
+    ChaosScenario,
+    default_scenarios,
+    encode_scenario,
+)
+
+__all__ = [
+    "CONTROL_SURFACES",
+    "ChaosReport",
+    "ChaosScenario",
+    "chaos_campaign",
+    "decode_chaos_report",
+    "default_scenarios",
+    "encode_chaos_report",
+    "encode_scenario",
+    "render_reports",
+    "reports_digest",
+    "run_chaos",
+    "run_chaos_trial",
+    "run_scenario",
+]

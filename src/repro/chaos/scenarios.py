@@ -1,0 +1,147 @@
+"""Seeded chaos scenarios: what the harness throws at the stack.
+
+Each scenario is one deterministic episode — a fixed seed, a fixed mix
+of latchups, workload SEUs and control-plane strikes, a fixed starting
+protection level. :func:`default_scenarios` is the standing matrix the
+CI smoke job runs: it spans quiet skies, SEL storms, SEU storms,
+strikes on every control-plane surface (ILD filter state, EMR vote
+buffers, the event log), watchdog-hang injections, multi-bit upsets,
+and the degraded two-replica configuration — because a harness that
+only fuzzes the happy path certifies nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: Control-plane strike surfaces a scenario may enable.
+CONTROL_SURFACES = ("ild", "vote", "eventlog")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One deterministic chaos episode."""
+
+    name: str
+    seed: int
+    #: Episode length and telemetry chunking (simulated seconds).
+    duration_seconds: float = 1800.0
+    chunk_seconds: float = 300.0
+    #: Mean latchups per simulated hour (Poisson).
+    sel_per_hour: float = 0.0
+    #: Workload SEU strikes over the episode (uniform over chunks).
+    seu_strikes: int = 0
+    #: Bits per SEU strike (2 = MBU).
+    seu_bits: int = 1
+    #: Control-plane surfaces struck each chunk (subset of
+    #: :data:`CONTROL_SURFACES`).
+    control_strikes: "tuple[str, ...]" = ()
+    #: Degradation-policy starting level.
+    start_level: str = "standard"
+    #: Inject a wedged replay (exceeds the watchdog deadline) on the
+    #: first recovery, to prove the watchdog bites.
+    hang_replay: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0 or self.chunk_seconds <= 0:
+            raise ConfigurationError("durations must be positive")
+        if self.sel_per_hour < 0 or self.seu_strikes < 0 or self.seu_bits < 1:
+            raise ConfigurationError("rates and counts must be non-negative")
+        unknown = set(self.control_strikes) - set(CONTROL_SURFACES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown control surfaces {sorted(unknown)}; "
+                f"choose from {CONTROL_SURFACES}"
+            )
+
+
+def encode_scenario(scenario: ChaosScenario) -> dict:
+    """JSON-safe form (campaign fingerprint material)."""
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "duration_seconds": scenario.duration_seconds,
+        "chunk_seconds": scenario.chunk_seconds,
+        "sel_per_hour": scenario.sel_per_hour,
+        "seu_strikes": scenario.seu_strikes,
+        "seu_bits": scenario.seu_bits,
+        "control_strikes": list(scenario.control_strikes),
+        "start_level": scenario.start_level,
+        "hang_replay": scenario.hang_replay,
+    }
+
+
+def default_scenarios() -> "tuple[ChaosScenario, ...]":
+    """The standing 24-scenario matrix."""
+    scenarios: "list[ChaosScenario]" = []
+
+    # Quiet baselines at each protection level: the harness itself must
+    # report zero incident counters when nothing is injected.
+    for i, level in enumerate(("economy", "standard", "hardened")):
+        scenarios.append(ChaosScenario(
+            name=f"quiet-{level}", seed=100 + i, start_level=level,
+        ))
+
+    # SEL storms: sustained latchups, supervised recovery every time.
+    for i, level in enumerate(("economy", "standard", "hardened")):
+        scenarios.append(ChaosScenario(
+            name=f"sel-storm-{level}", seed=200 + i, start_level=level,
+            sel_per_hour=8.0,
+        ))
+
+    # SEU storms: workload strikes under EMR, no latchups.
+    for i, level in enumerate(("economy", "standard", "hardened")):
+        scenarios.append(ChaosScenario(
+            name=f"seu-storm-{level}", seed=300 + i, start_level=level,
+            seu_strikes=6,
+        ))
+
+    # Control-plane surfaces, one at a time, under background SELs so
+    # corrupted mechanism state has real work to mishandle.
+    for i, surface in enumerate(CONTROL_SURFACES):
+        scenarios.append(ChaosScenario(
+            name=f"control-{surface}", seed=400 + i,
+            sel_per_hour=4.0, seu_strikes=2, control_strikes=(surface,),
+        ))
+
+    # Combined storms: latchups + upsets together.
+    for i, level in enumerate(("economy", "standard", "hardened")):
+        scenarios.append(ChaosScenario(
+            name=f"combined-{level}", seed=500 + i, start_level=level,
+            sel_per_hour=6.0, seu_strikes=4,
+        ))
+
+    # All-out: every injection class at once.
+    for i in range(3):
+        scenarios.append(ChaosScenario(
+            name=f"all-out-{i}", seed=600 + i,
+            sel_per_hour=8.0, seu_strikes=4,
+            control_strikes=CONTROL_SURFACES,
+        ))
+
+    # Watchdog: the replay wedges; the deadline must catch it.
+    for i, level in enumerate(("standard", "hardened")):
+        scenarios.append(ChaosScenario(
+            name=f"watchdog-hang-{level}", seed=700 + i, start_level=level,
+            sel_per_hour=6.0, hang_replay=True,
+        ))
+
+    # Multi-bit upsets.
+    for i, level in enumerate(("standard", "hardened")):
+        scenarios.append(ChaosScenario(
+            name=f"mbu-{level}", seed=800 + i, start_level=level,
+            seu_strikes=5, seu_bits=2,
+        ))
+
+    # Two-replica vote strikes: disagreement cannot be out-voted, so
+    # every strike must surface as a *detected* inconclusive vote.
+    for i in range(2):
+        scenarios.append(ChaosScenario(
+            name=f"economy-vote-strike-{i}", seed=900 + i,
+            start_level="economy", control_strikes=("vote",),
+            sel_per_hour=2.0,
+        ))
+
+    return tuple(scenarios)

@@ -78,6 +78,15 @@ class EmrHooks:
     def after_jobset(self, runtime: "EmrRuntime", jobset: JobSet) -> None:
         """Called at each jobset barrier."""
 
+    def before_vote(
+        self, runtime: "EmrRuntime", dataset_index: int, results: "list"
+    ) -> "list":
+        """May replace the refreshed replica results right before the
+        orchestrator votes — the *vote buffer*, EMR's own control
+        plane. Chaos testing corrupts entries here to prove a strike
+        on the voter's inputs is out-voted or detected, never silent."""
+        return results
+
 
 @dataclass
 class RunStats:
@@ -160,11 +169,11 @@ class JobEngine:
         machine = self.machine
         core = machine.cores[core_id]
         timings = {"compute": 0.0, "cache_clear": 0.0, "disk_read": 0.0}
-        if self.hooks is not None:
-            self.hooks.before_job(runtime, job)
         inputs: "dict[str, bytes]" = {}
         l1_hits = l2_hits = fills = 0
         try:
+            if self.hooks is not None:
+                self.hooks.before_job(runtime, job)
             for role in job.dataset.regions:
                 fetched = self.materialized.fetch(job, role)
                 inputs[role] = fetched.data
@@ -175,9 +184,17 @@ class JobEngine:
                 self.stats.disk_ios += fetched.disk_ios
             output = self.workload.run_job(inputs, dict(job.dataset.params))
             self.workload.validate_output(output)
-        except DetectedFaultError as exc:
+        except Exception as exc:  # noqa: BLE001 - crash containment, see below
+            # Detected faults (segfault-analogs, ECC double-bits, ...)
+            # and arbitrary replica crashes are both *contained*: one
+            # replica failing must never abort the protected run — it
+            # becomes a recorded fault the other replicas out-vote.
+            if isinstance(exc, DetectedFaultError):
+                fault = str(exc)
+            else:
+                fault = f"replica crash: {type(exc).__name__}: {exc}"
             self.stats.detected_faults.append(
-                f"ds={job.dataset_index} exec={job.executor_id}: {exc}"
+                f"ds={job.dataset_index} exec={job.executor_id}: {fault}"
             )
             # The failed fetch/compute still burned time on the core.
             cost = core.execute(
@@ -189,11 +206,11 @@ class JobEngine:
                 self.obs.tracer.event(
                     "emr.fault", t=machine.clock.now,
                     ds=job.dataset_index, executor=job.executor_id,
-                    error=str(exc),
+                    error=fault,
                 )
                 self.obs.metrics.counter("emr.detected_faults").inc()
             return (
-                JobResult(job.dataset_index, job.executor_id, None, fault=str(exc)),
+                JobResult(job.dataset_index, job.executor_id, None, fault=fault),
                 timings,
             )
         # A transient latched in this core's datapath corrupts the
@@ -462,6 +479,8 @@ class EmrRuntime:
                     )
                 else:
                     refreshed.append(result)
+            if self.hooks is not None:
+                refreshed = self.hooks.before_vote(self, dataset_index, refreshed)
             outcome = vote(refreshed)
             compare_bytes = sum(
                 len(r.output) for r in refreshed if r.output is not None

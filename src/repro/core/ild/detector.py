@@ -62,11 +62,23 @@ class Detection:
 
 @dataclass
 class _StreamState:
-    """Residual tail carried across chunk boundaries."""
+    """Residual tail carried across chunk boundaries.
+
+    This is ILD's *own* volatile state — the few words of filter
+    memory a particle can strike just like any other SRAM. It is the
+    detector's self-protection surface: :meth:`IldDetector.process`
+    sanity-scrubs it every chunk (see ``_scrub_state``), and the chaos
+    harness corrupts it via
+    :func:`repro.radiation.control_plane.strike_ild_filter`.
+    """
 
     residual_tail: "np.ndarray" = field(default_factory=lambda: np.empty(0))
     tail_end_time: float = -1.0
     in_alarm: bool = False
+
+#: Residuals beyond this magnitude (amps) cannot come from the rail —
+#: they are corrupted filter state, and the scrub drops them.
+_SANE_RESIDUAL_AMPS = 1e3
 
 
 class IldDetector:
@@ -93,6 +105,8 @@ class IldDetector:
         self.quiescent_ticks_seen = 0
         self.alarm_ticks = 0
         self.evaluated_ticks = 0
+        #: Times the self-protection scrub dropped corrupted filter state.
+        self.states_scrubbed = 0
         #: Per-tick alarm decisions of the most recent process() call
         #: (True at ticks whose 3 s residual window exceeded threshold).
         self.last_alarm_mask: "np.ndarray | None" = None
@@ -100,6 +114,55 @@ class IldDetector:
     def reset(self) -> None:
         """Forget streaming state (e.g. after a power cycle)."""
         self._state = _StreamState()
+
+    @property
+    def stream_state(self) -> _StreamState:
+        """The detector's own volatile filter state (control plane)."""
+        return self._state
+
+    def reconfigure(self, config: IldConfig) -> None:
+        """Adopt new deployment parameters at runtime.
+
+        The degradation policy escalates/relaxes ILD by swapping
+        thresholds and persistence in flight. Filter geometry follows
+        the new config, and streaming state is dropped — a window
+        accumulated under the old persistence would alias into the new
+        one at the wrong length.
+        """
+        self.config = config
+        self.filter = RollingMinimumFilter(config.filter_halfwidth_samples)
+        self.quiescence = QuiescenceDetector(
+            self.quiescence.max_instruction_rate,
+            utilization_threshold=config.quiescence_utilization,
+        )
+        self.reset()
+
+    def _scrub_state(self) -> bool:
+        """Self-protection: drop corrupted streaming state.
+
+        A strike on the residual tail shows up as non-finite or
+        physically impossible values (a bit flip in a float64 exponent
+        lands astronomically far from any real residual). Scrubbing
+        costs at most one persistence window of detection history —
+        bounded, and far better than an alarm decision made on
+        garbage. Returns ``True`` when state was dropped.
+        """
+        tail = self._state.residual_tail
+        healthy = (
+            isinstance(tail, np.ndarray)
+            and tail.ndim == 1
+            and (len(tail) == 0
+                 or (np.isfinite(tail).all()
+                     and float(np.abs(tail).max()) <= _SANE_RESIDUAL_AMPS))
+            and isinstance(self._state.in_alarm, (bool, np.bool_))
+        )
+        if healthy:
+            return False
+        self._state = _StreamState()
+        self.states_scrubbed += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ild.state_scrubbed").inc()
+        return True
 
     # ------------------------------------------------------------------
     def filtered_current(self, trace: TelemetryTrace) -> np.ndarray:
@@ -131,6 +194,7 @@ class IldDetector:
         threshold alone would reject.
         """
         cfg = self.config
+        self._scrub_state()
         tick = trace.config.tick
         window = max(1, int(round(cfg.persistence_seconds / tick)))
         residual = self.residuals(trace)

@@ -63,3 +63,8 @@ class WorkloadError(ReproError):
 
 class HardwareDamagedError(SimulationError):
     """The simulated chip burned out (an SEL ran past the thermal limit)."""
+
+
+class RecoveryFailedError(SimulationError):
+    """The recovery supervisor exhausted its power-cycle retry budget
+    without restoring baseline current."""

@@ -76,6 +76,8 @@ class EventLog(Component):
         self._pending: "list[tuple[EvrSeverity, str, str, tuple]]" = []
         self.total_logged = 0
         self.dropped = 0
+        #: Committed events corrupted in place by :meth:`strike`.
+        self.struck = 0
 
     # ------------------------------------------------------------------
     def log(
@@ -125,6 +127,32 @@ class EventLog(Component):
         return (f"{self.name}.events_total", f"{self.name}.warnings_total")
 
     # ------------------------------------------------------------------
+    def strike(self, index: int, bit: int) -> "str | None":
+        """Flip one bit in a committed EVR's message — an SEU landing
+        in the ring buffer itself (the log's control plane).
+
+        The contract under corruption is graceful degradation: the
+        struck event may read as garbage, but the ring stays iterable
+        and renderable, counts stay consistent, and no exception ever
+        escapes into the flight loop. Returns a description of the
+        strike, or ``None`` when the ring is empty (dead silicon).
+        """
+        import dataclasses
+
+        if not self._events:
+            return None
+        index %= len(self._events)
+        event = self._events[index]
+        raw = bytearray(event.message.encode("utf-8"))
+        if not raw:
+            return f"event {index}: empty message, strike absorbed"
+        position = (bit // 8) % len(raw)
+        raw[position] ^= 1 << (bit % 8)
+        corrupted = raw.decode("utf-8", errors="replace")
+        self._events[index] = dataclasses.replace(event, message=corrupted)
+        self.struck += 1
+        return f"event {index} ({event.name}) message byte {position}"
+
     def events(self) -> "tuple[FlightEvent, ...]":
         """Committed events, oldest first (pending ones excluded)."""
         return tuple(self._events)

@@ -25,6 +25,12 @@ from ..radiation.events import SelEvent, SeuEvent
 from ..radiation.injector import CampaignConfig, FaultInjectionCampaign
 from ..radiation.sel import LatchupInjector
 from ..radiation.thermal import ThermalModel
+from ..recovery import (
+    DegradationPolicy,
+    PolicyConfig,
+    RecoverySupervisor,
+    SupervisorConfig,
+)
 from ..sim.machine import Machine
 from ..sim.psu import OcpConfig, OvercurrentProtection
 from ..sim.telemetry import CurrentStep, TelemetryConfig, TraceGenerator
@@ -47,6 +53,13 @@ class MissionConfig:
     #: PSU overcurrent breaker: present on most spacecraft EPS (§3.1),
     #: it clears classic amp-class SELs regardless of ILD.
     ocp: "OcpConfig | None" = OcpConfig()
+    #: Route every SEL alarm through a :class:`RecoverySupervisor`
+    #: (checkpoint → power cycle with retry → rollback → replay) and
+    #: run the degradation policy. Off by default: the unsupervised
+    #: path is the paper's bare trip-and-power-cycle response.
+    supervised: bool = False
+    supervisor: "SupervisorConfig | None" = None
+    policy: "PolicyConfig | None" = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -66,6 +79,14 @@ class MissionReport:
     power_cycles: int = 0
     workload_runs: int = 0
     silent_corruptions: int = 0
+    #: Supervised recoveries completed (alarm → ... → replay).
+    recoveries: int = 0
+    #: Replays of in-flight work that verified against golden outputs.
+    replays_ok: int = 0
+    #: Degradation-policy level changes during the mission.
+    level_changes: int = 0
+    #: Protection level at end of mission ("" when unsupervised).
+    final_level: str = ""
     #: Flight event log (EVRs) of the mission's protection actions.
     events: "tuple" = ()
 
@@ -90,8 +111,14 @@ class MissionReport:
             f"workload runs {self.workload_runs}; "
             f"silent corruptions {self.silent_corruptions}",
             f"flight events (EVRs): {len(self.events)}",
-            self.dataset.summary(),
         ]
+        if self.config.supervised:
+            lines.append(
+                f"supervised recoveries {self.recoveries} "
+                f"(replays ok {self.replays_ok}); level changes "
+                f"{self.level_changes}; final level {self.final_level}"
+            )
+        lines.append(self.dataset.summary())
         return "\n".join(lines)
 
 
@@ -133,6 +160,23 @@ class MissionSimulator:
             detector = train_ild(
                 ground, max_instruction_rate=generator.max_instruction_rate
             )
+        supervisor = None
+        policy = None
+        if cfg.supervised:
+            policy = DegradationPolicy(
+                cfg.policy or PolicyConfig(), eventlog=eventlog
+            )
+            supervisor = RecoverySupervisor(
+                machine,
+                detector=detector,
+                eventlog=eventlog,
+                config=cfg.supervisor or SupervisorConfig(),
+                policy=policy,
+            )
+            supervisor.register_inflight(
+                "flight-workload", self._make_replay(policy)
+            )
+
         pending_sels = list(sel_events)
         pending_seus = list(seu_events)
 
@@ -140,12 +184,17 @@ class MissionSimulator:
         while elapsed < duration and report.survived:
             chunk = min(cfg.chunk_seconds, duration - elapsed)
             elapsed_end = elapsed + chunk
+            if supervisor is not None:
+                # The chunk's known-good state: rollback target for any
+                # alarm raised while this chunk's work is in flight.
+                supervisor.checkpoint()
             # Latchups striking within this chunk.
             chunk_sels = [e for e in pending_sels if elapsed <= e.time < elapsed_end]
             pending_sels = [e for e in pending_sels if e.time >= elapsed_end]
             self._run_telemetry_chunk(
                 machine, injector, thermal, generator, detector,
                 chunk, elapsed, chunk_sels, rng, report, eventlog,
+                supervisor=supervisor,
             )
             if not report.survived:
                 break
@@ -153,17 +202,65 @@ class MissionSimulator:
             chunk_seus = [e for e in pending_seus if elapsed <= e.time < elapsed_end]
             pending_seus = [e for e in pending_seus if e.time >= elapsed_end]
             for seu in chunk_seus:
-                self._handle_seu(seu, rng, report, eventlog)
+                self._handle_seu(seu, rng, report, eventlog, policy)
+            if policy is not None:
+                change = policy.update(elapsed_end)
+                if change is not None and detector is not None:
+                    detector.reconfigure(change.to_level.ild)
             elapsed = elapsed_end
         report.mission_seconds = elapsed
         report.power_cycles = machine.power_cycles
+        if supervisor is not None:
+            report.recoveries = sum(
+                1 for o in supervisor.outcomes if o.recovered
+            )
+            report.replays_ok = sum(
+                1 for o in supervisor.outcomes if o.replay_ok
+            )
+        if policy is not None:
+            report.level_changes = len(policy.changes)
+            report.final_level = policy.level.name
         report.events = eventlog.events()
         return report
+
+    # ------------------------------------------------------------------
+    def _make_replay(self, policy):
+        """Build the in-flight-work replay the supervisor runs after a
+        recovery: the flight workload under EMR on the recovered
+        machine, verified against golden outputs. Configuration tracks
+        the degradation policy's *current* level at replay time."""
+        from ..core.emr.runtime import EmrConfig, EmrRuntime
+
+        cfg = self.config
+        workload = self.workload_factory()
+        spec = workload.build(np.random.default_rng(cfg.seed + 3))
+        golden = workload.reference_outputs(spec)
+
+        def replay(machine) -> bool:
+            if policy is not None:
+                level = policy.level
+                emr_config = EmrConfig(
+                    replication_threshold=level.replication_threshold,
+                    n_executors=level.n_executors,
+                    raise_on_inconclusive=False,
+                )
+            else:
+                emr_config = EmrConfig(
+                    replication_threshold=cfg.emr_threshold,
+                    raise_on_inconclusive=False,
+                )
+            result = EmrRuntime(machine, workload, config=emr_config).run(
+                spec=spec
+            )
+            return result.matches(golden)
+
+        return replay
 
     # ------------------------------------------------------------------
     def _run_telemetry_chunk(
         self, machine, injector, thermal, generator, detector,
         chunk_seconds, chunk_start, chunk_sels, rng, report, eventlog,
+        supervisor=None,
     ) -> None:
         cfg = self.config
         # Latch events at their onset times (current steps local to chunk).
@@ -180,17 +277,21 @@ class MissionSimulator:
             if ocp is not None and ocp.would_trip_on(event.delta_amps, max_load):
                 # A classic amp-class SEL: the EPS breaker catches it at
                 # the next compute burst, no software needed.
-                downtime = machine.power_cycle()
-                report.downtime_seconds += downtime
                 eventlog.log(
                     "sel.trip", "EPS overcurrent breaker tripped",
                     severity=EvrSeverity.WARNING_HI, time=event.time,
                     delta_amps=round(event.delta_amps, 3), by="psu-ocp",
                 )
-                eventlog.log(
-                    "sel.power_cycle", "breaker power cycle cleared latchup",
-                    severity=EvrSeverity.WARNING_HI, time=event.time,
-                )
+                if supervisor is not None:
+                    outcome = supervisor.handle_alarm(event.time)
+                    report.downtime_seconds += outcome.downtime_seconds
+                else:
+                    downtime = machine.power_cycle()
+                    report.downtime_seconds += downtime
+                    eventlog.log(
+                        "sel.power_cycle", "breaker power cycle cleared latchup",
+                        severity=EvrSeverity.WARNING_HI, time=event.time,
+                    )
                 report.dataset.add(
                     AnomalyRecord(
                         mission_time_s=event.time,
@@ -225,19 +326,23 @@ class MissionSimulator:
             if alarm_times and alarm_times[0] < deadline:
                 detection_time = alarm_times[0]
                 machine.clock.advance_to(detection_time)
-                downtime = machine.power_cycle()
-                report.downtime_seconds += downtime
-                if detector is not None:
-                    detector.reset()
                 eventlog.log(
                     "sel.trip", "ILD residual persisted over threshold",
                     severity=EvrSeverity.WARNING_HI, time=detection_time,
                     latency_s=round(detection_time - onset, 3), by="ild",
                 )
-                eventlog.log(
-                    "sel.power_cycle", "commanded power cycle cleared latchup",
-                    severity=EvrSeverity.WARNING_HI, time=detection_time,
-                )
+                if supervisor is not None:
+                    outcome = supervisor.handle_alarm(detection_time)
+                    report.downtime_seconds += outcome.downtime_seconds
+                else:
+                    downtime = machine.power_cycle()
+                    report.downtime_seconds += downtime
+                    if detector is not None:
+                        detector.reset()
+                    eventlog.log(
+                        "sel.power_cycle", "commanded power cycle cleared latchup",
+                        severity=EvrSeverity.WARNING_HI, time=detection_time,
+                    )
                 for event in list(injector.history):
                     if event.time <= detection_time and not any(
                         r.detail == _sel_detail(event) for r in report.dataset
@@ -282,17 +387,25 @@ class MissionSimulator:
         machine.clock.advance_to(chunk_start + chunk_seconds)
 
     # ------------------------------------------------------------------
-    def _handle_seu(self, seu: SeuEvent, rng, report: MissionReport, eventlog) -> None:
+    def _handle_seu(self, seu: SeuEvent, rng, report: MissionReport, eventlog,
+                    policy=None) -> None:
         """Evaluate one upset by running the flight workload with that
         strike injected, under the mission's protection scheme."""
         cfg = self.config
         workload = self.workload_factory()
+        threshold = cfg.emr_threshold
+        n_executors = 3
+        if policy is not None:
+            # The degradation policy's current level sets EMR strength.
+            threshold = policy.level.replication_threshold
+            n_executors = policy.level.n_executors
         campaign = FaultInjectionCampaign(
             workload,
             CampaignConfig(
                 runs_per_scheme=1,
                 bits=seu.bits,
-                replication_threshold=cfg.emr_threshold,
+                replication_threshold=threshold,
+                n_executors=n_executors,
                 weights={seu.target: 1.0},
             ),
             seed=int(seu.time) % (2**31),
@@ -313,6 +426,10 @@ class MissionSimulator:
             action = "reboot"
         elif outcome_class is OutcomeClass.SDC:
             report.silent_corruptions += 1
+        if policy is not None and outcome_class in (
+            OutcomeClass.CORRECTED, OutcomeClass.ERROR
+        ):
+            policy.observe_fault(seu.time)
         severity = {
             OutcomeClass.NO_EFFECT: EvrSeverity.DIAGNOSTIC,
             OutcomeClass.CORRECTED: EvrSeverity.WARNING_LO,

@@ -31,7 +31,14 @@ DETECTION_NAMES = frozenset({
     "ild.detection",
     "checksum.mismatch",
 })
-RECOVERY_NAMES = frozenset({"sel.power_cycle", "checksum.refetch"})
+RECOVERY_NAMES = frozenset({
+    "sel.power_cycle",
+    "checksum.refetch",
+    "watchdog.reboot",
+    "recovery.rollback",
+    "recovery.replay",
+    "emr.degrade",
+})
 
 _STAGE_GLYPH = {
     "injection": "⚡ inject",

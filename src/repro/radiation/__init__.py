@@ -19,6 +19,12 @@ from .environment import (
     SEA_LEVEL,
     RadiationEnvironment,
 )
+from .control_plane import (
+    VoteBufferStrikeHooks,
+    flip_float64,
+    strike_eventlog,
+    strike_ild_filter,
+)
 from .events import OutcomeClass, SelEvent, SeuEvent, SeuTarget
 from .sel import ActiveLatchup, LatchupInjector
 from .seu import (
@@ -58,7 +64,11 @@ __all__ = [
     "SeuTarget",
     "ThermalModel",
     "ThermalParams",
+    "VoteBufferStrikeHooks",
     "corrupt_bytes",
+    "flip_float64",
+    "strike_eventlog",
+    "strike_ild_filter",
     "flip_dram",
     "flip_l1",
     "flip_l2",

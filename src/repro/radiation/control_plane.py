@@ -1,0 +1,117 @@
+"""Strikes on the protection stack's *own* state (the control plane).
+
+The injection campaigns in :mod:`repro.radiation.injector` strike the
+protected workload — its inputs, outputs, pointers, pipelines. But the
+protection mechanisms are software too: ILD keeps a few words of
+filter state, the EMR orchestrator holds replica outputs in a vote
+buffer, the flight event log is a ring of records in DRAM. A particle
+does not respect the module boundary. The chaos harness uses the
+helpers here to land SEUs *inside* the mechanisms and then asserts
+the stack degrades gracefully: corrupted filter state is scrubbed or
+at worst costs one detection window, a struck vote buffer is out-voted
+or flagged inconclusive (never silently committed), and a struck event
+log stays renderable.
+
+Everything takes a :class:`numpy.random.Generator` so chaos scenarios
+stay deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .seu import corrupt_bytes
+
+
+def flip_float64(value: float, bit: int) -> float:
+    """Flip one bit of a float64's IEEE-754 representation."""
+    raw = bytearray(np.float64(value).tobytes())
+    raw[(bit // 8) % 8] ^= 1 << (bit % 8)
+    return float(np.frombuffer(bytes(raw), dtype=np.float64)[0])
+
+
+def strike_ild_filter(detector, rng: np.random.Generator) -> str:
+    """Land an SEU in the ILD detector's streaming filter state.
+
+    Targets the residual tail carried across chunk boundaries (the
+    densest state the detector owns); with no tail resident, flips the
+    cross-chunk alarm latch instead. Returns a description for the
+    chaos report. The detector's ``_scrub_state`` self-protection
+    catches the wild corruptions; the subtle ones cost at most one
+    persistence window of history — the invariant the harness checks
+    is *no crash and no permanent loss of detection*, not perfection.
+    """
+    state = detector.stream_state
+    tail = state.residual_tail
+    if isinstance(tail, np.ndarray) and len(tail):
+        index = int(rng.integers(len(tail)))
+        bit = int(rng.integers(64))
+        tail = tail.copy()  # slices may share storage with trace arrays
+        tail[index] = flip_float64(float(tail[index]), bit)
+        state.residual_tail = tail
+        return f"ild residual_tail[{index}] bit {bit}"
+    state.in_alarm = not state.in_alarm
+    return "ild in_alarm latch flipped"
+
+
+class VoteBufferStrikeHooks:
+    """EMR hooks that corrupt one vote-buffer entry at one vote.
+
+    Duck-types :class:`repro.core.emr.runtime.EmrHooks` (subclassing
+    would import EMR from radiation and close an import cycle). The
+    strike lands between the orchestrator refreshing replica outputs
+    and the vote — the narrow window where corruption can no longer be
+    blamed on the replicas themselves.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        strike_ordinal: int = 0,
+        bits: int = 1,
+    ) -> None:
+        self.rng = rng
+        self.strike_ordinal = int(strike_ordinal)
+        self.bits = int(bits)
+        self._votes_seen = 0
+        #: Descriptions of strikes actually applied.
+        self.struck: "list[str]" = []
+
+    # -- EmrHooks interface -------------------------------------------
+    def before_job(self, runtime, job) -> None:
+        pass
+
+    def after_job_output(self, runtime, job, output: bytes) -> bytes:
+        return output
+
+    def after_jobset(self, runtime, jobset) -> None:
+        pass
+
+    def before_vote(self, runtime, dataset_index: int, results: "list") -> "list":
+        ordinal = self._votes_seen
+        self._votes_seen += 1
+        if ordinal != self.strike_ordinal:
+            return results
+        candidates = [
+            i for i, result in enumerate(results) if result.output
+        ]
+        if not candidates:
+            return results
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        original = results[victim]
+        corrupted = corrupt_bytes(original.output, self.rng, bits=self.bits)
+        results = list(results)
+        results[victim] = dataclasses.replace(original, output=corrupted)
+        self.struck.append(
+            f"vote buffer ds={dataset_index} exec={original.executor_id}"
+        )
+        return results
+
+
+def strike_eventlog(eventlog, rng: np.random.Generator) -> "str | None":
+    """Land an SEU in the flight event log's ring buffer."""
+    index = int(rng.integers(1 << 30))
+    bit = int(rng.integers(1 << 20))
+    return eventlog.strike(index, bit)

@@ -59,6 +59,10 @@ class CampaignConfig:
     runs_per_scheme: int = 20
     bits: int = 1  # 2 = MBU
     replication_threshold: float = 0.2
+    #: EMR replicas per job for the ``emr`` scheme (the degradation
+    #: policy's economy level drops this to 2). The 3-MR baselines are
+    #: structurally triple and ignore it.
+    n_executors: int = 3
     weights: "dict[SeuTarget, float]" = field(
         default_factory=lambda: dict(DEFAULT_INJECTION_WEIGHTS)
     )
@@ -66,6 +70,8 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.runs_per_scheme < 1 or self.bits < 1:
             raise ConfigurationError("runs_per_scheme and bits must be >= 1")
+        if self.n_executors < 2:
+            raise ConfigurationError("n_executors must be >= 2")
 
 
 @dataclass
@@ -194,13 +200,17 @@ def run_campaign_trial(
     machine = task.machine_factory()
     target = _pick_target(task.config.weights, rng)
     single_pass = task.scheme in ("none", "checksum")
-    n_jobs = len(task.spec.datasets) * (1 if single_pass else 3)
+    n_replicas = 1 if single_pass else (
+        task.config.n_executors if task.scheme == "emr" else 3
+    )
+    n_jobs = len(task.spec.datasets) * n_replicas
     hooks = _InjectionHooks(
         machine, target, int(rng.integers(0, n_jobs)),
         task.config.bits, rng, obs=obs,
     )
     emr_config = EmrConfig(
         replication_threshold=task.config.replication_threshold,
+        n_executors=task.config.n_executors if task.scheme == "emr" else 3,
         raise_on_inconclusive=True,
     )
     result: "RunResult | None" = None
@@ -368,22 +378,27 @@ class FaultInjectionCampaign:
     ) -> Campaign:
         """This injection campaign as a declarative ``repro.campaign``
         grid — the unit the engine fingerprints, runs, and resumes."""
+        context = {
+            "workload": workload_identity(self.workload),
+            "machine_factory": _factory_id(self.machine_factory),
+            "runs_per_scheme": self.config.runs_per_scheme,
+            "bits": self.config.bits,
+            "replication_threshold": self.config.replication_threshold,
+            "weights": {
+                target.value: weight
+                for target, weight in self.config.weights.items()
+            },
+        }
+        # Only a non-default replication level enters the fingerprint:
+        # stores written before the knob existed stay resumable.
+        if self.config.n_executors != 3:
+            context["n_executors"] = self.config.n_executors
         return Campaign(
             name=f"fault-injection:{self.workload.name}",
             trial_fn=run_campaign_trial,
             trials=self.trials(schemes),
             seed=self.seed,
-            context={
-                "workload": workload_identity(self.workload),
-                "machine_factory": _factory_id(self.machine_factory),
-                "runs_per_scheme": self.config.runs_per_scheme,
-                "bits": self.config.bits,
-                "replication_threshold": self.config.replication_threshold,
-                "weights": {
-                    target.value: weight
-                    for target, weight in self.config.weights.items()
-                },
-            },
+            context=context,
             encode=encode_outcome,
             decode=decode_outcome,
         )

@@ -1,0 +1,35 @@
+"""Recovery orchestration: supervised SEL response, watchdog deadlines
+and the degradation policy that adapts protection strength in flight.
+
+See ``docs/recovery.md`` for the operator story.
+"""
+
+from .policy import (
+    ECONOMY,
+    HARDENED,
+    LEVELS,
+    STANDARD,
+    DegradationPolicy,
+    LevelChange,
+    PolicyConfig,
+    ProtectionLevel,
+    level_named,
+)
+from .supervisor import RecoveryOutcome, RecoverySupervisor, SupervisorConfig
+from .watchdog import Watchdog
+
+__all__ = [
+    "ECONOMY",
+    "HARDENED",
+    "LEVELS",
+    "STANDARD",
+    "DegradationPolicy",
+    "LevelChange",
+    "PolicyConfig",
+    "ProtectionLevel",
+    "RecoveryOutcome",
+    "RecoverySupervisor",
+    "SupervisorConfig",
+    "Watchdog",
+    "level_named",
+]

@@ -1,0 +1,268 @@
+"""Degradation policy: adapt protection strength to the environment.
+
+Radshield's mechanisms have dials — EMR's replication level and
+acceptance threshold, ILD's residual threshold and persistence — and
+the paper's deployments pick them once, on the ground. A long mission
+cannot: solar particle events raise the flux for days, power budgets
+shrink as panels degrade, and a fixed configuration is either wasteful
+in quiet cruise or porous in a storm. The policy engine closes that
+loop. It watches the protection stack's own signals (ILD alarms, EMR
+vote corrections and detected faults) and walks the machine up and
+down a ladder of :class:`ProtectionLevel` presets, logging every move
+as an ``emr.degrade`` EVR so the flight log shows *when* and *why*
+the replication level changed.
+
+Escalation is eager (one sustained-signal window is enough) and
+de-escalation is lazy (a long quiet period plus a cooldown), the usual
+asymmetry for protection systems: the cost of being over-protected is
+watts, the cost of being under-protected is the mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ild.detector import IldConfig
+from ..errors import ConfigurationError
+from ..flightsw.eventlog import EvrSeverity
+from ..obs import NULL_OBS
+
+
+@dataclass(frozen=True)
+class ProtectionLevel:
+    """One rung of the protection ladder: a coherent EMR + ILD preset."""
+
+    name: str
+    #: EMR replicas per job (2 = detect-only pair, 3 = full vote).
+    n_executors: int
+    #: EMR acceptance threshold (fraction of replica disagreement).
+    replication_threshold: float
+    #: ILD deployment parameters at this level.
+    ild: IldConfig
+    #: Rough current cost of running protected at this level (amps),
+    #: used when a power budget caps the ladder.
+    current_cost_amps: float
+
+    def __post_init__(self) -> None:
+        if self.n_executors < 2:
+            raise ConfigurationError("a protection level needs >= 2 executors")
+
+
+#: Minimum protection: two replicas (disagreement detects but cannot
+#: out-vote), relaxed ILD. For quiet cruise under a tight power budget.
+ECONOMY = ProtectionLevel(
+    name="economy",
+    n_executors=2,
+    replication_threshold=0.5,
+    ild=IldConfig(residual_threshold_amps=0.075, persistence_seconds=4.0),
+    current_cost_amps=0.50,
+)
+
+#: The paper's deployed configuration: triple replication, Table-1 ILD.
+STANDARD = ProtectionLevel(
+    name="standard",
+    n_executors=3,
+    replication_threshold=0.2,
+    ild=IldConfig(),
+    current_cost_amps=0.68,
+)
+
+#: Storm configuration: triple replication with a strict acceptance
+#: threshold and a hair-trigger ILD.
+HARDENED = ProtectionLevel(
+    name="hardened",
+    n_executors=3,
+    replication_threshold=0.05,
+    ild=IldConfig(residual_threshold_amps=0.045, persistence_seconds=2.0),
+    current_cost_amps=0.72,
+)
+
+#: The ladder, weakest to strongest.
+LEVELS: "tuple[ProtectionLevel, ...]" = (ECONOMY, STANDARD, HARDENED)
+
+
+def level_named(name: str) -> ProtectionLevel:
+    for level in LEVELS:
+        if level.name == name:
+            return level
+    raise ConfigurationError(
+        f"unknown protection level {name!r}; "
+        f"choose from {[lvl.name for lvl in LEVELS]}"
+    )
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Escalation/de-escalation tuning."""
+
+    #: Signals are counted over this sliding window.
+    window_seconds: float = 3600.0
+    #: ILD alarms within the window that trigger escalation.
+    escalate_alarms: int = 2
+    #: EMR corrections + detected faults within the window that
+    #: trigger escalation.
+    escalate_faults: int = 3
+    #: Quiet time (no signals) before stepping back down one level.
+    deescalate_quiet_seconds: float = 4 * 3600.0
+    #: Minimum spacing between any two level changes.
+    cooldown_seconds: float = 600.0
+    #: Optional current budget (amps); levels whose
+    #: ``current_cost_amps`` exceeds it are unreachable, and the
+    #: policy steps down if the current level breaks the budget.
+    power_budget_amps: "float | None" = None
+    start_level: str = "standard"
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0 or self.cooldown_seconds < 0:
+            raise ConfigurationError("policy windows must be positive")
+        if self.escalate_alarms < 1 or self.escalate_faults < 1:
+            raise ConfigurationError("escalation counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class LevelChange:
+    """One policy decision, as reported to callers and the event log."""
+
+    time: float
+    from_level: ProtectionLevel
+    to_level: ProtectionLevel
+    reason: str
+
+
+@dataclass
+class _Signals:
+    alarms: "list[float]" = field(default_factory=list)
+    faults: "list[float]" = field(default_factory=list)
+    last_signal_time: float = float("-inf")
+
+
+class DegradationPolicy:
+    """Walks the protection ladder in response to observed signals.
+
+    Callers feed it :meth:`observe_alarm` / :meth:`observe_fault` as
+    incidents happen and call :meth:`update` at decision points (the
+    mission simulator does so once per telemetry chunk). ``update``
+    returns the :class:`LevelChange` if one was made, else ``None``.
+    """
+
+    def __init__(
+        self,
+        config: "PolicyConfig | None" = None,
+        eventlog=None,
+        obs=None,
+    ) -> None:
+        self.config = config or PolicyConfig()
+        self.eventlog = eventlog
+        self.obs = obs if obs is not None else NULL_OBS
+        self._index = LEVELS.index(level_named(self.config.start_level))
+        if not self._affordable(self._index):
+            raise ConfigurationError(
+                f"start level {self.config.start_level!r} exceeds the "
+                f"power budget of {self.config.power_budget_amps} A"
+            )
+        self._signals = _Signals()
+        self._last_change_time = float("-inf")
+        self.changes: "list[LevelChange]" = []
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> ProtectionLevel:
+        return LEVELS[self._index]
+
+    def observe_alarm(self, time: float) -> None:
+        """An ILD alarm (an SEL trip) at ``time``."""
+        self._signals.alarms.append(float(time))
+        self._signals.last_signal_time = max(
+            self._signals.last_signal_time, float(time)
+        )
+
+    def observe_fault(self, time: float) -> None:
+        """An EMR vote correction or detected replica fault at ``time``."""
+        self._signals.faults.append(float(time))
+        self._signals.last_signal_time = max(
+            self._signals.last_signal_time, float(time)
+        )
+
+    # ------------------------------------------------------------------
+    def _affordable(self, index: int) -> bool:
+        budget = self.config.power_budget_amps
+        return budget is None or LEVELS[index].current_cost_amps <= budget
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.window_seconds
+        self._signals.alarms = [t for t in self._signals.alarms if t >= horizon]
+        self._signals.faults = [t for t in self._signals.faults if t >= horizon]
+
+    def _decide(self, now: float) -> "tuple[int, str] | None":
+        """The target index and reason, or ``None`` to hold."""
+        if not self._affordable(self._index):
+            return self._index - 1, "power budget exceeded"
+        alarms = len(self._signals.alarms)
+        faults = len(self._signals.faults)
+        if alarms >= self.config.escalate_alarms:
+            return self._index + 1, f"{alarms} ILD alarms in window"
+        if faults >= self.config.escalate_faults:
+            return self._index + 1, f"{faults} EMR faults in window"
+        quiet = now - self._signals.last_signal_time
+        if quiet >= self.config.deescalate_quiet_seconds:
+            return self._index - 1, f"quiet for {quiet:.0f}s"
+        return None
+
+    def update(self, now: float) -> "LevelChange | None":
+        """Evaluate the signals and move at most one rung."""
+        if self._signals.last_signal_time == float("-inf"):
+            # First decision point anchors the quiet clock: the policy
+            # cannot claim "quiet since forever" before it has watched
+            # anything at all.
+            self._signals.last_signal_time = float(now)
+            return None
+        self._prune(now)
+        if now - self._last_change_time < self.config.cooldown_seconds:
+            return None
+        decision = self._decide(now)
+        if decision is None:
+            return None
+        target, reason = decision
+        target = max(0, min(target, len(LEVELS) - 1))
+        while target > self._index and not self._affordable(target):
+            target -= 1
+        if target == self._index:
+            return None
+        change = LevelChange(
+            time=float(now),
+            from_level=LEVELS[self._index],
+            to_level=LEVELS[target],
+            reason=reason,
+        )
+        self._index = target
+        self._last_change_time = float(now)
+        # Escalation consumes the signals that caused it; a fresh
+        # window must fill before the next move. De-escalation keeps
+        # the (empty-by-definition) history.
+        self._signals = _Signals()
+        self._signals.last_signal_time = float(now)
+        self.changes.append(change)
+        direction = (
+            "escalate"
+            if LEVELS.index(change.to_level) > LEVELS.index(change.from_level)
+            else "de-escalate"
+        )
+        if self.eventlog is not None:
+            self.eventlog.log(
+                "emr.degrade",
+                f"{direction} {change.from_level.name} -> "
+                f"{change.to_level.name}: {reason}",
+                EvrSeverity.WARNING_LO,
+                time=now,
+                from_level=change.from_level.name,
+                to_level=change.to_level.name,
+                n_executors=change.to_level.n_executors,
+            )
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "emr.degrade", t=float(now),
+                from_level=change.from_level.name,
+                to_level=change.to_level.name,
+            )
+            self.obs.metrics.counter("policy.level_changes").inc()
+        return change

@@ -1,0 +1,115 @@
+"""Deadline watchdog for protected work.
+
+Real flight computers pair every critical task with a hardware
+watchdog: the task must strobe ("kick") the timer before it expires,
+or the board is forcibly restarted on the assumption that the software
+is wedged — exactly the failure mode an SEU in control-flow state
+produces. The simulator's analog is clock-based: protected work runs
+under :meth:`Watchdog.guard`, and if the simulated clock has run past
+the deadline when the guard closes (or whenever :meth:`check` is
+called), the watchdog *bites* — it reboots the machine and logs a
+``watchdog.reboot`` EVR, which the incident summarizer classifies as a
+recovery action.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import ConfigurationError
+from ..flightsw.eventlog import EvrSeverity
+from ..obs import NULL_OBS
+
+
+class Watchdog:
+    """Clock-deadline watchdog bound to one machine.
+
+    The simulation is not preemptive, so expiry is detected at check
+    points rather than asynchronously: the deadline is an absolute
+    simulated time, and :meth:`check` (called explicitly, or by the
+    ``guard`` context manager on exit) fires the reboot if the clock
+    has passed it. That models a hardware watchdog that bit *during*
+    the overlong run — the downtime lands where the hardware would
+    have put it.
+    """
+
+    def __init__(self, machine, eventlog=None, obs=None) -> None:
+        self.machine = machine
+        self.eventlog = eventlog
+        self.obs = obs if obs is not None else NULL_OBS
+        self._deadline: "float | None" = None
+        self._timeout: "float | None" = None
+        #: Times the watchdog bit (forced a reboot).
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> "float | None":
+        """Absolute simulated time the watchdog bites at, if armed."""
+        return self._deadline
+
+    def arm(self, timeout_seconds: float) -> None:
+        """Start (or restart) the countdown from the current time."""
+        if timeout_seconds <= 0:
+            raise ConfigurationError("watchdog timeout must be positive")
+        self._timeout = float(timeout_seconds)
+        self._deadline = self.machine.clock.now + self._timeout
+
+    def kick(self) -> None:
+        """Strobe: push the deadline out by the armed timeout."""
+        if self._timeout is None:
+            raise ConfigurationError("cannot kick a watchdog that was never armed")
+        self._deadline = self.machine.clock.now + self._timeout
+
+    def disarm(self) -> None:
+        self._deadline = None
+
+    # ------------------------------------------------------------------
+    @property
+    def expired(self) -> bool:
+        return self._deadline is not None and self.machine.clock.now > self._deadline
+
+    def check(self) -> bool:
+        """Fire if expired. Returns True when a forced reboot happened."""
+        if not self.expired:
+            return False
+        overrun = self.machine.clock.now - self._deadline
+        self.expirations += 1
+        self._deadline = None
+        self.machine.reboot()
+        if self.eventlog is not None:
+            self.eventlog.log(
+                "watchdog.reboot",
+                f"deadline missed by {overrun:.3f}s; forced reboot",
+                EvrSeverity.WARNING_HI,
+                time=self.machine.clock.now,
+                overrun_s=round(overrun, 6),
+            )
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "watchdog.reboot", t=self.machine.clock.now,
+                overrun_s=float(overrun),
+            )
+            self.obs.metrics.counter("watchdog.expirations").inc()
+        return True
+
+    @contextmanager
+    def guard(self, timeout_seconds: float):
+        """Run a block under a deadline; bite on exit if it overran.
+
+        The guarded block may call :meth:`kick` to extend its budget
+        and :meth:`check` at convenient cancellation points. The guard
+        always performs a final check before disarming — even when the
+        block raised, because a wedged-then-crashed task still left
+        the board needing its watchdog restart.
+        """
+        self.arm(timeout_seconds)
+        try:
+            yield self
+        finally:
+            self.check()
+            self.disarm()

@@ -161,6 +161,7 @@ class Machine:
         self.reboots = 0
         self.power_cycles = 0
         self._power_cycle_hooks: list = []
+        self._reboot_hooks: list = []
         self._attached: "dict[str, object]" = {}
         self.clock.on_reset(self._pending_state)
 
@@ -307,6 +308,37 @@ class Machine:
         """Register a callable invoked (with this machine) on power cycle."""
         self._power_cycle_hooks.append(hook)
 
+    def on_reboot(self, hook) -> None:
+        """Register a callable invoked (with this machine) on every
+        reboot — including the one inside a power cycle. Watchdogs and
+        supervisors observe restarts through this."""
+        self._reboot_hooks.append(hook)
+
+    @staticmethod
+    def _dispatch_hooks(hooks, machine, what: str) -> None:
+        """Run every hook even if some raise; re-raise afterwards.
+
+        A raising hook must not starve the hooks behind it — on a
+        power cycle those hooks are what reconcile latchup bookkeeping
+        with ``extra_current_draw``, and skipping them would leave the
+        machine drawing phantom current. The first exception is
+        re-raised once all hooks have run (any further ones ride along
+        as a note in the message).
+        """
+        errors: "list[BaseException]" = []
+        for hook in list(hooks):
+            try:
+                hook(machine)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            if len(errors) > 1:
+                raise SimulationError(
+                    f"{len(errors)} {what} hooks failed: "
+                    + "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+                ) from errors[0]
+            raise errors[0]
+
     def reboot(self) -> float:
         """Software restart: caches and latched pipeline faults clear,
         but an active SEL's residual charge — and its current draw —
@@ -318,6 +350,7 @@ class Machine:
             core.freq = self.spec.core_spec.min_freq
         self.clock.advance(self.spec.reboot_seconds)
         self.reboots += 1
+        self._dispatch_hooks(self._reboot_hooks, self, "reboot")
         return self.spec.reboot_seconds
 
     def power_cycle(self) -> float:
@@ -328,8 +361,7 @@ class Machine:
         self.reboots -= 1  # the reboot above was part of the power cycle
         self.clock.advance(max(0.0, downtime))
         self.power_cycles += 1
-        for hook in list(self._power_cycle_hooks):
-            hook(self)
+        self._dispatch_hooks(self._power_cycle_hooks, self, "power-cycle")
         return self.spec.power_cycle_seconds
 
     # ------------------------------------------------------------------

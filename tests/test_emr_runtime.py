@@ -280,6 +280,30 @@ class TestPipelineFaults:
         assert result.had_detected_error
         assert "corrupted" in result.stats.detected_faults[0]
 
+    def test_replica_crash_is_contained(self, workload, spec, golden):
+        """An arbitrary exception in one replica (not a modeled
+        DetectedFaultError — a plain crash) must not abort the run: it
+        becomes a recorded fault the other replicas out-vote."""
+        machine = Machine.rpi_zero2w()
+
+        class CrashOnce(EmrHooks):
+            fired = False
+
+            def before_job(self, runtime, job):
+                if not self.fired and job.dataset_index == 1 and job.executor_id == 2:
+                    self.fired = True
+                    raise RuntimeError("cosmic ray in the scheduler")
+
+        result = EmrRuntime(
+            machine, workload, config=_config(), hooks=CrashOnce()
+        ).run(spec=spec)
+        assert result.matches(golden)
+        assert result.had_detected_error
+        assert any(
+            "replica crash: RuntimeError" in fault
+            for fault in result.stats.detected_faults
+        )
+
     def test_single_run_has_no_protection(self, workload, spec, golden):
         machine = Machine.rpi_zero2w()
 

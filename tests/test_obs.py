@@ -229,6 +229,37 @@ class TestSummarize:
         text = summarize_records(records, max_tasks=2)
         assert "3 more chain(s) elided" in text
 
+    def test_supervised_recovery_names_classify_as_recovery(self):
+        from repro.obs.summarize import RECOVERY_NAMES, _stage
+
+        for name in (
+            "watchdog.reboot",
+            "recovery.rollback",
+            "recovery.replay",
+            "emr.degrade",
+            "sel.power_cycle",
+        ):
+            assert name in RECOVERY_NAMES
+            record = TraceRecord(t=0.0, kind="event", name=name)
+            assert _stage(record) == "recovery", name
+
+    def test_supervised_chain_renders_recovery_stages(self):
+        records = [
+            TraceRecord(t=0.0, kind="event", name="inject.sel",
+                        attrs={"delta_amps": 0.1}, task=0),
+            TraceRecord(t=2.0, kind="event", name="ild.detection",
+                        attrs={}, task=0),
+            TraceRecord(t=3.0, kind="event", name="sel.power_cycle",
+                        attrs={"attempt": 1}, task=0),
+            TraceRecord(t=4.0, kind="event", name="recovery.rollback",
+                        attrs={}, task=0),
+            TraceRecord(t=5.0, kind="event", name="recovery.replay",
+                        attrs={"ok": True}, task=0),
+        ]
+        assert has_incident_chain(records)
+        text = summarize_records(records)
+        assert "! detect" in text and "✓ recover" in text
+
 
 def _traced_task(item, rng, tracer):
     """Toy traced task: deterministic function of (item, rng stream)."""

@@ -211,6 +211,48 @@ class TestMemoryProperties:
         assert memory.read_region(region) == payload
 
 
+class TestSupervisedRecoveryProperty:
+    """S4: for *any* latchup schedule, the supervised power-cycle
+    response restores baseline current and empties the injector."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.05, max_value=0.5, allow_nan=False),
+                st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_latchup_schedule_is_recovered(self, schedule, batch):
+        from repro.radiation.sel import LatchupInjector
+        from repro.recovery import RecoverySupervisor, SupervisorConfig
+
+        machine = Machine(seed=0)
+        injector = LatchupInjector(machine)
+        supervisor = RecoverySupervisor(
+            machine, config=SupervisorConfig(retry_backoff_seconds=1.0)
+        )
+        pending = list(schedule)
+        while pending:
+            # Latch up to `batch` overlapping shorts, gaps apart...
+            for delta, gap in pending[:batch]:
+                machine.clock.advance(gap)
+                injector.induce_delta(delta)
+            pending = pending[batch:]
+            assert machine.extra_current_draw > 0
+            # ...then run the supervised response for the alarm.
+            outcome = supervisor.handle_alarm()
+            assert outcome.recovered
+            assert machine.extra_current_draw == 0.0
+            assert not injector.any_active
+            assert injector.total_extra_current == 0.0
+        assert injector.cleared_count == len(schedule)
+
+
 class TestFilterProperties:
     @given(
         st.lists(

@@ -1,0 +1,412 @@
+"""Tests for the recovery orchestration layer: watchdog, degradation
+policy, supervisor, plus the crash-safety seams it leans on (machine
+hook dispatch, ILD state scrubbing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ild import IldConfig, train_ild
+from repro.errors import (
+    ConfigurationError,
+    DetectedFaultError,
+    RecoveryFailedError,
+    SimulationError,
+)
+from repro.flightsw.eventlog import EventLog
+from repro.radiation.sel import LatchupInjector
+from repro.recovery import (
+    ECONOMY,
+    HARDENED,
+    LEVELS,
+    STANDARD,
+    DegradationPolicy,
+    PolicyConfig,
+    RecoverySupervisor,
+    SupervisorConfig,
+    Watchdog,
+    level_named,
+)
+from repro.sim import Machine
+from repro.sim.telemetry import TelemetryConfig, TraceGenerator
+from repro.workloads.navigation import navigation_schedule
+
+
+def _event_names(eventlog):
+    return [event.name for event in eventlog.events()]
+
+
+class TestWatchdog:
+    def test_arm_requires_positive_timeout(self):
+        watchdog = Watchdog(Machine.rpi_zero2w(seed=0))
+        with pytest.raises(ConfigurationError):
+            watchdog.arm(0.0)
+
+    def test_kick_before_arm_raises(self):
+        watchdog = Watchdog(Machine.rpi_zero2w(seed=0))
+        with pytest.raises(ConfigurationError):
+            watchdog.kick()
+
+    def test_kick_extends_deadline(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        watchdog = Watchdog(machine)
+        watchdog.arm(10.0)
+        machine.clock.advance(8.0)
+        watchdog.kick()
+        machine.clock.advance(8.0)  # 16s total, but kicked at 8s
+        assert not watchdog.expired
+        assert not watchdog.check()
+        assert watchdog.expirations == 0
+
+    def test_expiry_forces_reboot_and_logs(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        eventlog = EventLog()
+        watchdog = Watchdog(machine, eventlog)
+        watchdog.arm(5.0)
+        machine.clock.advance(6.0)
+        reboots_before = machine.reboots
+        assert watchdog.check()
+        assert machine.reboots == reboots_before + 1
+        assert watchdog.expirations == 1
+        assert not watchdog.armed  # one bite per arming
+        assert "watchdog.reboot" in _event_names(eventlog)
+
+    def test_guard_bites_on_overrun(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        watchdog = Watchdog(machine)
+        with watchdog.guard(5.0):
+            machine.clock.advance(20.0)
+        assert watchdog.expirations == 1
+        assert not watchdog.armed
+
+    def test_guard_bites_even_when_block_raises(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        watchdog = Watchdog(machine)
+        with pytest.raises(ValueError):
+            with watchdog.guard(5.0):
+                machine.clock.advance(20.0)
+                raise ValueError("wedged then crashed")
+        assert watchdog.expirations == 1
+
+    def test_guard_quiet_when_on_time(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        watchdog = Watchdog(machine)
+        with watchdog.guard(5.0):
+            machine.clock.advance(1.0)
+        assert watchdog.expirations == 0
+
+
+class TestProtectionLadder:
+    def test_ladder_ordering(self):
+        assert LEVELS == (ECONOMY, STANDARD, HARDENED)
+        assert ECONOMY.n_executors == 2
+        assert STANDARD.ild == IldConfig()
+        costs = [level.current_cost_amps for level in LEVELS]
+        assert costs == sorted(costs)
+
+    def test_level_named(self):
+        assert level_named("hardened") is HARDENED
+        with pytest.raises(ConfigurationError):
+            level_named("paranoid")
+
+
+class TestDegradationPolicy:
+    def test_first_update_anchors_quiet_clock(self):
+        policy = DegradationPolicy(PolicyConfig(
+            deescalate_quiet_seconds=100.0, cooldown_seconds=0.0,
+        ))
+        # A de-escalation before the policy has watched anything would
+        # be "quiet since forever"; the first decision point only
+        # anchors the clock.
+        assert policy.update(1e6) is None
+        assert policy.level is STANDARD
+
+    def test_alarms_escalate(self):
+        policy = DegradationPolicy(PolicyConfig(
+            escalate_alarms=2, cooldown_seconds=0.0,
+        ))
+        policy.update(0.0)
+        policy.observe_alarm(10.0)
+        assert policy.update(11.0) is None  # one alarm is not a trend
+        policy.observe_alarm(20.0)
+        change = policy.update(21.0)
+        assert change is not None
+        assert change.to_level is HARDENED
+        assert "alarms" in change.reason
+        assert policy.changes == [change]
+
+    def test_faults_escalate(self):
+        policy = DegradationPolicy(PolicyConfig(
+            escalate_faults=3, cooldown_seconds=0.0, start_level="economy",
+        ))
+        policy.update(0.0)
+        for t in (1.0, 2.0, 3.0):
+            policy.observe_fault(t)
+        change = policy.update(4.0)
+        assert change is not None and change.to_level is STANDARD
+
+    def test_cooldown_blocks_back_to_back_moves(self):
+        policy = DegradationPolicy(PolicyConfig(
+            escalate_alarms=1, cooldown_seconds=500.0, start_level="economy",
+        ))
+        policy.update(0.0)
+        policy.observe_alarm(10.0)
+        assert policy.update(11.0).to_level is STANDARD
+        policy.observe_alarm(12.0)
+        assert policy.update(13.0) is None  # inside the cooldown
+        assert policy.update(600.0).to_level is HARDENED
+
+    def test_quiet_deescalates_one_rung(self):
+        policy = DegradationPolicy(PolicyConfig(
+            deescalate_quiet_seconds=100.0, cooldown_seconds=0.0,
+            start_level="hardened",
+        ))
+        policy.update(0.0)
+        change = policy.update(150.0)
+        assert change is not None and change.to_level is STANDARD
+        assert "quiet" in change.reason
+
+    def test_signals_pruned_outside_window(self):
+        policy = DegradationPolicy(PolicyConfig(
+            window_seconds=50.0, escalate_alarms=2, cooldown_seconds=0.0,
+            deescalate_quiet_seconds=1e9,
+        ))
+        policy.update(0.0)
+        policy.observe_alarm(10.0)
+        policy.observe_alarm(100.0)  # the first fell out of the window
+        assert policy.update(101.0) is None
+
+    def test_power_budget_caps_escalation(self):
+        budget = (STANDARD.current_cost_amps + HARDENED.current_cost_amps) / 2
+        policy = DegradationPolicy(PolicyConfig(
+            escalate_alarms=1, cooldown_seconds=0.0,
+            power_budget_amps=budget,
+        ))
+        policy.update(0.0)
+        policy.observe_alarm(10.0)
+        # Hardened is unaffordable and standard is current: no move.
+        assert policy.update(11.0) is None
+        assert policy.level is STANDARD
+
+    def test_unaffordable_start_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(PolicyConfig(
+                start_level="hardened", power_budget_amps=0.6,
+            ))
+
+    def test_level_change_logged_as_emr_degrade(self):
+        eventlog = EventLog()
+        policy = DegradationPolicy(
+            PolicyConfig(escalate_alarms=1, cooldown_seconds=0.0),
+            eventlog=eventlog,
+        )
+        policy.update(0.0)
+        policy.observe_alarm(1.0)
+        policy.update(2.0)
+        degrades = [e for e in eventlog.events() if e.name == "emr.degrade"]
+        assert len(degrades) == 1
+        args = dict(degrades[0].args)
+        assert args["to_level"] == "hardened"
+        assert args["n_executors"] == 3
+
+
+def _supervised(machine, **config):
+    eventlog = EventLog()
+    supervisor = RecoverySupervisor(
+        machine, eventlog=eventlog,
+        config=SupervisorConfig(**config) if config else None,
+    )
+    return supervisor, eventlog
+
+
+class TestRecoverySupervisor:
+    def test_alarm_clears_latchup_and_restores_baseline(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        injector = LatchupInjector(machine)
+        supervisor, eventlog = _supervised(machine)
+        injector.induce_delta(0.12)
+        assert machine.extra_current_draw > 0
+        outcome = supervisor.handle_alarm()
+        assert outcome.recovered
+        assert outcome.power_cycle_attempts == 1
+        assert machine.extra_current_draw == 0.0
+        assert not injector.any_active
+        assert "sel.power_cycle" in _event_names(eventlog)
+
+    def test_rollback_restores_memory_and_storage(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        injector = LatchupInjector(machine)
+        supervisor, eventlog = _supervised(machine)
+        region = machine.memory.alloc(64)
+        machine.memory.write_region(region, b"\x11" * 64)
+        machine.storage.store("state", b"checkpointed")
+        supervisor.checkpoint()
+        machine.memory.write_region(region, b"\xee" * 64)
+        machine.storage.store("state", b"corrupted!!!")
+        injector.induce_delta(0.1)
+        outcome = supervisor.handle_alarm()
+        assert outcome.rolled_back
+        assert machine.memory.read_region(region) == b"\x11" * 64
+        assert machine.storage.read("state").data == b"checkpointed"
+        assert "recovery.rollback" in _event_names(eventlog)
+
+    def test_replay_runs_after_recovery(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        injector = LatchupInjector(machine)
+        supervisor, eventlog = _supervised(machine)
+        supervisor.checkpoint()
+        replays = []
+        supervisor.register_inflight("job", lambda m: replays.append(m) or True)
+        injector.induce_delta(0.1)
+        outcome = supervisor.handle_alarm()
+        assert outcome.replayed and outcome.replay_ok
+        assert replays == [machine]
+        assert "recovery.replay" in _event_names(eventlog)
+
+    def test_replay_fault_retried_then_reported(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        injector = LatchupInjector(machine)
+        supervisor, _ = _supervised(machine, max_replay_attempts=2)
+
+        def bad_replay(m):
+            raise DetectedFaultError("replay struck too")
+
+        supervisor.register_inflight("job", bad_replay)
+        injector.induce_delta(0.1)
+        outcome = supervisor.handle_alarm()
+        assert outcome.recovered and outcome.replayed
+        assert outcome.replay_ok is False
+
+    def test_wedged_replay_trips_the_watchdog(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        injector = LatchupInjector(machine)
+        supervisor, eventlog = _supervised(
+            machine, replay_deadline_seconds=30.0, max_replay_attempts=1,
+        )
+
+        def wedged(m):
+            m.clock.advance(120.0)
+            return False
+
+        supervisor.register_inflight("job", wedged)
+        injector.induce_delta(0.1)
+        supervisor.handle_alarm()
+        assert supervisor.watchdog.expirations == 1
+        assert "watchdog.reboot" in _event_names(eventlog)
+
+    def test_stubborn_latchup_exhausts_attempts_and_raises(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        LatchupInjector(machine)
+        supervisor, eventlog = _supervised(
+            machine, max_power_cycle_attempts=3, retry_backoff_seconds=1.0,
+        )
+        # A welded short the relay cannot interrupt: re-latch on every
+        # power cycle (registered after the injector's clearing hook).
+        machine.on_power_cycle(
+            lambda m: setattr(m, "extra_current_draw", 0.2)
+        )
+        machine.extra_current_draw = 0.2
+        with pytest.raises(RecoveryFailedError):
+            supervisor.handle_alarm()
+        assert supervisor.outcomes[-1].power_cycle_attempts == 3
+        assert not supervisor.outcomes[-1].recovered
+        assert "recovery.failed" in _event_names(eventlog)
+
+    def test_failure_without_raise_returns_outcome(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        supervisor, _ = _supervised(
+            machine, raise_on_failure=False, max_power_cycle_attempts=2,
+            retry_backoff_seconds=1.0,
+        )
+        machine.on_power_cycle(
+            lambda m: setattr(m, "extra_current_draw", 0.15)
+        )
+        machine.extra_current_draw = 0.15
+        outcome = supervisor.handle_alarm()
+        assert not outcome.recovered
+        assert outcome.residual_current_amps == pytest.approx(0.15)
+
+    def test_alarm_feeds_the_policy(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        injector = LatchupInjector(machine)
+        policy = DegradationPolicy(PolicyConfig(
+            escalate_alarms=1, cooldown_seconds=0.0,
+        ))
+        policy.update(0.0)
+        supervisor = RecoverySupervisor(machine, policy=policy)
+        injector.induce_delta(0.1)
+        supervisor.handle_alarm(alarm_time=5.0)
+        assert policy.update(6.0) is not None  # the alarm was observed
+
+
+class TestMachineHookDispatch:
+    """S1: a raising power-cycle hook must not starve the hooks behind
+    it — those hooks reconcile latchup bookkeeping with the rail."""
+
+    def test_raising_hook_does_not_starve_injector_hook(self):
+        machine = Machine.rpi_zero2w(seed=0)
+
+        def bad_hook(m):
+            raise RuntimeError("hook struck")
+
+        # Registered *before* the injector, so it runs first.
+        machine.on_power_cycle(bad_hook)
+        injector = LatchupInjector(machine)
+        injector.induce_delta(0.1)
+        with pytest.raises(RuntimeError, match="hook struck"):
+            machine.power_cycle()
+        # The injector's clearing hook still ran: no phantom draw.
+        assert machine.extra_current_draw == 0.0
+        assert not injector.any_active
+
+    def test_multiple_failing_hooks_aggregate(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        machine.on_power_cycle(lambda m: (_ for _ in ()).throw(ValueError("a")))
+        machine.on_power_cycle(lambda m: (_ for _ in ()).throw(KeyError("b")))
+        with pytest.raises(SimulationError, match="2 power-cycle hooks failed"):
+            machine.power_cycle()
+
+    def test_reboot_hooks_fire_inside_power_cycle(self):
+        machine = Machine.rpi_zero2w(seed=0)
+        seen = []
+        machine.on_reboot(lambda m: seen.append("reboot"))
+        machine.power_cycle()
+        assert seen == ["reboot"]
+
+
+def _trained_detector():
+    generator = TraceGenerator(TelemetryConfig(tick=8e-3))
+    trace = generator.generate(
+        navigation_schedule(120.0, rng=np.random.default_rng(1)),
+        rng=np.random.default_rng(2),
+    )
+    return train_ild(
+        trace, max_instruction_rate=generator.max_instruction_rate
+    )
+
+
+class TestIldStateScrub:
+    def test_nan_tail_is_scrubbed(self):
+        detector = _trained_detector()
+        detector.stream_state.residual_tail = np.array([0.01, np.nan])
+        assert detector._scrub_state()
+        assert detector.states_scrubbed == 1
+        assert detector.stream_state.residual_tail.size == 0
+
+    def test_impossible_magnitude_is_scrubbed(self):
+        detector = _trained_detector()
+        # One flipped exponent bit lands the residual light-years from
+        # anything the rail can produce.
+        detector.stream_state.residual_tail = np.array([1e30])
+        assert detector._scrub_state()
+
+    def test_non_bool_alarm_flag_is_scrubbed(self):
+        detector = _trained_detector()
+        detector.stream_state.in_alarm = 7
+        assert detector._scrub_state()
+
+    def test_healthy_state_untouched(self):
+        detector = _trained_detector()
+        detector.stream_state.residual_tail = np.array([0.01, -0.02])
+        assert not detector._scrub_state()
+        assert detector.states_scrubbed == 0
+        assert detector.stream_state.residual_tail.size == 2
