@@ -13,6 +13,7 @@ Usage::
     python -m repro trace summarize t.jsonl [--task 4]
     python -m repro chaos list
     python -m repro chaos run [--workers 4] [--store dir/] [--scenario NAME]
+    python -m repro faults census [--json] [--warm] [--seed 0]
 """
 
 from __future__ import annotations
@@ -270,6 +271,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if violations == 0 else 2
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .sim.faults import census_json, render_census
+    from .sim.machine import Machine
+
+    machine = Machine.rpi_zero2w(seed=args.seed)
+    if args.warm:
+        # Touch every tier so the census reports live bits, not an
+        # idle machine: allocate and stream a buffer through each
+        # core group's cache path, and stage one file onto flash so
+        # both media and page cache hold state.
+        payload = bytes(range(256)) * 16
+        region = machine.memory.alloc(len(payload), label="census-warm")
+        machine.memory.write_region(region, payload)
+        for group in range(len(machine.caches.l1)):
+            machine.read_via_cache(region.addr, len(payload), group)
+        machine.storage.store("census-warm", payload)
+        machine.storage.read("census-warm")
+    entries = machine.fault_surface.census()
+    if args.json:
+        print(json.dumps(census_json(entries), indent=2))
+    else:
+        print(render_census(entries))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -421,6 +447,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_run.add_argument("--seed", type=int, default=0)
     chaos_run.set_defaults(func=_cmd_chaos)
+
+    faults = sub.add_parser(
+        "faults", help="inspect the machine's addressable fault surface"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    census = faults_sub.add_parser(
+        "census",
+        help="print the machine-wide bit census "
+             "(region, bits, protection class, ECC)",
+    )
+    census.add_argument(
+        "--json", action="store_true",
+        help="emit the census as JSON instead of a table",
+    )
+    census.add_argument(
+        "--warm", action="store_true",
+        help="stage data through DRAM, the caches, and flash first, so "
+             "volatile regions report live bits instead of idle silicon",
+    )
+    census.add_argument("--seed", type=int, default=0)
+    census.set_defaults(func=_cmd_faults)
     return parser
 
 

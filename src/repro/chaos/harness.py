@@ -135,6 +135,9 @@ def run_scenario(
     eventlog = EventLog(capacity=256)
     injector = LatchupInjector(machine)
     generator = TraceGenerator(TelemetryConfig(tick=8e-3))
+    # The software stack joins the machine's fault surface: control-
+    # plane strikes below address the same census the SEU plane uses.
+    machine.fault_surface.register("eventlog", eventlog)
 
     level = level_named(scenario.start_level)
     ground = generator.generate(
@@ -146,6 +149,7 @@ def run_scenario(
         config=level.ild,
         max_instruction_rate=generator.max_instruction_rate,
     )
+    machine.fault_surface.register("ild", detector)
 
     policy = DegradationPolicy(
         PolicyConfig(

@@ -75,6 +75,16 @@ class MaterializedWorkload:
     def _flash_name(self, blob: str) -> str:
         return f"{self.spec.name}/{blob}"
 
+    def _replicated_refs(self) -> "list[RegionRef]":
+        """The plan's replicated refs in a stable order. The plan holds
+        a frozenset, whose iteration order follows randomized string
+        hashing — staging allocations in that order would scatter
+        replica copies (and every cache line index derived from them)
+        differently on every interpreter run."""
+        return sorted(
+            self.plan.replicated, key=lambda r: (r.blob, r.offset, r.length)
+        )
+
     def _ensure_on_flash(self) -> None:
         """Inputs originate at the ground station: they arrive on flash."""
         for blob, data in self.spec.blobs.items():
@@ -107,7 +117,7 @@ class MaterializedWorkload:
                 mem.write_region(region, access.data)
                 self._blob_regions[blob] = region
             # Private per-executor copies of replicated refs.
-            for ref in self.plan.replicated:
+            for ref in self._replicated_refs():
                 base = self._blob_regions[ref.blob]
                 payload = mem.read(base.addr + ref.offset, ref.length)
                 for executor in range(self.n_executors):
@@ -135,7 +145,7 @@ class MaterializedWorkload:
         else:
             # Storage frontier: replicated refs staged once per executor
             # from flash media (independent ECC-verified reads).
-            for ref in self.plan.replicated:
+            for ref in self._replicated_refs():
                 for executor in range(self.n_executors):
                     access = self.machine.storage.read(
                         self._flash_name(ref.blob), ref.offset, ref.length

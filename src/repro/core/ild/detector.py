@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ...errors import ConfigurationError
+from ...errors import ConfigurationError, InvalidAddressError
 from ...obs import NULL_OBS, Observability
+from ...sim.faults import FaultRegion, flip_float64
 from ...sim.telemetry import TelemetryTrace
 from .model import CurrentModel
 from .quiescence import QuiescenceDetector
@@ -119,6 +120,41 @@ class IldDetector:
     def stream_state(self) -> _StreamState:
         """The detector's own volatile filter state (control plane)."""
         return self._state
+
+    # -- fault domain (see repro.sim.faults) --------------------------
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """ILD's own volatile words: the residual tail (float64s
+        carried across chunk boundaries) and the alarm latch. Class
+        ``scrubbed``: ``_scrub_state`` drops corrupted state before
+        every alarm decision."""
+        return (
+            FaultRegion("residual_tail", len(self._state.residual_tail) * 64,
+                        protection="scrubbed", scope="shared"),
+            FaultRegion("alarm_latch", 1, protection="scrubbed",
+                        scope="shared"),
+        )
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        state = self._state
+        if region == "residual_tail":
+            index = offset // 8
+            if not 0 <= index < len(state.residual_tail):
+                raise InvalidAddressError(
+                    f"ild: residual_tail offset {offset} outside live tail"
+                )
+            fbit = (offset % 8) * 8 + (bit & 7)
+            # Copy before mutating: the tail may be a view into a
+            # trace-owned residual array.
+            tail = state.residual_tail.copy()
+            tail[index] = flip_float64(float(tail[index]), fbit)
+            state.residual_tail = tail
+            return f"ild residual_tail[{index}] bit {fbit}"
+        if region == "alarm_latch":
+            if offset != 0:
+                raise InvalidAddressError("ild: alarm latch has one bit")
+            state.in_alarm = not state.in_alarm
+            return "ild in_alarm latch flipped"
+        raise InvalidAddressError(f"ild: no fault region {region!r}")
 
     def reconfigure(self, config: IldConfig) -> None:
         """Adopt new deployment parameters at runtime.

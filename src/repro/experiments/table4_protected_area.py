@@ -1,4 +1,12 @@
-"""Table 4: relative protected circuit area per reliability scheme."""
+"""Table 4: relative protected circuit area per reliability scheme.
+
+The rows are no longer hand-tabulated: each scheme's figure is derived
+from a live :class:`~repro.sim.faults.FaultSurface` census of the
+paper's testbed machine. The :class:`~repro.analysis.vulnerability.
+DieModel` still supplies the physical area shares; the census supplies
+which die buckets hold shared, ECC-less state — the common-mode
+exposure that decides what concurrent replication leaves unprotected.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +15,12 @@ from dataclasses import asdict, is_dataclass
 from ..analysis.report import Table
 from ..analysis.vulnerability import DieModel
 from ..campaign import Campaign, Trial, decode_report, encode_report, execute
+from ..sim.machine import Machine
 
 
 def _build(task, rng, tracer=None) -> Table:
     (die,) = task
+    census = Machine.rpi_zero2w().fault_surface.census()
     table = Table(
         title="Table 4: relative protected circuit area (Snapdragon-845-like die)",
         columns=["Reliability Scheme", "Relative Area Protected"],
@@ -22,7 +32,8 @@ def _build(task, rng, tracer=None) -> Table:
         ("EMR", "emr"),
     )
     for label, scheme in rows:
-        table.add_row(label, f"{die.protected_fraction(scheme) * 100:.0f}%")
+        fraction = die.protected_fraction_from_census(census, scheme)
+        table.add_row(label, f"{fraction * 100:.0f}%")
     table.notes = (
         f"die shares: pipelines {die.pipelines:.0%}, L1 {die.l1_caches:.0%}, "
         f"shared cache {die.shared_cache:.0%}, uncore {die.uncore:.0%}"

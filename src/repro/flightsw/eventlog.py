@@ -19,11 +19,13 @@ Two commit paths serve the two producers:
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass
 from enum import IntEnum
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, InvalidAddressError
+from ..sim.faults import FaultRegion
 from .component import ActivityCost, Component, TickContext
 
 
@@ -127,31 +129,61 @@ class EventLog(Component):
         return (f"{self.name}.events_total", f"{self.name}.warnings_total")
 
     # ------------------------------------------------------------------
+    # Fault domain (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def _ring_offset(self, index: int) -> int:
+        """Base byte offset of event ``index`` in the ``ring`` region:
+        committed messages concatenate oldest-first."""
+        return sum(
+            len(self._events[i].message.encode("utf-8")) for i in range(index)
+        )
+
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """The ring's message bytes — flight software state with no
+        hardware protection; graceful degradation is the only shield."""
+        live = sum(len(e.message.encode("utf-8")) for e in self._events)
+        return (FaultRegion("ring", live * 8, protection="none",
+                            scope="shared"),)
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        if region != "ring":
+            raise InvalidAddressError(f"{self.name}: no fault region {region!r}")
+        remaining = offset
+        for idx, event in enumerate(self._events):
+            raw = bytearray(event.message.encode("utf-8"))
+            if remaining < len(raw):
+                raw[remaining] ^= 1 << (bit & 7)
+                corrupted = raw.decode("utf-8", errors="replace")
+                self._events[idx] = dataclasses.replace(event, message=corrupted)
+                self.struck += 1
+                return f"event {idx} ({event.name}) message byte {remaining}"
+            remaining -= len(raw)
+        raise InvalidAddressError(
+            f"{self.name}: offset {offset} outside the committed ring"
+        )
+
     def strike(self, index: int, bit: int) -> "str | None":
         """Flip one bit in a committed EVR's message — an SEU landing
         in the ring buffer itself (the log's control plane).
 
+        Legacy addressing kept for the control-plane campaign: ``index``
+        wraps over committed events, ``bit`` folds onto the message.
         The contract under corruption is graceful degradation: the
         struck event may read as garbage, but the ring stays iterable
         and renderable, counts stay consistent, and no exception ever
         escapes into the flight loop. Returns a description of the
         strike, or ``None`` when the ring is empty (dead silicon).
         """
-        import dataclasses
-
         if not self._events:
             return None
         index %= len(self._events)
-        event = self._events[index]
-        raw = bytearray(event.message.encode("utf-8"))
-        if not raw:
+        raw_len = len(self._events[index].message.encode("utf-8"))
+        if not raw_len:
             return f"event {index}: empty message, strike absorbed"
-        position = (bit // 8) % len(raw)
-        raw[position] ^= 1 << (bit % 8)
-        corrupted = raw.decode("utf-8", errors="replace")
-        self._events[index] = dataclasses.replace(event, message=corrupted)
-        self.struck += 1
-        return f"event {index} ({event.name}) message byte {position}"
+        position = (bit // 8) % raw_len
+        return self.fault_strike(
+            "ring", self._ring_offset(index) + position, bit % 8
+        )
 
     def events(self) -> "tuple[FlightEvent, ...]":
         """Committed events, oldest first (pending ones excluded)."""

@@ -5,11 +5,18 @@ protected workload — its inputs, outputs, pointers, pipelines. But the
 protection mechanisms are software too: ILD keeps a few words of
 filter state, the EMR orchestrator holds replica outputs in a vote
 buffer, the flight event log is a ring of records in DRAM. A particle
-does not respect the module boundary. The chaos harness uses the
-helpers here to land SEUs *inside* the mechanisms and then asserts
-the stack degrades gracefully: corrupted filter state is scrubbed or
-at worst costs one detection window, a struck vote buffer is out-voted
-or flagged inconclusive (never silently committed), and a struck event
+does not respect the module boundary.
+
+Each mechanism exposes that state as a
+:class:`~repro.sim.faults.FaultDomain` — the ILD detector and the
+event log implement the protocol directly, and
+:class:`VoteBufferDomain` wraps the transient vote buffer for the one
+tick it exists — so the helpers here are thin clients that draw *where*
+to strike (legacy distributions, draw-for-draw) and land the flip
+through ``fault_strike``. The chaos harness then asserts the stack
+degrades gracefully: corrupted filter state is scrubbed or at worst
+costs one detection window, a struck vote buffer is out-voted or
+flagged inconclusive (never silently committed), and a struck event
 log stays renderable.
 
 Everything takes a :class:`numpy.random.Generator` so chaos scenarios
@@ -22,14 +29,16 @@ import dataclasses
 
 import numpy as np
 
-from .seu import corrupt_bytes
+from ..errors import InvalidAddressError
+from ..sim.faults import FaultRegion, flip_float64  # noqa: F401 - re-export
 
-
-def flip_float64(value: float, bit: int) -> float:
-    """Flip one bit of a float64's IEEE-754 representation."""
-    raw = bytearray(np.float64(value).tobytes())
-    raw[(bit // 8) % 8] ^= 1 << (bit % 8)
-    return float(np.frombuffer(bytes(raw), dtype=np.float64)[0])
+__all__ = [
+    "flip_float64",
+    "strike_ild_filter",
+    "VoteBufferDomain",
+    "VoteBufferStrikeHooks",
+    "strike_eventlog",
+]
 
 
 def strike_ild_filter(detector, rng: np.random.Generator) -> str:
@@ -43,17 +52,61 @@ def strike_ild_filter(detector, rng: np.random.Generator) -> str:
     persistence window of history — the invariant the harness checks
     is *no crash and no permanent loss of detection*, not perfection.
     """
-    state = detector.stream_state
-    tail = state.residual_tail
+    tail = detector.stream_state.residual_tail
     if isinstance(tail, np.ndarray) and len(tail):
         index = int(rng.integers(len(tail)))
         bit = int(rng.integers(64))
-        tail = tail.copy()  # slices may share storage with trace arrays
-        tail[index] = flip_float64(float(tail[index]), bit)
-        state.residual_tail = tail
-        return f"ild residual_tail[{index}] bit {bit}"
-    state.in_alarm = not state.in_alarm
-    return "ild in_alarm latch flipped"
+        return detector.fault_strike(
+            "residual_tail", index * 8 + bit // 8, bit % 8
+        )
+    return detector.fault_strike("alarm_latch", 0, 0)
+
+
+class VoteBufferDomain:
+    """The EMR vote buffer as a fault domain, for the tick it exists.
+
+    The buffer is transient — replica outputs held between the
+    orchestrator refreshing them and the vote — so the domain wraps a
+    list of replica results just-in-time, one region per occupied
+    slot. Class ``voted``: redundant replicas out-vote a struck slot.
+    Mutations land in :attr:`buffers`; the caller rebuilds the result
+    objects from them after striking.
+    """
+
+    def __init__(self, results: "list") -> None:
+        self.results = list(results)
+        self.buffers: "dict[int, bytearray]" = {
+            i: bytearray(result.output)
+            for i, result in enumerate(results)
+            if result.output
+        }
+
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        return tuple(
+            FaultRegion(f"slot{i}", len(buf) * 8, protection="voted",
+                        scope="private")
+            for i, buf in sorted(self.buffers.items())
+        )
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        for i, buf in self.buffers.items():
+            if region == f"slot{i}":
+                if not 0 <= offset < len(buf):
+                    raise InvalidAddressError(
+                        f"vote buffer {region}: offset {offset} outside "
+                        f"{len(buf)} bytes"
+                    )
+                buf[offset] ^= 1 << (bit & 7)
+                return f"vote buffer {region}+{offset} bit {bit & 7}"
+        raise InvalidAddressError(f"vote buffer: no fault region {region!r}")
+
+    def rebuilt_results(self) -> "list":
+        """The result list with struck outputs substituted back in."""
+        rebuilt = list(self.results)
+        for i, buf in self.buffers.items():
+            if bytes(buf) != rebuilt[i].output:
+                rebuilt[i] = dataclasses.replace(rebuilt[i], output=bytes(buf))
+        return rebuilt
 
 
 class VoteBufferStrikeHooks:
@@ -94,20 +147,24 @@ class VoteBufferStrikeHooks:
         self._votes_seen += 1
         if ordinal != self.strike_ordinal:
             return results
-        candidates = [
-            i for i, result in enumerate(results) if result.output
-        ]
+        domain = VoteBufferDomain(results)
+        candidates = sorted(domain.buffers)
         if not candidates:
             return results
         victim = candidates[int(self.rng.integers(len(candidates)))]
-        original = results[victim]
-        corrupted = corrupt_bytes(original.output, self.rng, bits=self.bits)
-        results = list(results)
-        results[victim] = dataclasses.replace(original, output=corrupted)
+        buf = domain.buffers[victim]
+        # Adjacent-bit MBU inside the victim slot (corrupt_bytes'
+        # historical draw sequence: position, then one bit per flip).
+        position = int(self.rng.integers(0, len(buf)))
+        for i in range(self.bits):
+            domain.fault_strike(
+                f"slot{victim}", min(len(buf) - 1, position + i),
+                int(self.rng.integers(0, 8)),
+            )
         self.struck.append(
-            f"vote buffer ds={dataset_index} exec={original.executor_id}"
+            f"vote buffer ds={dataset_index} exec={results[victim].executor_id}"
         )
-        return results
+        return domain.rebuilt_results()
 
 
 def strike_eventlog(eventlog, rng: np.random.Generator) -> "str | None":

@@ -51,6 +51,55 @@ DEFAULT_INJECTION_WEIGHTS = {
     SeuTarget.POINTER: 0.10,
 }
 
+#: Which fault-surface domains feed each injectable target's share of
+#: a census-derived weighting (POINTER is runtime metadata with no
+#: surface domain; it keeps its hand-set share).
+_TARGET_DOMAINS = {
+    SeuTarget.DRAM: ("dram",),
+    SeuTarget.L2_CACHE: ("l2",),
+    SeuTarget.L1_CACHE: None,  # every l1[*] domain
+    SeuTarget.PIPELINE: None,  # every core* domain
+}
+
+
+def census_injection_weights(
+    machine: Machine,
+    pointer_weight: float = 0.10,
+) -> "dict[SeuTarget, float]":
+    """Injection-site weights derived from the machine's live census.
+
+    Each hardware target's weight is proportional to the live bit
+    count its fault-surface domains report *right now* — warm the
+    machine (stage inputs, run a jobset) before calling, or the cache
+    targets will report dead silicon. This is the census-driven
+    sensitivity-sweep hook: build a warmed machine, take its weights,
+    hand them to :class:`CampaignConfig`.
+    """
+    census = machine.fault_surface.census()
+    bits: "dict[SeuTarget, int]" = {}
+    for target in (SeuTarget.DRAM, SeuTarget.L2_CACHE,
+                   SeuTarget.L1_CACHE, SeuTarget.PIPELINE):
+        domains = _TARGET_DOMAINS[target]
+        if domains is None:
+            prefix = "l1[" if target is SeuTarget.L1_CACHE else "core"
+            total = sum(e.bits for e in census if e.domain.startswith(prefix))
+        else:
+            total = sum(e.bits for e in census if e.domain in domains)
+        bits[target] = total
+    live = sum(bits.values())
+    if live == 0:
+        raise ConfigurationError(
+            "machine census reports no live bits; warm the machine before "
+            "deriving injection weights"
+        )
+    hardware_share = 1.0 - pointer_weight
+    weights = {
+        target: hardware_share * count / live for target, count in bits.items()
+    }
+    weights[SeuTarget.POINTER] = pointer_weight
+    return weights
+
+
 SCHEMES = ("none", "3mr", "unprotected-parallel", "emr", "checksum")
 
 

@@ -1,7 +1,12 @@
 """SEU injection primitives against a simulated machine.
 
-Each function lands one (or more) bit flips in a specific component,
-mirroring where real upsets strike:
+Every function here is a thin client of the machine's
+:class:`~repro.sim.faults.FaultSurface`: it draws *where* the particle
+lands (the legacy sampling distributions, kept draw-for-draw so
+recorded campaigns replay byte-identically) and then lands the flip
+through the surface's ``(domain, region, offset, bit)`` addressing.
+The components themselves own the bit layout via their
+:class:`~repro.sim.faults.FaultDomain` implementations:
 
 * DRAM — corrected by SECDED if the device has ECC, silent otherwise;
 * L1 / shared L2 cache lines — never protected on commodity parts;
@@ -9,6 +14,10 @@ mirroring where real upsets strike:
   computed on it produces a corrupted result (a spurious signal
   "traveling down a compute pipeline", §2.2);
 * the flash page cache — DRAM-resident copies of at-rest data.
+
+For flux-weighted sampling across *all* live state — strikes
+distributed proportional to bit area instead of aimed at one
+component — use :func:`strike_surface`.
 
 Pointer corruption (Table 7's segfault case) is runtime metadata, so it
 is injected by the fault-injection campaign directly into EMR job
@@ -23,6 +32,7 @@ import numpy as np
 
 from ..errors import InvalidAddressError, SimulationError
 from ..sim.cache import Cache
+from ..sim.faults import StrikeRecord
 from ..sim.machine import Machine
 from .events import SeuTarget
 
@@ -39,38 +49,46 @@ class InjectionRecord:
 def flip_dram(machine: Machine, rng: np.random.Generator, bits: int = 1) -> InjectionRecord:
     """Flip bit(s) in allocated DRAM. MBUs hit adjacent bits, which is
     what defeats SECDED (two flips in one code word)."""
-    mem = machine.memory
-    if mem.allocated_bytes == 0:
+    surface = machine.fault_surface
+    if machine.memory.allocated_bytes == 0:
         raise SimulationError("no allocated DRAM to strike")
-    addr = int(rng.integers(0, mem.allocated_bytes))
+    addr = int(rng.integers(0, machine.memory.allocated_bytes))
     bit = int(rng.integers(0, 8))
-    mem.flip_bit(addr, bit)
+    surface.strike("dram", "data", addr, bit)
     flipped = [f"0x{addr:x}:{bit}"]
-    for i in range(1, bits):
-        # Adjacent strike: same word, nearby bit.
-        neighbour = min(mem.allocated_bytes - 1, (addr // 8) * 8 + int(rng.integers(0, 8)))
+    word_start = (addr // 8) * 8
+    for _ in range(1, bits):
+        # Adjacent strike: pinned inside the victim's 8-byte SECDED
+        # codeword — one particle track does not jump words.
+        neighbour = word_start + int(rng.integers(0, 8))
         nbit = int(rng.integers(0, 8))
-        mem.flip_bit(neighbour, nbit)
+        surface.strike("dram", "data", neighbour, nbit)
         flipped.append(f"0x{neighbour:x}:{nbit}")
     return InjectionRecord(SeuTarget.DRAM, ",".join(flipped), bits)
 
 
-def _flip_cache(cache: Cache, rng: np.random.Generator, bits: int,
+def _flip_cache(machine: Machine, domain: str, cache: Cache,
+                rng: np.random.Generator, bits: int,
                 target: SeuTarget) -> "InjectionRecord | None":
     lines = cache.resident_lines
     if not lines:
         return None
-    line = int(lines[int(rng.integers(0, len(lines)))])
+    position = int(rng.integers(0, len(lines)))
+    line = int(lines[position])
     byte_offset = int(rng.integers(0, cache.line_size))
     for i in range(bits):
         offset = min(cache.line_size - 1, byte_offset + i)
-        cache.flip_bit(line, offset, int(rng.integers(0, 8)))
+        machine.fault_surface.strike(
+            domain, "lines", position * cache.line_size + offset,
+            int(rng.integers(0, 8)),
+        )
     return InjectionRecord(target, f"{cache.name} line {line} +{byte_offset}", bits)
 
 
 def flip_l2(machine: Machine, rng: np.random.Generator, bits: int = 1):
     """Strike the shared L2 — the fault that breaks naive parallel 3-MR."""
-    return _flip_cache(machine.caches.l2, rng, bits, SeuTarget.L2_CACHE)
+    return _flip_cache(machine, "l2", machine.caches.l2, rng, bits,
+                       SeuTarget.L2_CACHE)
 
 
 def flip_l1(machine: Machine, rng: np.random.Generator, group: "int | None" = None,
@@ -78,7 +96,8 @@ def flip_l1(machine: Machine, rng: np.random.Generator, group: "int | None" = No
     """Strike one group's private L1."""
     if group is None:
         group = int(rng.integers(0, machine.caches.n_groups))
-    return _flip_cache(machine.caches.l1[group], rng, bits, SeuTarget.L1_CACHE)
+    return _flip_cache(machine, f"l1[{group}]", machine.caches.l1[group],
+                       rng, bits, SeuTarget.L1_CACHE)
 
 
 def poison_pipeline(machine: Machine, rng: np.random.Generator,
@@ -89,7 +108,7 @@ def poison_pipeline(machine: Machine, rng: np.random.Generator,
         core_id = int(rng.integers(0, machine.n_cores))
     if not 0 <= core_id < machine.n_cores:
         raise InvalidAddressError(f"no core {core_id}")
-    machine.cores[core_id].poisoned = True
+    machine.fault_surface.strike(f"core{core_id}", "pipeline", 0, 0)
     return InjectionRecord(SeuTarget.PIPELINE, f"core {core_id}", 1)
 
 
@@ -103,8 +122,10 @@ def flip_page_cache(machine: Machine, rng: np.random.Generator,
     size = machine.storage.file_size(filename)
     offset = int(rng.integers(0, size))
     for i in range(bits):
-        machine.storage.flip_page_cache_bit(
-            filename, min(size - 1, offset + i), int(rng.integers(0, 8))
+        machine.fault_surface.strike(
+            "flash", "page_cache",
+            machine.storage.page_cache_address(filename, min(size - 1, offset + i)),
+            int(rng.integers(0, 8)),
         )
     return InjectionRecord(SeuTarget.PAGE_CACHE, f"{filename}+{offset}", bits)
 
@@ -136,3 +157,16 @@ def inject(machine: Machine, target: SeuTarget, rng: np.random.Generator,
     if target is SeuTarget.PAGE_CACHE:
         return flip_page_cache(machine, rng, bits)
     raise SimulationError(f"target {target} requires runtime-level injection")
+
+
+def strike_surface(machine: Machine, rng: np.random.Generator, bits: int = 1,
+                   include: "tuple[str, ...] | None" = None) -> "list[StrikeRecord]":
+    """One flux-weighted upset anywhere on the machine's fault surface.
+
+    The strike lands with probability proportional to each region's
+    live bit count — the uniform-fluence model — instead of being
+    aimed at a chosen component. ``bits > 1`` makes it an adjacent-bit
+    MBU pinned inside the victim region. Census-driven sensitivity
+    sweeps are one-liners: restrict with ``include=("dram", "l2")``.
+    """
+    return machine.fault_surface.strike_random(rng, bits=bits, include=include)

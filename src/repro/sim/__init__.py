@@ -10,6 +10,19 @@ from .cache import AccessTrace, Cache, CacheHierarchy, CacheStats
 from .clock import SimClock, Stopwatch
 from .core import Core, CoreCounters, CoreGroup, CoreSpec, ExecutionCost
 from .dvfs import OndemandGovernor
+from .faults import (
+    PROTECTION_CLASSES,
+    SCOPES,
+    CensusEntry,
+    FaultDomain,
+    FaultRegion,
+    FaultSurface,
+    StrikeRecord,
+    census_json,
+    flip_float64,
+    flip_int_bit,
+    render_census,
+)
 from .machine import Machine, MachineSpec
 from .memory import MemoryRegion, MemoryStats, SimMemory
 from .perfcounters import (
@@ -41,6 +54,7 @@ __all__ = [
     "Cache",
     "CacheHierarchy",
     "CacheStats",
+    "CensusEntry",
     "Core",
     "CoreCounters",
     "CoreGroup",
@@ -51,6 +65,9 @@ __all__ = [
     "EnergyMeter",
     "EnergyReport",
     "ExecutionCost",
+    "FaultDomain",
+    "FaultRegion",
+    "FaultSurface",
     "FlashStorage",
     "GLOBAL_METRICS",
     "HousekeepingParams",
@@ -63,20 +80,27 @@ __all__ = [
     "OndemandGovernor",
     "OvercurrentProtection",
     "PER_CORE_METRICS",
+    "PROTECTION_CLASSES",
     "PerfCounterSampler",
     "PowerModel",
     "PowerModelParams",
+    "SCOPES",
     "SensorParams",
     "SimClock",
     "SimMemory",
     "Stopwatch",
     "StorageAccess",
     "StorageStats",
+    "StrikeRecord",
     "TelemetryConfig",
     "TelemetryTrace",
     "TraceGenerator",
     "burst_schedule",
+    "census_json",
     "feature_names",
+    "flip_float64",
+    "flip_int_bit",
     "n_features",
     "quiescent_segment",
+    "render_census",
 ]

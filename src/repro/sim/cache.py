@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..errors import ConfigurationError, InvalidAddressError
+from .faults import FaultRegion
 from .memory import MemoryRegion, SimMemory
 
 
@@ -103,7 +104,8 @@ class Cache:
     """
 
     def __init__(self, capacity_lines: int, line_size: int, name: str,
-                 ecc: bool = False) -> None:
+                 ecc: bool = False, scope: str = "shared",
+                 die_bucket: "str | None" = None) -> None:
         if capacity_lines <= 0:
             raise ConfigurationError(f"{name}: capacity must be positive")
         if line_size <= 0 or line_size % 8:
@@ -112,6 +114,11 @@ class Cache:
         self.line_size = line_size
         self.name = name
         self.has_ecc = ecc
+        #: Fault-surface attributes: whether this level is private to
+        #: one executor's core group, and which Table 4 die bucket its
+        #: SRAM belongs to (see repro.sim.faults).
+        self.scope = scope
+        self.die_bucket = die_bucket
         self._lines: "OrderedDict[int, bytearray]" = OrderedDict()
         self._checks: "dict[int, bytes]" = {}
         self._dirty: "set[int]" = set()  # lines radiation has touched
@@ -224,6 +231,36 @@ class Cache:
         self._dirty = set(snap.dirty)
         self.stats = replace(snap.stats)
 
+    # -- fault domain (see repro.sim.faults) --------------------------
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """Live SRAM state: the resident line copies. Addressing is
+        line-strided: offset ``p * line_size + b`` is byte ``b`` of the
+        ``p``-th resident line (LRU order, oldest first)."""
+        return (
+            FaultRegion(
+                "lines",
+                len(self._lines) * self.line_size * 8,
+                protection="secded" if self.has_ecc else "none",
+                scope=self.scope,
+                die_bucket=self.die_bucket,
+            ),
+        )
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        if region != "lines":
+            raise InvalidAddressError(f"{self.name}: no fault region {region!r}")
+        resident = self.resident_lines
+        position = offset // self.line_size
+        if not 0 <= position < len(resident):
+            raise InvalidAddressError(
+                f"{self.name}: offset {offset} outside the "
+                f"{len(resident)} resident lines"
+            )
+        line_index = resident[position]
+        byte_offset = offset % self.line_size
+        self.flip_bit(line_index, byte_offset, bit)
+        return f"{self.name} line {line_index} +{byte_offset} bit {bit & 7}"
+
     # -- radiation interface ------------------------------------------
     def flip_bit(self, line_index: int, byte_offset: int, bit: int) -> None:
         """Flip one bit of a resident line copy (a particle strike)."""
@@ -266,9 +303,12 @@ class CacheHierarchy:
         self.line_size = line_size
         self.has_ecc = ecc
         self.l1 = tuple(
-            Cache(l1_lines, line_size, f"L1[{g}]", ecc=ecc) for g in range(n_groups)
+            Cache(l1_lines, line_size, f"L1[{g}]", ecc=ecc,
+                  scope="private", die_bucket="l1_caches")
+            for g in range(n_groups)
         )
-        self.l2 = Cache(l2_lines, line_size, "L2", ecc=ecc)
+        self.l2 = Cache(l2_lines, line_size, "L2", ecc=ecc,
+                        scope="shared", die_bucket="shared_cache")
 
     @property
     def n_groups(self) -> int:

@@ -14,9 +14,10 @@ core, or set of cores, for each executor instance"), so per-core state
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-from ..errors import ConfigurationError, HardwareDamagedError
+from ..errors import ConfigurationError, HardwareDamagedError, InvalidAddressError
+from .faults import FaultRegion, flip_int_bit
 
 
 @dataclass(frozen=True)
@@ -169,6 +170,42 @@ class Core:
     def reset_faults(self) -> None:
         """A power cycle clears latched pipeline state (not SEL damage)."""
         self.poisoned = False
+
+    # -- fault domain (see repro.sim.faults) --------------------------
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """Core-private state a particle can latch into: the datapath
+        (one poison latch standing in for flip-flops in flight) and the
+        PMU counter bank (7 monotonic 64-bit counters)."""
+        return (
+            FaultRegion("pipeline", 1, protection="none", scope="private",
+                        die_bucket="pipelines"),
+            FaultRegion("counters", len(fields(CoreCounters)) * 64,
+                        protection="none", scope="private",
+                        die_bucket="pipelines"),
+        )
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        if region == "pipeline":
+            if offset != 0:
+                raise InvalidAddressError(
+                    f"core {self.core_id}: pipeline latch has one bit"
+                )
+            self.poisoned = True
+            return f"core {self.core_id} pipeline poisoned"
+        if region == "counters":
+            names = [f.name for f in fields(CoreCounters)]
+            index = offset // 8
+            if not 0 <= index < len(names):
+                raise InvalidAddressError(
+                    f"core {self.core_id}: counter offset {offset} out of range"
+                )
+            position = (offset % 8) * 8 + (bit & 7)
+            value = getattr(self.counters, names[index])
+            setattr(self.counters, names[index], flip_int_bit(value, position))
+            return f"core {self.core_id} counter {names[index]} bit {position}"
+        raise InvalidAddressError(
+            f"core {self.core_id}: no fault region {region!r}"
+        )
 
     def snapshot(self) -> CoreSnapshot:
         return CoreSnapshot(

@@ -1,0 +1,340 @@
+"""The unified fault surface: one addressable bit-level injection plane.
+
+Radshield's evaluation hinges on knowing exactly *which state is
+vulnerable*: Table 4 accounts protected die area per scheme, Table 7
+buckets injection outcomes per component, and the chaos harness strikes
+the protection stack's own state. Historically each of those paths
+reached into components ad hoc. This module gives every stateful
+component one shared vocabulary instead:
+
+* a **fault domain** is any component that can enumerate its vulnerable
+  state (:meth:`FaultDomain.fault_census`) as named *regions* — each
+  with a live bit count, a protection class, and a sharing scope — and
+  land a particle at any ``(region, byte offset, bit)`` address
+  (:meth:`FaultDomain.fault_strike`);
+* the **fault surface** is the machine-wide registry of domains. It
+  merges every census into one enumerable target map, dispatches
+  strikes by ``(domain, region, offset, bit)`` address, and samples
+  targets **flux-weighted** — probability proportional to live bit
+  area, the uniform-fluence assumption sensitivity-aware radiation
+  simulators (SSRESF) make explicit.
+
+The SEU primitives in :mod:`repro.radiation.seu`, the Table 7 campaign,
+the control-plane strikes, and the chaos harness are all thin clients
+of this surface; Table 4's protected-area rows derive from the live
+census (see :mod:`repro.analysis.vulnerability`). Because a domain is
+anything implementing the two-method protocol, new state — a radio
+buffer, a fleet peer's queue — joins every injection campaign by
+registering, with no injector changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import ConfigurationError, InvalidAddressError
+
+#: Protection classes a region may declare. ``secded`` means a SECDED
+#: codec covers the bits (corrected on read); ``scrubbed`` means the
+#: owner sanity-checks and drops corrupted state (ILD's filter);
+#: ``voted`` means redundant copies out-vote corruption (EMR's vote
+#: buffer); ``none`` means a flip lands silently.
+PROTECTION_CLASSES = ("none", "secded", "scrubbed", "voted")
+
+#: Sharing scopes. ``private`` state is visible to a single executor
+#: (a core's pipeline, a group's L1): replication alone out-votes a
+#: strike there. ``shared`` state is visible to every executor (the
+#: L2, DRAM, the page cache): concurrent replicas reading it form a
+#: common-mode failure unless something else protects it.
+SCOPES = ("private", "shared")
+
+
+@dataclass(frozen=True)
+class FaultRegion:
+    """One named span of vulnerable state inside a domain.
+
+    ``bits`` is the *live* bit count — resident cache lines, allocated
+    DRAM, cached pages — not capacity: the census answers "where can a
+    particle land right now". Addresses inside a region are
+    ``(byte offset, bit)`` with ``0 <= offset < ceil(bits / 8)`` and
+    ``0 <= bit < 8``; a region's owner fixes the offset layout and
+    keeps it stable between census and strike.
+    """
+
+    name: str
+    bits: int
+    protection: str = "none"
+    scope: str = "shared"
+    #: Table 4 die bucket this region's silicon belongs to
+    #: ("pipelines", "l1_caches", "shared_cache", "uncore") or ``None``
+    #: for state that is DRAM/flash content rather than die area.
+    die_bucket: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ConfigurationError(f"region {self.name!r}: bits must be >= 0")
+        if self.protection not in PROTECTION_CLASSES:
+            raise ConfigurationError(
+                f"region {self.name!r}: unknown protection class "
+                f"{self.protection!r} (known: {', '.join(PROTECTION_CLASSES)})"
+            )
+        if self.scope not in SCOPES:
+            raise ConfigurationError(
+                f"region {self.name!r}: unknown scope {self.scope!r}"
+            )
+
+    @property
+    def ecc(self) -> bool:
+        """Whether a hardware ECC codec covers this region's bits."""
+        return self.protection == "secded"
+
+    @property
+    def span_bytes(self) -> int:
+        """Size of the byte-offset address space."""
+        return (self.bits + 7) // 8
+
+
+@runtime_checkable
+class FaultDomain(Protocol):
+    """What a stateful component implements to join the fault surface."""
+
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """Enumerate the domain's vulnerable regions *right now*."""
+        ...
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        """Flip one stored bit at ``(region, byte offset, bit)``.
+
+        Returns a human-readable description of what was struck.
+        Raises :class:`~repro.errors.InvalidAddressError` for unknown
+        regions or addresses outside the region's live span.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class CensusEntry:
+    """One region of one domain, as the machine-wide census reports it."""
+
+    domain: str
+    region: FaultRegion
+
+    @property
+    def label(self) -> str:
+        return f"{self.domain}.{self.region.name}"
+
+    @property
+    def bits(self) -> int:
+        return self.region.bits
+
+
+@dataclass(frozen=True)
+class StrikeRecord:
+    """One landed strike: the address plus the domain's description."""
+
+    domain: str
+    region: str
+    offset: int
+    bit: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.domain}.{self.region}+{self.offset}:{self.bit} ({self.detail})"
+
+
+def flip_float64(value: float, bit: int) -> float:
+    """Flip one bit of a float64's IEEE-754 representation."""
+    raw = bytearray(np.float64(value).tobytes())
+    raw[(bit // 8) % 8] ^= 1 << (bit % 8)
+    return float(np.frombuffer(bytes(raw), dtype=np.float64)[0])
+
+
+def flip_int_bit(value: int, bit: int, width: int = 64) -> int:
+    """Flip one bit of an integer's ``width``-bit two's-complement image."""
+    mask = (1 << width) - 1
+    return ((value & mask) ^ (1 << (bit % width))) & mask
+
+
+class FaultSurface:
+    """Machine-wide registry of fault domains.
+
+    Registration order is insertion order and is deterministic for a
+    given construction sequence, so census listings — and therefore
+    flux-weighted sampling — are reproducible across processes.
+    """
+
+    def __init__(self) -> None:
+        self._domains: "dict[str, FaultDomain]" = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, domain: FaultDomain) -> FaultDomain:
+        """Add a domain under ``name``; returns the domain."""
+        if not (hasattr(domain, "fault_census") and hasattr(domain, "fault_strike")):
+            raise ConfigurationError(
+                f"domain {name!r} does not implement the FaultDomain "
+                "protocol (fault_census / fault_strike)"
+            )
+        if name in self._domains:
+            raise ConfigurationError(f"fault domain {name!r} already registered")
+        self._domains[name] = domain
+        return domain
+
+    def unregister(self, name: str) -> None:
+        if name not in self._domains:
+            raise ConfigurationError(f"no fault domain named {name!r}")
+        del self._domains[name]
+
+    def domain(self, name: str) -> FaultDomain:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no fault domain named {name!r} "
+                f"(registered: {', '.join(self._domains) or 'none'})"
+            ) from None
+
+    @property
+    def domain_names(self) -> "tuple[str, ...]":
+        return tuple(self._domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    # ------------------------------------------------------------------
+    # Census
+    # ------------------------------------------------------------------
+    def census(
+        self, include: "tuple[str, ...] | None" = None
+    ) -> "tuple[CensusEntry, ...]":
+        """The merged target map: every region of every domain.
+
+        ``include`` restricts the listing to the named domains (in
+        registration order). Regions with zero live bits are listed
+        too — the region *exists*, there is just nothing resident to
+        corrupt right now (Table 7's dead-silicon precursor).
+        """
+        names = self._domains if include is None else include
+        entries: "list[CensusEntry]" = []
+        for name in names:
+            for region in self.domain(name).fault_census():
+                entries.append(CensusEntry(domain=name, region=region))
+        return tuple(entries)
+
+    def total_bits(self, include: "tuple[str, ...] | None" = None) -> int:
+        """Live vulnerable bits across the (restricted) surface."""
+        return sum(entry.bits for entry in self.census(include))
+
+    # ------------------------------------------------------------------
+    # Strikes
+    # ------------------------------------------------------------------
+    def strike(self, domain: str, region: str, offset: int, bit: int) -> StrikeRecord:
+        """Land one particle at a fully-qualified bit address."""
+        detail = self.domain(domain).fault_strike(region, int(offset), int(bit))
+        return StrikeRecord(
+            domain=domain, region=region, offset=int(offset), bit=int(bit),
+            detail=detail,
+        )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        include: "tuple[str, ...] | None" = None,
+    ) -> "tuple[str, str, int, int]":
+        """Draw one target address, flux-weighted.
+
+        A uniform particle fluence hits each region with probability
+        proportional to its live bit area, and a uniform bit within
+        the region. Returns ``(domain, region, offset, bit)``; raises
+        :class:`~repro.errors.InvalidAddressError` when the surface
+        holds no live bits (every strike would land on dead silicon).
+        """
+        entries = [e for e in self.census(include) if e.bits > 0]
+        if not entries:
+            raise InvalidAddressError("fault surface holds no live bits")
+        weights = np.array([e.bits for e in entries], dtype=float)
+        entry = entries[int(rng.choice(len(entries), p=weights / weights.sum()))]
+        bit_index = int(rng.integers(0, entry.bits))
+        return entry.domain, entry.region.name, bit_index // 8, bit_index % 8
+
+    def strike_random(
+        self,
+        rng: np.random.Generator,
+        bits: int = 1,
+        include: "tuple[str, ...] | None" = None,
+    ) -> "list[StrikeRecord]":
+        """One flux-weighted upset; ``bits > 1`` makes it an MBU.
+
+        MBU flips are adjacent: they land on consecutive bit positions
+        after the sampled one, pinned inside the victim region (and
+        therefore inside the victim SECDED codeword for word-granular
+        regions) — one particle track does not jump components.
+        """
+        if bits < 1:
+            raise ConfigurationError("an upset flips at least one bit")
+        domain, region_name, offset, bit = self.sample(rng, include)
+        region = next(
+            r for r in self.domain(domain).fault_census() if r.name == region_name
+        )
+        start = offset * 8 + bit
+        records = []
+        for i in range(bits):
+            position = min(region.bits - 1, start + i)
+            records.append(
+                self.strike(domain, region_name, position // 8, position % 8)
+            )
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSurface({len(self._domains)} domains, "
+            f"{self.total_bits()} live bits)"
+        )
+
+
+def render_census(entries: "tuple[CensusEntry, ...]") -> str:
+    """The census as an aligned text table (the ``faults census`` CLI)."""
+    header = ("region", "bits", "protection", "ecc", "scope")
+    rows = [
+        (
+            entry.label,
+            f"{entry.bits}",
+            entry.region.protection,
+            "yes" if entry.region.ecc else "no",
+            entry.region.scope,
+        )
+        for entry in entries
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    total = sum(entry.bits for entry in entries)
+    lines.append(f"total: {total} live bits across {len(entries)} regions")
+    return "\n".join(lines)
+
+
+def census_json(entries: "tuple[CensusEntry, ...]") -> "list[dict]":
+    """JSON-safe census listing (the ``faults census --json`` CLI)."""
+    return [
+        {
+            "domain": entry.domain,
+            "region": entry.region.name,
+            "bits": entry.bits,
+            "protection": entry.region.protection,
+            "ecc": entry.region.ecc,
+            "scope": entry.region.scope,
+            "die_bucket": entry.region.die_bucket,
+        }
+        for entry in entries
+    ]

@@ -29,6 +29,7 @@ from .cache import AccessTrace, CacheHierarchy, HierarchySnapshot
 from .clock import SimClock
 from .core import Core, CoreGroup, CoreSnapshot, CoreSpec
 from .dvfs import OndemandGovernor
+from .faults import FaultSurface
 from .memory import MemorySnapshot, SimMemory
 from .power import EnergyMeter, PowerModel, PowerModelParams
 from .sensor import CurrentSensor, SensorParams
@@ -163,6 +164,19 @@ class Machine:
         self._power_cycle_hooks: list = []
         self._reboot_hooks: list = []
         self._attached: "dict[str, object]" = {}
+        #: The machine-wide fault surface: every stateful component,
+        #: registered under a stable name. The surface holds references
+        #: only — its census is computed live, so no snapshot/restore
+        #: plumbing is needed. Software domains (the ILD detector, the
+        #: flight event log) register here when the stack comes up.
+        self.fault_surface = FaultSurface()
+        self.fault_surface.register("dram", self.memory)
+        for g, l1 in enumerate(self.caches.l1):
+            self.fault_surface.register(f"l1[{g}]", l1)
+        self.fault_surface.register("l2", self.caches.l2)
+        self.fault_surface.register("flash", self.storage)
+        for core in self.cores:
+            self.fault_surface.register(f"core{core.core_id}", core)
         self.clock.on_reset(self._pending_state)
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import AllocationError, InvalidAddressError, UncorrectableMemoryError
 from . import ecc
+from .faults import FaultRegion
 
 _WORD = 8
 
@@ -307,6 +308,49 @@ class SimMemory:
                 f"of size {region.size}"
             )
         self.write(region.addr, data)
+
+    # ------------------------------------------------------------------
+    # Fault domain (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """Live DRAM state: the allocated data bytes, plus — on an ECC
+        device — the SECDED check bytes, one per allocated word (check
+        storage is silicon too; particles do not skip it)."""
+        protection = "secded" if self.has_ecc else "none"
+        regions = [
+            FaultRegion(
+                "data", self._bump * 8, protection=protection, scope="shared"
+            )
+        ]
+        if self.has_ecc:
+            regions.append(
+                FaultRegion(
+                    "checks", (self._bump // _WORD) * 8,
+                    protection="secded", scope="shared",
+                )
+            )
+        return tuple(regions)
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        """``data`` offsets are byte addresses; ``checks`` offsets are
+        word indices (one check byte per 64-bit word)."""
+        if region == "data":
+            if not 0 <= offset < self._bump:
+                raise InvalidAddressError(
+                    f"{self.name}: data offset {offset} outside the "
+                    f"{self._bump} allocated bytes"
+                )
+            self.flip_bit(offset, bit & 7)
+            return f"{self.name} data 0x{offset:x} bit {bit & 7}"
+        if region == "checks":
+            if not 0 <= offset < self._bump // _WORD:
+                raise InvalidAddressError(
+                    f"{self.name}: check word {offset} outside the "
+                    f"{self._bump // _WORD} allocated words"
+                )
+            self.flip_check_bit(offset, bit)
+            return f"{self.name} check word {offset} bit {bit & 7}"
+        raise InvalidAddressError(f"{self.name}: no fault region {region!r}")
 
     # ------------------------------------------------------------------
     # Radiation interface

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError, InvalidAddressError
+from .faults import FaultRegion
 from .memory import MemorySnapshot, SimMemory
 
 
@@ -205,6 +206,63 @@ class FlashStorage:
             name: bytearray(page) for name, page in snap.page_cache
         }
         self.stats = replace(snap.stats)
+
+    # ------------------------------------------------------------------
+    # Fault domain (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def page_cache_address(self, filename: str, byte_offset: int) -> int:
+        """Region offset of one cached byte: pages concatenate in
+        cache-insertion order, so ``page_cache`` offsets stay stable
+        between a census and the strikes aimed with it."""
+        base = 0
+        for name, page in self._page_cache.items():
+            if name == filename:
+                if not 0 <= byte_offset < len(page):
+                    raise InvalidAddressError(
+                        f"offset {byte_offset} outside cached page {filename!r}"
+                    )
+                return base + byte_offset
+            base += len(page)
+        raise InvalidAddressError(
+            f"{self.name}: {filename!r} is not in the page cache"
+        )
+
+    def _locate(self, entries, offset: int, what: str) -> "tuple[str, int]":
+        for name, size in entries:
+            if offset < size:
+                return name, offset
+            offset -= size
+        raise InvalidAddressError(f"{self.name}: offset outside {what}")
+
+    def fault_census(self) -> "tuple[FaultRegion, ...]":
+        """The at-rest split §3.2 relies on: media bytes sit behind
+        per-sector SECDED (always inside the reliability frontier),
+        while their page-cache copies are plain DRAM bytes."""
+        cached = sum(len(page) for page in self._page_cache.values())
+        stored = sum(size for _, size in self._files.values())
+        return (
+            FaultRegion("page_cache", cached * 8, protection="none",
+                        scope="shared"),
+            FaultRegion("media", stored * 8, protection="secded",
+                        scope="shared"),
+        )
+
+    def fault_strike(self, region: str, offset: int, bit: int) -> str:
+        if region == "page_cache":
+            entries = [
+                (name, len(page)) for name, page in self._page_cache.items()
+            ]
+            filename, local = self._locate(entries, offset, "the page cache")
+            self.flip_page_cache_bit(filename, local, bit)
+            return f"{self.name} page cache {filename}+{local} bit {bit & 7}"
+        if region == "media":
+            entries = [
+                (name, size) for name, (_, size) in self._files.items()
+            ]
+            filename, local = self._locate(entries, offset, "stored files")
+            self.flip_media_bit(filename, local, bit)
+            return f"{self.name} media {filename}+{local} bit {bit & 7}"
+        raise InvalidAddressError(f"{self.name}: no fault region {region!r}")
 
     # ------------------------------------------------------------------
     # Radiation interface

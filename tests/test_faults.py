@@ -1,0 +1,380 @@
+"""Tests for the unified fault surface (repro.sim.faults).
+
+Covers the domain protocol and registry, flux-weighted sampling, the
+SECDED outcome matrix driven through surface strikes, flash page-cache
+strikes, the adjacent-MBU-within-codeword guarantee, the census-derived
+Table 4 figures, and the ``faults census`` CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.vulnerability import DieModel
+from repro.errors import (
+    ConfigurationError,
+    InvalidAddressError,
+    UncorrectableMemoryError,
+)
+from repro.radiation.seu import flip_dram, strike_surface
+from repro.sim.faults import (
+    CensusEntry,
+    FaultDomain,
+    FaultRegion,
+    FaultSurface,
+    census_json,
+    flip_float64,
+    flip_int_bit,
+    render_census,
+)
+from repro.sim.machine import Machine
+from repro.sim.memory import SimMemory
+from repro.sim.storage import FlashStorage
+
+
+class BitBox:
+    """Minimal in-test fault domain: one region over a bytearray."""
+
+    def __init__(self, size: int, name: str = "box", protection: str = "none"):
+        self.data = bytearray(size)
+        self.region_name = name
+        self.protection = protection
+
+    def fault_census(self):
+        return (
+            FaultRegion(
+                self.region_name, len(self.data) * 8,
+                protection=self.protection, scope="private",
+            ),
+        )
+
+    def fault_strike(self, region, offset, bit):
+        if region != self.region_name:
+            raise InvalidAddressError(f"no region {region!r}")
+        if not 0 <= offset < len(self.data):
+            raise InvalidAddressError(f"offset {offset} out of range")
+        self.data[offset] ^= 1 << (bit & 7)
+        return f"box +{offset}:{bit & 7}"
+
+
+def warmed_machine(seed: int = 0) -> Machine:
+    """An rpi_zero2w with live bits in DRAM, every cache, and flash."""
+    machine = Machine.rpi_zero2w(seed=seed)
+    payload = bytes(range(256)) * 16
+    region = machine.memory.alloc(len(payload), label="warm")
+    machine.memory.write_region(region, payload)
+    for group in range(len(machine.caches.l1)):
+        machine.read_via_cache(region.addr, len(payload), group)
+    machine.storage.store("warm", payload)
+    machine.storage.read("warm")
+    return machine
+
+
+class TestFaultRegion:
+    def test_validates_protection_class(self):
+        with pytest.raises(ConfigurationError):
+            FaultRegion("r", 8, protection="parity")
+
+    def test_validates_scope(self):
+        with pytest.raises(ConfigurationError):
+            FaultRegion("r", 8, scope="global")
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ConfigurationError):
+            FaultRegion("r", -1)
+
+    def test_ecc_property_tracks_secded(self):
+        assert FaultRegion("r", 8, protection="secded").ecc
+        assert not FaultRegion("r", 8, protection="voted").ecc
+
+    def test_span_bytes_rounds_up(self):
+        assert FaultRegion("r", 1).span_bytes == 1
+        assert FaultRegion("r", 9).span_bytes == 2
+
+
+class TestRegistry:
+    def test_register_and_strike(self):
+        surface = FaultSurface()
+        box = surface.register("box", BitBox(4))
+        record = surface.strike("box", "box", 2, 5)
+        assert box.data[2] == 1 << 5
+        assert record.domain == "box" and record.offset == 2
+        assert "box +2:5" in str(record)
+
+    def test_duplicate_name_rejected(self):
+        surface = FaultSurface()
+        surface.register("box", BitBox(4))
+        with pytest.raises(ConfigurationError):
+            surface.register("box", BitBox(4))
+
+    def test_non_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSurface().register("nope", object())
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSurface().strike("ghost", "r", 0, 0)
+
+    def test_unregister_and_contains(self):
+        surface = FaultSurface()
+        surface.register("box", BitBox(4))
+        assert "box" in surface
+        surface.unregister("box")
+        assert "box" not in surface
+        with pytest.raises(ConfigurationError):
+            surface.unregister("box")
+
+    def test_protocol_is_runtime_checkable(self):
+        assert isinstance(BitBox(1), FaultDomain)
+        assert isinstance(SimMemory(64), FaultDomain)
+        assert isinstance(FlashStorage(), FaultDomain)
+
+
+class TestCensus:
+    def test_machine_census_covers_every_tier(self):
+        machine = warmed_machine()
+        labels = {e.label for e in machine.fault_surface.census()}
+        for expected in ("dram.data", "dram.checks", "l1[0].lines",
+                        "l2.lines", "flash.page_cache", "flash.media",
+                        "core0.pipeline", "core0.counters"):
+            assert expected in labels
+
+    def test_census_bits_match_component_state(self):
+        machine = warmed_machine()
+        entries = {e.label: e.bits for e in machine.fault_surface.census()}
+        assert entries["dram.data"] == machine.memory.allocated_bytes * 8
+        l2 = machine.caches.l2
+        assert entries["l2.lines"] == (
+            len(l2.resident_lines) * l2.line_size * 8
+        )
+        assert entries["flash.media"] == machine.storage.file_size("warm") * 8
+
+    def test_include_restricts_and_total_bits_sums(self):
+        machine = warmed_machine()
+        surface = machine.fault_surface
+        dram_only = surface.census(include=("dram",))
+        assert all(e.domain == "dram" for e in dram_only)
+        assert surface.total_bits(("dram",)) == sum(e.bits for e in dram_only)
+
+    def test_zero_bit_regions_are_listed(self):
+        machine = Machine.rpi_zero2w()
+        entries = {e.label: e.bits for e in machine.fault_surface.census()}
+        assert entries["dram.data"] == 0  # nothing allocated yet
+
+
+class TestSampling:
+    def test_sample_is_flux_weighted(self):
+        surface = FaultSurface()
+        surface.register("big", BitBox(1000))
+        surface.register("small", BitBox(10))
+        rng = np.random.default_rng(7)
+        hits = [surface.sample(rng)[0] for _ in range(500)]
+        big_share = hits.count("big") / len(hits)
+        assert 0.96 < big_share <= 1.0  # expected 1000/1010
+
+    def test_sample_raises_on_dead_surface(self):
+        surface = FaultSurface()
+        surface.register("empty", BitBox(0))
+        with pytest.raises(InvalidAddressError):
+            surface.sample(np.random.default_rng(0))
+
+    def test_strike_random_mbu_stays_inside_region(self):
+        surface = FaultSurface()
+        box = surface.register("box", BitBox(2))
+        rng = np.random.default_rng(3)
+        records = surface.strike_random(rng, bits=40)
+        assert len(records) == 40
+        # Every strike clamped to the 16-bit region.
+        assert all(r.offset * 8 + r.bit < 16 for r in records)
+        assert any(box.data)
+
+    def test_strike_surface_helper(self):
+        machine = warmed_machine()
+        records = strike_surface(machine, np.random.default_rng(5), bits=2)
+        assert len(records) == 2
+        assert records[0].domain in machine.fault_surface.domain_names
+
+
+class TestSecdedMatrix:
+    """The SECDED outcome matrix, driven through surface strikes."""
+
+    def setup_method(self):
+        self.surface = FaultSurface()
+        self.mem = self.surface.register("dram", SimMemory(256, ecc=True))
+        self.region = self.mem.alloc(64)
+        self.payload = bytes(range(64))
+        self.mem.write_region(self.region, self.payload)
+
+    def test_single_bit_is_corrected(self):
+        self.surface.strike("dram", "data", 8, 3)
+        assert self.mem.read_region(self.region) == self.payload
+        assert self.mem.stats.corrected_errors == 1
+
+    def test_double_bit_is_detected_uncorrectable(self):
+        # Two flips inside one 8-byte codeword.
+        self.surface.strike("dram", "data", 8, 3)
+        self.surface.strike("dram", "data", 9, 6)
+        with pytest.raises(UncorrectableMemoryError):
+            self.mem.read_region(self.region)
+        assert self.mem.stats.detected_errors >= 1
+
+    def test_double_bit_across_codewords_is_two_corrections(self):
+        self.surface.strike("dram", "data", 0, 0)
+        self.surface.strike("dram", "data", 8, 0)
+        assert self.mem.read_region(self.region) == self.payload
+        assert self.mem.stats.corrected_errors == 2
+
+    def test_triple_bit_is_silent_corruption(self):
+        # Data bits 0,1,2 of one word: codeword positions 3,5,6 whose
+        # syndrome XORs to zero — the decoder sees only a parity-bit
+        # error and hands back corrupted data as "corrected". The SDC
+        # case SECDED fundamentally cannot catch.
+        for bit in range(3):
+            self.surface.strike("dram", "data", 8, bit)
+        data = self.mem.read_region(self.region)
+        assert data != self.payload
+        assert data[8] == self.payload[8] ^ 0b111
+
+    def test_check_bit_strike_is_corrected(self):
+        self.surface.strike("dram", "checks", 1, 4)
+        assert self.mem.read_region(self.region) == self.payload
+        assert self.mem.stats.corrected_errors == 1
+
+
+class TestFlashStrikes:
+    def setup_method(self):
+        self.surface = FaultSurface()
+        self.flash = self.surface.register("flash", FlashStorage())
+        self.flash.store("a.bin", bytes(range(64)))
+        self.flash.store("b.bin", bytes(reversed(range(64))))
+        self.flash.read("a.bin")
+        self.flash.read("b.bin")
+
+    def test_page_cache_strike_corrupts_cached_copy_only(self):
+        offset = self.flash.page_cache_address("b.bin", 5)
+        detail = self.surface.strike("flash", "page_cache", offset, 2).detail
+        assert "b.bin+5" in detail
+        corrupted = self.flash.read("b.bin").data
+        assert corrupted[5] == bytes(reversed(range(64)))[5] ^ (1 << 2)
+        # The medium is clean: a cold read re-stages the true bytes.
+        self.flash.drop_page_cache()
+        assert self.flash.read("b.bin").data == bytes(reversed(range(64)))
+
+    def test_media_strike_is_corrected_on_read(self):
+        # File-table order concatenates a.bin then b.bin.
+        self.flash.drop_page_cache()
+        detail = self.surface.strike("flash", "media", 64 + 3, 7).detail
+        assert "b.bin+3" in detail
+        assert self.flash.read("b.bin").data == bytes(reversed(range(64)))
+        assert self.flash.media_stats.corrected_errors == 1
+
+    def test_page_cache_address_rejects_cold_file(self):
+        self.flash.drop_page_cache()
+        with pytest.raises(InvalidAddressError):
+            self.flash.page_cache_address("a.bin", 0)
+
+    def test_census_tracks_cache_occupancy(self):
+        entries = {
+            e.region.name: e.bits
+            for e in self.surface.census(include=("flash",))
+        }
+        assert entries["page_cache"] == 128 * 8
+        assert entries["media"] == 128 * 8
+        self.flash.drop_page_cache()
+        entries = {
+            e.region.name: e.bits
+            for e in self.surface.census(include=("flash",))
+        }
+        assert entries["page_cache"] == 0
+
+
+class TestDramMbuBugfix:
+    def test_adjacent_flips_stay_inside_victim_codeword(self):
+        # The old clamp (allocated_bytes - 1) could walk an adjacent
+        # flip into the next word; adjacency must stay in the victim's
+        # 8-byte SECDED codeword or the MBU threat model evaporates.
+        machine = Machine.rpi_zero2w()
+        machine.memory.alloc(4096)
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            record = flip_dram(machine, rng, bits=3)
+            addrs = [int(part.split(":")[0], 16)
+                     for part in record.detail.split(",")]
+            words = {addr // 8 for addr in addrs}
+            assert len(words) == 1, record.detail
+
+
+class TestFlipHelpers:
+    def test_flip_float64_roundtrip(self):
+        value = 1.5
+        flipped = flip_float64(value, 52)
+        assert flipped != value
+        assert flip_float64(flipped, 52) == value
+
+    def test_flip_int_bit_roundtrip(self):
+        assert flip_int_bit(5, 1) == 7
+        assert flip_int_bit(flip_int_bit(5, 63), 63) == 5
+
+
+class TestTable4FromCensus:
+    def test_machine_census_reproduces_paper_rows(self):
+        die = DieModel()
+        census = Machine.rpi_zero2w().fault_surface.census()
+        assert die.protected_fraction_from_census(census, "none") == 0.0
+        assert die.protected_fraction_from_census(
+            census, "unprotected-parallel-3mr"
+        ) == pytest.approx(0.75)
+        for scheme in ("3mr", "sequential-3mr", "emr"):
+            assert die.protected_fraction_from_census(census, scheme) == 1.0
+
+    def test_ecc_caches_close_the_parallel_gap(self):
+        # §3.2: with SECDED over the shared cache, EMR reverts to
+        # plain parallel 3-MR — the census should derive 100 %.
+        die = DieModel()
+        census = (
+            CensusEntry("l2", FaultRegion(
+                "lines", 1024, protection="secded", scope="shared",
+                die_bucket="shared_cache",
+            )),
+        )
+        assert die.protected_fraction_from_census(
+            census, "unprotected-parallel-3mr"
+        ) == 1.0
+
+    def test_unknown_scheme_and_bucket_raise(self):
+        die = DieModel()
+        with pytest.raises(ConfigurationError):
+            die.protected_fraction_from_census((), "shield")
+        with pytest.raises(ConfigurationError):
+            die.bucket_share("chiplet")
+
+
+class TestCensusRendering:
+    def test_render_and_json_agree(self):
+        machine = warmed_machine()
+        entries = machine.fault_surface.census()
+        rendered = render_census(entries)
+        as_json = census_json(entries)
+        assert "total:" in rendered
+        assert len(as_json) == len(entries)
+        assert sum(e["bits"] for e in as_json) == sum(e.bits for e in entries)
+
+    def test_render_empty_census(self):
+        assert "0 regions" in render_census(())
+
+
+class TestFaultsCli:
+    def test_census_table(self, capsys):
+        assert main(["faults", "census"]) == 0
+        out = capsys.readouterr().out
+        assert "dram.data" in out and "protection" in out
+
+    def test_census_warm_json(self, capsys):
+        assert main(["faults", "census", "--warm", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_label = {f"{e['domain']}.{e['region']}": e for e in entries}
+        assert by_label["dram.data"]["bits"] > 0
+        assert by_label["flash.page_cache"]["bits"] > 0
+        assert by_label["dram.data"]["ecc"] is True

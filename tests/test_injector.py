@@ -102,3 +102,23 @@ class TestStorageFrontierCampaign:
         table = campaign.run(schemes=("emr",))
         assert sum(table["emr"].values()) == 8
         assert table["emr"][OutcomeClass.SDC] == 0
+
+
+class TestCensusWeights:
+    def test_warmed_machine_weights_normalize(self):
+        from repro.radiation.injector import census_injection_weights
+        from repro.sim import Machine
+
+        machine = Machine.rpi_zero2w()
+        payload = bytes(range(256)) * 16
+        region = machine.memory.alloc(len(payload), label="warm")
+        machine.memory.write_region(region, payload)
+        for group in range(len(machine.caches.l1)):
+            machine.read_via_cache(region.addr, len(payload), group)
+        weights = census_injection_weights(machine)
+        assert weights[SeuTarget.POINTER] == pytest.approx(0.10)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights[SeuTarget.DRAM] > 0
+        assert weights[SeuTarget.L1_CACHE] > weights[SeuTarget.PIPELINE]
+        # Valid campaign config as-is.
+        CampaignConfig(runs_per_scheme=1, weights=weights)
