@@ -238,6 +238,37 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     return 0 if report.survived else 2
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from .sim import MachineSpec
+    from .sim.batch import BatchMachines, TickConfig, TickProgram
+
+    spec = MachineSpec(
+        dram_size=1 << 16, l1_lines=8, l2_lines=16, flash_capacity=1 << 16
+    )
+    config = TickConfig(dt=args.dt)
+    program = TickProgram.constant(
+        args.utilization, args.ticks, n_cores=spec.n_cores
+    )
+    batch = BatchMachines.from_specs(
+        spec, seeds=range(args.seed, args.seed + args.machines), config=config
+    )
+    start = time.perf_counter()
+    report = batch.run(program)
+    wall = time.perf_counter() - start
+    total = args.machines * args.ticks
+    print(
+        f"{args.machines} machines x {args.ticks} ticks (dt={args.dt:g} s) "
+        f"= {total * args.dt / 3600.0:.1f} simulated machine-hours"
+    )
+    print(
+        f"wall {wall:.2f} s  ({total / wall:,.0f} machine-ticks/s); "
+        f"alarms {len(report.alarms)}, deaths {len(report.deaths)}"
+    )
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .chaos import default_scenarios, render_reports, run_chaos
 
@@ -418,6 +449,18 @@ def build_parser() -> argparse.ArgumentParser:
     mission.add_argument("--seed", type=int, default=0)
     mission.add_argument("--csv", help="write the anomaly dataset as CSV")
     mission.set_defaults(func=_cmd_mission)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="advance a batched machine fleet in lockstep (SoA tick engine)",
+    )
+    fleet.add_argument("--machines", type=int, default=1000)
+    fleet.add_argument("--ticks", type=int, default=3600)
+    fleet.add_argument("--dt", type=float, default=1.0,
+                       help="tick length in simulated seconds (default 1.0)")
+    fleet.add_argument("--utilization", type=float, default=0.5)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.set_defaults(func=_cmd_fleet)
 
     chaos = sub.add_parser(
         "chaos", help="fuzz the whole protection stack with seeded faults"

@@ -12,6 +12,7 @@ See ``docs/campaigns.md`` for the spec format, fingerprinting rules
 and resume semantics.
 """
 
+from .batch import Diverged, execute_batched
 from .engine import CampaignResult, CampaignStatus, execute, status
 from .reports import decode_report, encode_report
 from .spec import (
@@ -31,6 +32,7 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "CampaignStatus",
+    "Diverged",
     "Trial",
     "TrialSpec",
     "TrialStore",
@@ -38,6 +40,7 @@ __all__ = [
     "decode_report",
     "encode_report",
     "execute",
+    "execute_batched",
     "jsonify",
     "status",
     "trial_rng",

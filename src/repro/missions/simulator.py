@@ -13,11 +13,12 @@ the same event stream unprotected and measure what Radshield bought.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.ild import train_ild
+from ..core.ild import IldDetector, train_ild
 from ..errors import ConfigurationError
 from ..flightsw.eventlog import EventLog, EvrSeverity
 from ..radiation.environment import MARS_SURFACE, RadiationEnvironment
@@ -122,6 +123,77 @@ class MissionReport:
         return "\n".join(lines)
 
 
+#: Memoized ILD ground calibration, keyed on the derived RNG identity
+#: of the training pipeline: ``(seed, tick)`` fully determines the
+#: ground trace (schedule rng = seed+1, trace rng = seed+2) and hence
+#: the fitted model. Campaign grids that sweep protection knobs over a
+#: shared seed stop re-training per trial. Values are fitted
+#: :class:`CurrentModel`\ s; every caller gets a *fresh* detector
+#: around a deep copy, so missions never share mutable filter state.
+_ILD_TRAINING_CACHE: "dict[tuple, object]" = {}
+_ILD_TRAINING_CACHE_MAX = 32
+
+
+def _trained_ild(cfg: MissionConfig, generator: TraceGenerator) -> IldDetector:
+    """Ground-trained detector for this mission, via the cache."""
+    key = (cfg.seed, cfg.tick)
+    model = _ILD_TRAINING_CACHE.get(key)
+    if model is None:
+        ground = generator.generate(
+            navigation_schedule(1200.0, rng=np.random.default_rng(cfg.seed + 1)),
+            rng=np.random.default_rng(cfg.seed + 2),
+        )
+        model = train_ild(
+            ground, max_instruction_rate=generator.max_instruction_rate
+        ).model
+        while len(_ILD_TRAINING_CACHE) >= _ILD_TRAINING_CACHE_MAX:
+            _ILD_TRAINING_CACHE.pop(next(iter(_ILD_TRAINING_CACHE)))
+        _ILD_TRAINING_CACHE[key] = model
+    return IldDetector(
+        copy.deepcopy(model), generator.max_instruction_rate
+    )
+
+
+def _events_until(events, index: int, end: float):
+    """Slice ``events[index:]`` with ``time < end``; events are sorted,
+    so each chunk advances the index instead of rescanning the list."""
+    j = index
+    while j < len(events) and events[j].time < end:
+        j += 1
+    return events[index:j], j
+
+
+@dataclass
+class _MissionLane:
+    """In-flight state of one mission between chunk advances.
+
+    :meth:`MissionSimulator.run` owns a single lane;
+    :meth:`MissionSimulator.run_batch` holds one per mission and
+    advances them chunk-lockstep.
+    """
+
+    rng: np.random.Generator
+    report: MissionReport
+    duration: float
+    machine: Machine
+    eventlog: EventLog
+    injector: LatchupInjector
+    thermal: ThermalModel
+    generator: TraceGenerator
+    detector: "IldDetector | None"
+    supervisor: "RecoverySupervisor | None"
+    policy: "DegradationPolicy | None"
+    sel_events: list
+    seu_events: list
+    sel_index: int = 0
+    seu_index: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.elapsed < self.duration and self.report.survived
+
+
 class MissionSimulator:
     """Runs one mission timeline."""
 
@@ -132,13 +204,50 @@ class MissionSimulator:
 
     # ------------------------------------------------------------------
     def run(self) -> MissionReport:
+        lane = self._setup_lane()
+        while lane.active:
+            self._advance_chunk(lane)
+        return self._finalize(lane)
+
+    @classmethod
+    def run_batch(
+        cls, configs, workload_factory=None
+    ) -> "list[MissionReport]":
+        """Run several missions chunk-lockstep, as lanes.
+
+        Reports are byte-identical to ``[MissionSimulator(c).run() for
+        c in configs]`` — each lane owns its machine, RNG streams and
+        event history — but the lanes share one process, one warmed
+        workload path and (decisively, for protected grids over a
+        common seed) one memoized ILD ground training. Lanes that
+        diverge — a lost mission, a shorter duration — simply drop out
+        of the lockstep round; the rest keep advancing.
+        """
+        sims = [
+            cls(config) if workload_factory is None
+            else cls(config, workload_factory)
+            for config in configs
+        ]
+        lanes = [sim._setup_lane() for sim in sims]
+        while True:
+            advanced = False
+            for sim, lane in zip(sims, lanes):
+                if lane.active:
+                    sim._advance_chunk(lane)
+                    advanced = True
+            if not advanced:
+                break
+        return [sim._finalize(lane) for sim, lane in zip(sims, lanes)]
+
+    # ------------------------------------------------------------------
+    def _setup_lane(self) -> _MissionLane:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         report = MissionReport(config=cfg)
         duration = cfg.duration_days * 86400.0
 
         machine = Machine.rpi_zero2w(seed=cfg.seed)
-        # Local to this run (not instance state): one simulator can be
+        # Local to this lane (not instance state): one simulator can be
         # reused or run concurrently without cross-run EVR leakage.
         eventlog = EventLog(capacity=4096)
         injector = LatchupInjector(machine)
@@ -147,19 +256,17 @@ class MissionSimulator:
 
         # Sample the event streams first, from the mission seed alone,
         # so protected and unprotected reruns face identical skies.
-        sel_events = cfg.environment.sample_sel_events(duration, rng)
-        seu_events = cfg.environment.sample_seu_events(duration, rng)
+        # Sorted once; chunks advance an index instead of rescanning.
+        sel_events = sorted(
+            cfg.environment.sample_sel_events(duration, rng),
+            key=lambda e: e.time,
+        )
+        seu_events = sorted(
+            cfg.environment.sample_seu_events(duration, rng),
+            key=lambda e: e.time,
+        )
 
-        detector = None
-        if cfg.ild_enabled:
-            ground_rng = np.random.default_rng(cfg.seed + 2)
-            ground = generator.generate(
-                navigation_schedule(1200.0, rng=np.random.default_rng(cfg.seed + 1)),
-                rng=ground_rng,
-            )
-            detector = train_ild(
-                ground, max_instruction_rate=generator.max_instruction_rate
-            )
+        detector = _trained_ild(cfg, generator) if cfg.ild_enabled else None
         supervisor = None
         policy = None
         if cfg.supervised:
@@ -176,51 +283,70 @@ class MissionSimulator:
             supervisor.register_inflight(
                 "flight-workload", self._make_replay(policy)
             )
+        return _MissionLane(
+            rng=rng,
+            report=report,
+            duration=duration,
+            machine=machine,
+            eventlog=eventlog,
+            injector=injector,
+            thermal=thermal,
+            generator=generator,
+            detector=detector,
+            supervisor=supervisor,
+            policy=policy,
+            sel_events=sel_events,
+            seu_events=seu_events,
+        )
 
-        pending_sels = list(sel_events)
-        pending_seus = list(seu_events)
+    def _advance_chunk(self, lane: _MissionLane) -> None:
+        """One chunk of mission time (the loop body of :meth:`run`)."""
+        cfg = self.config
+        report = lane.report
+        chunk = min(cfg.chunk_seconds, lane.duration - lane.elapsed)
+        elapsed_end = lane.elapsed + chunk
+        if lane.supervisor is not None:
+            # The chunk's known-good state: rollback target for any
+            # alarm raised while this chunk's work is in flight.
+            lane.supervisor.checkpoint()
+        # Latchups striking within this chunk.
+        chunk_sels, lane.sel_index = _events_until(
+            lane.sel_events, lane.sel_index, elapsed_end
+        )
+        self._run_telemetry_chunk(
+            lane.machine, lane.injector, lane.thermal, lane.generator,
+            lane.detector, chunk, lane.elapsed, chunk_sels, lane.rng,
+            report, lane.eventlog, supervisor=lane.supervisor,
+        )
+        if not report.survived:
+            return
+        # Upsets striking within this chunk.
+        chunk_seus, lane.seu_index = _events_until(
+            lane.seu_events, lane.seu_index, elapsed_end
+        )
+        for seu in chunk_seus:
+            self._handle_seu(seu, lane.rng, report, lane.eventlog, lane.policy)
+        if lane.policy is not None:
+            change = lane.policy.update(elapsed_end)
+            if change is not None and lane.detector is not None:
+                lane.detector.reconfigure(change.to_level.ild)
+        lane.elapsed = elapsed_end
 
-        elapsed = 0.0
-        while elapsed < duration and report.survived:
-            chunk = min(cfg.chunk_seconds, duration - elapsed)
-            elapsed_end = elapsed + chunk
-            if supervisor is not None:
-                # The chunk's known-good state: rollback target for any
-                # alarm raised while this chunk's work is in flight.
-                supervisor.checkpoint()
-            # Latchups striking within this chunk.
-            chunk_sels = [e for e in pending_sels if elapsed <= e.time < elapsed_end]
-            pending_sels = [e for e in pending_sels if e.time >= elapsed_end]
-            self._run_telemetry_chunk(
-                machine, injector, thermal, generator, detector,
-                chunk, elapsed, chunk_sels, rng, report, eventlog,
-                supervisor=supervisor,
-            )
-            if not report.survived:
-                break
-            # Upsets striking within this chunk.
-            chunk_seus = [e for e in pending_seus if elapsed <= e.time < elapsed_end]
-            pending_seus = [e for e in pending_seus if e.time >= elapsed_end]
-            for seu in chunk_seus:
-                self._handle_seu(seu, rng, report, eventlog, policy)
-            if policy is not None:
-                change = policy.update(elapsed_end)
-                if change is not None and detector is not None:
-                    detector.reconfigure(change.to_level.ild)
-            elapsed = elapsed_end
-        report.mission_seconds = elapsed
-        report.power_cycles = machine.power_cycles
-        if supervisor is not None:
+    def _finalize(self, lane: _MissionLane) -> MissionReport:
+        report = lane.report
+        report.mission_seconds = lane.elapsed
+        report.power_cycles = lane.machine.power_cycles
+        if lane.supervisor is not None:
             report.recoveries = sum(
-                1 for o in supervisor.outcomes if o.recovered
+                1 for o in lane.supervisor.outcomes if o.recovered
             )
             report.replays_ok = sum(
-                1 for o in supervisor.outcomes if o.replay_ok
+                1 for o in lane.supervisor.outcomes if o.replay_ok
             )
-        if policy is not None:
-            report.level_changes = len(policy.changes)
-            report.final_level = policy.level.name
-        report.events = eventlog.events()
+        if lane.policy is not None:
+            report.level_changes = len(lane.policy.changes)
+            report.final_level = lane.policy.level.name
+        report.events = lane.eventlog.events()
         return report
 
     # ------------------------------------------------------------------

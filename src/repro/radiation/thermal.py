@@ -50,6 +50,33 @@ class ThermalParams:
             raise ConfigurationError("damage temperature must exceed ambient")
 
 
+def hotspot_temperature(
+    params: ThermalParams, latchup_age: float, delta_amps: float
+) -> float:
+    """Junction temperature after ``latchup_age`` seconds of latchup."""
+    import math
+
+    if latchup_age < 0:
+        raise ConfigurationError("age must be >= 0")
+    asymptote = params.degrees_per_amp * delta_amps
+    rise = asymptote * (1.0 - math.exp(-latchup_age / params.time_constant_s))
+    return params.ambient_temp_c + rise
+
+
+def time_to_damage(params: ThermalParams, delta_amps: float) -> float:
+    """Seconds from latchup onset to chip damage (inf if it never heats
+    enough). Shared by :class:`ThermalModel` and the batch tick engine
+    (:mod:`repro.sim.batch`), which tracks damage as a deadline so the
+    per-tick check is a comparison, not a transcendental."""
+    import math
+
+    asymptote = params.degrees_per_amp * delta_amps
+    needed = params.damage_temp_c - params.ambient_temp_c
+    if asymptote <= needed:
+        return float("inf")
+    return -params.time_constant_s * math.log(1.0 - needed / asymptote)
+
+
 class ThermalModel:
     """Tracks hotspot temperature for each active latchup."""
 
@@ -62,25 +89,11 @@ class ThermalModel:
 
     def hotspot_temperature(self, latchup_age: float, delta_amps: float) -> float:
         """Junction temperature after ``latchup_age`` seconds of latchup."""
-        import math
-
-        if latchup_age < 0:
-            raise ConfigurationError("age must be >= 0")
-        p = self.params
-        asymptote = p.degrees_per_amp * delta_amps
-        rise = asymptote * (1.0 - math.exp(-latchup_age / p.time_constant_s))
-        return p.ambient_temp_c + rise
+        return hotspot_temperature(self.params, latchup_age, delta_amps)
 
     def time_to_damage(self, delta_amps: float) -> float:
         """Seconds from latchup onset to chip damage (inf if it never heats enough)."""
-        import math
-
-        p = self.params
-        asymptote = p.degrees_per_amp * delta_amps
-        needed = p.damage_temp_c - p.ambient_temp_c
-        if asymptote <= needed:
-            return float("inf")
-        return -p.time_constant_s * math.log(1.0 - needed / asymptote)
+        return time_to_damage(self.params, delta_amps)
 
     def check(self) -> bool:
         """Evaluate damage now; marks the machine dead if any hotspot

@@ -8,6 +8,20 @@ the substitution rationale.
 
 from .cache import AccessTrace, Cache, CacheHierarchy, CacheStats
 from .clock import SimClock, Stopwatch
+from .batch import (
+    BatchMachines,
+    FleetTicker,
+    LaneEvents,
+    SelStep,
+    SeuStrike,
+    TickAlarm,
+    TickConfig,
+    TickDeath,
+    TickProgram,
+    TickRunReport,
+    TickState,
+    merge_reports,
+)
 from .core import Core, CoreCounters, CoreGroup, CoreSpec, ExecutionCost
 from .dvfs import OndemandGovernor
 from .faults import (
@@ -51,6 +65,7 @@ from .telemetry import (
 __all__ = [
     "AccessTrace",
     "ActivitySegment",
+    "BatchMachines",
     "Cache",
     "CacheHierarchy",
     "CacheStats",
@@ -69,8 +84,10 @@ __all__ = [
     "FaultRegion",
     "FaultSurface",
     "FlashStorage",
+    "FleetTicker",
     "GLOBAL_METRICS",
     "HousekeepingParams",
+    "LaneEvents",
     "Machine",
     "MachineSpec",
     "MemoryRegion",
@@ -85,7 +102,9 @@ __all__ = [
     "PowerModel",
     "PowerModelParams",
     "SCOPES",
+    "SelStep",
     "SensorParams",
+    "SeuStrike",
     "SimClock",
     "SimMemory",
     "Stopwatch",
@@ -94,9 +113,16 @@ __all__ = [
     "StrikeRecord",
     "TelemetryConfig",
     "TelemetryTrace",
+    "TickAlarm",
+    "TickConfig",
+    "TickDeath",
+    "TickProgram",
+    "TickRunReport",
+    "TickState",
     "TraceGenerator",
     "burst_schedule",
     "census_json",
+    "merge_reports",
     "feature_names",
     "flip_float64",
     "flip_int_bit",

@@ -1,0 +1,1080 @@
+"""Structure-of-arrays batch simulation: N machines in lockstep.
+
+The scalar :class:`~repro.sim.machine.Machine` is a graph of Python
+objects — expressive, but every simulated tick costs Python dispatch,
+and mission chunks, Table 7 campaigns and fleet studies all bottom out
+in exactly that dispatch. This module packs the *hot per-tick state* of
+N machines across a batch axis — core activity and PMU counters, DVFS
+frequency indices, board current, sensor samples, thermal deadlines,
+ILD rolling-filter windows, SEL/SEU application — so one
+:meth:`BatchMachines.run` advances all N lanes per tick with array ops.
+
+Two backends, one contract:
+
+* :class:`FleetTicker` — the canonical scalar path. One real
+  :class:`Machine` advanced tick by tick with per-machine arithmetic.
+* :class:`BatchMachines` — the SoA path. N lanes advanced in lockstep.
+
+The batch backend is **byte-identical** to the scalar one at any N:
+state digests (:meth:`FleetTicker.state_digest` /
+:meth:`BatchMachines.state_digest`) match tick for tick. Three rules
+make that possible:
+
+1. **Per-lane RNG streams.** Every lane owns its own
+   ``np.random.Generator`` (a machine's own ``rng``, or one derived
+   from a per-lane ``SeedSequence`` stream). Draws happen in fixed
+   blocks of :attr:`TickConfig.block_ticks` ticks, in a pinned order
+   per lane (utilization jitter, sensor noise, spike uniforms, spike
+   magnitudes); scalar and batch consume the same blocks from the same
+   streams. A dead or peeled lane stops drawing at the next block
+   boundary in both backends.
+2. **No per-tick transcendentals.** Current-vs-frequency tables
+   (``rel ** freq_exponent``) are precomputed per DVFS level; thermal
+   damage is tracked as a *deadline* computed with ``math.log`` only
+   when an SEL changes the lane's extra draw, so the per-tick check is
+   a comparison. Everything that runs per tick is elementwise IEEE
+   arithmetic whose result does not depend on array shape.
+3. **Sequential accumulation.** Clocks, busy-seconds, energy and the
+   ILD running residual sum are accumulated one tick at a time in both
+   backends — a batched lane performs the same adds in the same order
+   as its scalar twin.
+
+Divergence (a reboot, a power cycle, any per-machine control flow the
+lockstep loop cannot express) is handled by **peeling**:
+:meth:`BatchMachines.peel` materialises the lane into a real
+:class:`Machine` plus its carried :class:`TickState` and returns a
+:class:`FleetTicker` that continues scalar, while the remaining lanes
+stay batched. See ``docs/batch.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from .machine import Machine, MachineSpec, _digest_update
+from ..radiation.thermal import ThermalParams, time_to_damage
+
+#: CoreCounters field order used by the packed (lane, core, counter)
+#: array — column i of the counters array is _COUNTER_FIELDS[i].
+_COUNTER_FIELDS = (
+    "instructions",
+    "cycles",
+    "bus_cycles",
+    "branches",
+    "branch_misses",
+    "cache_references",
+    "cache_hits",
+)
+
+
+@dataclass(frozen=True)
+class TickConfig:
+    """Parameters of the lockstep tick engine.
+
+    Defaults mirror the rest of the stack: 1 ms metric ticks with four
+    sensor samples each (:class:`~repro.sim.telemetry.TelemetryConfig`),
+    ``ondemand`` governor thresholds, the paper's ILD constants
+    (0.055 A / 3 s / ±4-sample rolling minimum) and the calibrated
+    thermal model.
+    """
+
+    dt: float = 1e-3
+    samples_per_tick: int = 4
+    #: RNG draw-block granularity in ticks. Part of the reproducibility
+    #: contract: digests are guaranteed equal only for runs that
+    #: partition ticks into the same blocks.
+    block_ticks: int = 256
+    util_jitter: float = 0.04
+    branch_fraction: float = 0.12
+    branch_miss_rate: float = 0.03
+    up_threshold: float = 0.80
+    down_threshold: float = 0.30
+    residual_threshold_amps: float = 0.055
+    persistence_seconds: float = 3.0
+    quiescence_utilization: float = 0.22
+    filter_halfwidth_samples: int = 4
+    thermal: ThermalParams = field(default_factory=ThermalParams)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if self.samples_per_tick <= 0:
+            raise ConfigurationError("samples_per_tick must be positive")
+        if self.block_ticks <= 0:
+            raise ConfigurationError("block_ticks must be positive")
+        if not 0 < self.down_threshold < self.up_threshold <= 1:
+            raise ConfigurationError(
+                "need 0 < down_threshold < up_threshold <= 1"
+            )
+        if self.residual_threshold_amps <= 0 or self.persistence_seconds <= 0:
+            raise ConfigurationError("ILD threshold/persistence must be positive")
+        if self.filter_halfwidth_samples < 0:
+            raise ConfigurationError("filter halfwidth must be >= 0")
+        if not 0 <= self.quiescence_utilization <= 1:
+            raise ConfigurationError("quiescence_utilization must be in [0, 1]")
+        if not 0 <= self.branch_fraction <= 1 or not 0 <= self.branch_miss_rate <= 1:
+            raise ConfigurationError("branch fractions must be in [0, 1]")
+
+    @property
+    def window_ticks(self) -> int:
+        """ILD persistence window length in ticks."""
+        return max(1, int(round(self.persistence_seconds / self.dt)))
+
+
+@dataclass(frozen=True)
+class SelStep:
+    """A latchup step: persistent extra current from ``tick`` onward."""
+
+    tick: int
+    delta_amps: float
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ConfigurationError("event tick must be >= 0")
+
+
+@dataclass(frozen=True)
+class SeuStrike:
+    """A pipeline upset: poisons one core's datapath at ``tick``."""
+
+    tick: int
+    core: int
+
+    def __post_init__(self) -> None:
+        if self.tick < 0 or self.core < 0:
+            raise ConfigurationError("event tick/core must be >= 0")
+
+
+@dataclass(frozen=True)
+class LaneEvents:
+    """Per-lane radiation events for one run."""
+
+    sels: tuple = ()
+    seus: tuple = ()
+
+
+class TickProgram:
+    """A tick-indexed activity schedule shared by every lane.
+
+    ``utilization`` has shape ``(ticks, n_cores)``; ``freq_override``
+    (optional, shape ``(ticks,)``) pins every core to an exact DVFS
+    level where it is not NaN; ``jitter`` (optional, shape ``(ticks,)``)
+    overrides :attr:`TickConfig.util_jitter` per tick. ``sels``/``seus``
+    apply to *every* lane (use :class:`LaneEvents` for per-lane ones).
+    """
+
+    def __init__(
+        self,
+        utilization,
+        freq_override=None,
+        jitter=None,
+        sels=(),
+        seus=(),
+    ) -> None:
+        self.utilization = np.ascontiguousarray(utilization, dtype=float)
+        if self.utilization.ndim != 2 or self.utilization.shape[0] == 0:
+            raise ConfigurationError(
+                "utilization must have shape (ticks, n_cores) with ticks >= 1"
+            )
+        if (self.utilization < 0).any() or (self.utilization > 1).any():
+            raise ConfigurationError("utilization must lie in [0, 1]")
+        ticks = self.utilization.shape[0]
+        self.freq_override = None
+        if freq_override is not None:
+            self.freq_override = np.ascontiguousarray(freq_override, dtype=float)
+            if self.freq_override.shape != (ticks,):
+                raise ConfigurationError("freq_override must have shape (ticks,)")
+        self.jitter = None
+        if jitter is not None:
+            self.jitter = np.ascontiguousarray(jitter, dtype=float)
+            if self.jitter.shape != (ticks,):
+                raise ConfigurationError("jitter must have shape (ticks,)")
+            if (self.jitter < 0).any():
+                raise ConfigurationError("jitter amplitudes must be >= 0")
+        self.sels = tuple(sels)
+        self.seus = tuple(seus)
+
+    @property
+    def n_ticks(self) -> int:
+        return self.utilization.shape[0]
+
+    @property
+    def n_cores(self) -> int:
+        return self.utilization.shape[1]
+
+    def jitter_amp(self, tick: int, default: float) -> float:
+        return float(self.jitter[tick]) if self.jitter is not None else default
+
+    @classmethod
+    def constant(
+        cls,
+        utilization,
+        ticks: int,
+        n_cores: "int | None" = None,
+        freq: "float | None" = None,
+        sels=(),
+        seus=(),
+    ) -> "TickProgram":
+        """Uniform activity: one utilization held for ``ticks`` ticks."""
+        if np.ndim(utilization) == 0:
+            if n_cores is None:
+                raise ConfigurationError("scalar utilization needs n_cores")
+            row = np.full(n_cores, float(utilization))
+        else:
+            row = np.asarray(utilization, dtype=float)
+        base = np.tile(row, (ticks, 1))
+        override = None if freq is None else np.full(ticks, float(freq))
+        return cls(base, freq_override=override, sels=sels, seus=seus)
+
+    @classmethod
+    def from_segments(cls, segments, dt: float, sels=(), seus=()) -> "TickProgram":
+        """Resample :class:`~repro.sim.telemetry.ActivitySegment` lists
+        onto the tick grid (each segment covers
+        ``max(1, round(duration / dt))`` ticks)."""
+        if not segments:
+            raise ConfigurationError("need at least one segment")
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        rows, overrides, jitters = [], [], []
+        for seg in segments:
+            ticks = max(1, int(round(seg.duration / dt)))
+            rows.append(np.tile(np.asarray(seg.core_util, dtype=float), (ticks, 1)))
+            ov = float("nan") if seg.freq_override is None else float(seg.freq_override)
+            overrides.append(np.full(ticks, ov))
+            jitters.append(np.full(ticks, float(seg.util_jitter)))
+        return cls(
+            np.concatenate(rows),
+            freq_override=np.concatenate(overrides),
+            jitter=np.concatenate(jitters),
+            sels=sels,
+            seus=seus,
+        )
+
+
+@dataclass(frozen=True)
+class TickAlarm:
+    """One ILD alarm onset during a tick run."""
+
+    lane: int
+    tick: int
+    time: float
+    mean_residual: float
+
+
+@dataclass(frozen=True)
+class TickDeath:
+    """A lane crossing its thermal damage deadline."""
+
+    lane: int
+    tick: int
+    time: float
+
+
+@dataclass(frozen=True)
+class TickRunReport:
+    """What one :meth:`run` call observed, ordered by (tick, lane)."""
+
+    lanes: int
+    ticks: int
+    alarms: tuple
+    deaths: tuple
+
+    def lane_alarms(self, lane: int) -> tuple:
+        return tuple(a for a in self.alarms if a.lane == lane)
+
+    def lane_deaths(self, lane: int) -> tuple:
+        return tuple(d for d in self.deaths if d.lane == lane)
+
+
+def merge_reports(reports) -> TickRunReport:
+    """Merge per-machine scalar reports into one fleet report with the
+    batch backend's (tick, lane) ordering."""
+    reports = list(reports)
+    alarms = sorted(
+        (a for r in reports for a in r.alarms), key=lambda a: (a.tick, a.lane)
+    )
+    deaths = sorted(
+        (d for r in reports for d in r.deaths), key=lambda d: (d.tick, d.lane)
+    )
+    return TickRunReport(
+        lanes=sum(r.lanes for r in reports),
+        ticks=max((r.ticks for r in reports), default=0),
+        alarms=tuple(alarms),
+        deaths=tuple(deaths),
+    )
+
+
+@dataclass
+class TickState:
+    """Engine-private per-lane state carried across :meth:`run` calls.
+
+    This is everything the tick engine tracks *outside* the
+    :class:`Machine` object graph; together with the machine state it
+    defines the byte-identity contract (:func:`_engine_digest` hashes
+    both). Field order is part of the digest and must not change.
+    """
+
+    filter_tail: np.ndarray
+    ring: np.ndarray
+    ring_pos: int
+    streak: int
+    run_sum: float
+    in_alarm: bool
+    alarm_count: int
+    first_alarm_time: float
+    sel_onset_time: float
+    damage_deadline: float
+    energy_joules: float
+    ticks_run: int
+    dead: bool
+
+    @classmethod
+    def fresh(cls, config: TickConfig) -> "TickState":
+        return cls(
+            filter_tail=np.full(config.filter_halfwidth_samples, np.inf),
+            ring=np.zeros(config.window_ticks),
+            ring_pos=0,
+            streak=0,
+            run_sum=0.0,
+            in_alarm=False,
+            alarm_count=0,
+            first_alarm_time=float("nan"),
+            sel_onset_time=float("nan"),
+            damage_deadline=float("inf"),
+            energy_joules=0.0,
+            ticks_run=0,
+            dead=False,
+        )
+
+
+def _engine_digest(
+    rng_state,
+    t,
+    freq_idx,
+    counters,
+    busy,
+    poisoned,
+    damaged,
+    extra,
+    reboots,
+    power_cycles,
+    state: TickState,
+) -> str:
+    """SHA-256 over one lane's engine-visible state (machine hot state
+    + RNG stream position + :class:`TickState`). Both backends feed the
+    same canonical values, so equal digests mean equal lanes."""
+    h = hashlib.sha256()
+    _digest_update(
+        h,
+        {
+            "rng": rng_state,
+            "t": float(t),
+            "freq_idx": np.ascontiguousarray(freq_idx, dtype=np.int64),
+            "counters": np.ascontiguousarray(counters, dtype=np.int64),
+            "busy": np.ascontiguousarray(busy, dtype=float),
+            "poisoned": np.ascontiguousarray(poisoned, dtype=bool),
+            "damaged": np.ascontiguousarray(damaged, dtype=bool),
+            "extra": float(extra),
+            "reboots": int(reboots),
+            "power_cycles": int(power_cycles),
+        },
+    )
+    _digest_update(h, state)
+    return h.hexdigest()
+
+
+class _TickKernel:
+    """Shape-generic tick arithmetic shared by both backends.
+
+    Every method works identically on ``(C,)`` arrays (one machine) and
+    ``(N, C)`` arrays (a batch): only elementwise IEEE operations and
+    fixed-length trailing-axis reductions, so results are bitwise
+    independent of the leading shape. Per-DVFS-level current tables are
+    precomputed here so no ``**`` runs per tick.
+    """
+
+    def __init__(self, spec: MachineSpec, config: TickConfig) -> None:
+        core = spec.core_spec
+        power = spec.power_params
+        sensor = spec.sensor_params
+        self.config = config
+        self.level_floats = tuple(float(f) for f in core.freq_levels)
+        self.levels = np.array(self.level_floats)
+        self._level_index = {f: i for i, f in enumerate(self.level_floats)}
+        rel = self.levels / self.level_floats[-1]
+        self.level_current = power.core_max_current * rel**power.freq_exponent
+        self.level_static = power.static_freq_current * rel
+        self.idle_current = power.idle_current
+        self.base_ipc = core.base_ipc
+        self.instr_scale = core.base_ipc * config.dt
+        self.penalty = core.branch_miss_penalty_cycles
+        self.bus_per_instr = core.bus_cycles_per_instruction
+        self.noise_sigma = sensor.noise_sigma
+        self.spike_probability = sensor.spike_probability
+        self.spike_min = sensor.spike_min
+        self.spike_span = sensor.spike_max - sensor.spike_min
+        self.lsb = sensor.lsb
+        self.vdt = power.supply_voltage * config.dt
+        self.thermal = config.thermal
+        self.window = config.window_ticks
+        self.halfwidth = config.filter_halfwidth_samples
+        self.residual_threshold = config.residual_threshold_amps
+        self.quiescence_utilization = config.quiescence_utilization
+
+    def index_of(self, freq: float) -> int:
+        """Exact DVFS level index of ``freq`` (raises if not a level)."""
+        try:
+            return self._level_index[float(freq)]
+        except KeyError:
+            raise ConfigurationError(
+                f"frequency {freq:g} Hz is not a DVFS level"
+            ) from None
+
+    def override_indices(self, program: TickProgram) -> "np.ndarray | None":
+        """Per-tick override level indices (-1 = governor decides)."""
+        if program.freq_override is None:
+            return None
+        out = np.full(program.n_ticks, -1, dtype=np.int64)
+        for k, value in enumerate(program.freq_override):
+            if not math.isnan(value):
+                out[k] = self.index_of(float(value))
+        return out
+
+    def freq_index(self, util: np.ndarray) -> np.ndarray:
+        """Steady-state ``ondemand`` level per core — the same formula
+        as :meth:`OndemandGovernor.steady_state_freq_array`."""
+        cfg = self.config
+        span = (util - cfg.down_threshold) / (cfg.up_threshold - cfg.down_threshold)
+        n = len(self.level_floats) - 1
+        return np.clip(np.round(span * n), 0, n).astype(np.int64)
+
+    def charge(self, util: np.ndarray, idx: np.ndarray):
+        """Instruction/cycle/bus/branch accounting for one tick — the
+        array form of :meth:`Core.execute` with the engine's fixed
+        branch statistics."""
+        cfg = self.config
+        freq = self.levels[idx]
+        instr = ((util * freq) * self.instr_scale).astype(np.int64)
+        branches = (instr * cfg.branch_fraction).astype(np.int64)
+        misses = (branches * cfg.branch_miss_rate).astype(np.int64)
+        cycles = (instr / self.base_ipc + misses * self.penalty).astype(np.int64) + 1
+        seconds = cycles / freq
+        bus = (instr * self.bus_per_instr).astype(np.int64)
+        return instr, branches, misses, cycles, bus, seconds
+
+    def board_current(self, util: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Active board current — :meth:`PowerModel.board_current` with
+        zero DRAM/disk/branch-miss terms, via per-level tables."""
+        per_core = self.level_current[idx] * util + self.level_static[idx]
+        return self.idle_current + per_core.sum(axis=-1)
+
+    def sense(self, total, noise, spike_u, spike_mag) -> np.ndarray:
+        """Sensor fine samples for one tick.
+
+        Engine-private variant of :meth:`CurrentSensor.sample`: spike
+        magnitudes are *always* drawn (fixed-count blocks) and applied
+        through a mask, so the draw count never depends on data — the
+        requirement for lockstep lanes.
+        """
+        fine = np.asarray(total)[..., None] + self.noise_sigma * noise
+        magnitude = self.spike_min + self.spike_span * spike_mag
+        fine = np.where(spike_u < self.spike_probability, fine + magnitude, fine)
+        fine = np.maximum(fine, 0.0)
+        return np.round(fine / self.lsb) * self.lsb
+
+
+def _index_events(program: TickProgram, events: "LaneEvents | None", n_ticks: int):
+    """Tick -> list indices for one scalar lane (program then lane)."""
+    sel_by_tick: "dict[int, list]" = {}
+    seu_by_tick: "dict[int, list]" = {}
+    merged_sels = program.sels + (events.sels if events is not None else ())
+    merged_seus = program.seus + (events.seus if events is not None else ())
+    for ev in merged_sels:
+        if ev.tick >= n_ticks:
+            raise ConfigurationError(
+                f"SEL at tick {ev.tick} beyond program end {n_ticks}"
+            )
+        sel_by_tick.setdefault(ev.tick, []).append(ev.delta_amps)
+    for ev in merged_seus:
+        if ev.tick >= n_ticks:
+            raise ConfigurationError(
+                f"SEU at tick {ev.tick} beyond program end {n_ticks}"
+            )
+        seu_by_tick.setdefault(ev.tick, []).append(ev.core)
+    return sel_by_tick, seu_by_tick
+
+
+class FleetTicker:
+    """Canonical scalar tick engine over one real :class:`Machine`.
+
+    Advances the machine tick by tick with per-machine arithmetic,
+    drawing from ``machine.rng`` in the engine's block discipline. The
+    batch backend is verified against this path digest-for-digest.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: "TickConfig | None" = None,
+        state: "TickState | None" = None,
+        lane_id: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.config = config or TickConfig()
+        self.kernel = _TickKernel(machine.spec, self.config)
+        if state is None:
+            state = TickState.fresh(self.config)
+            state.dead = bool(all(core.damaged for core in machine.cores))
+        else:
+            if state.ring.shape != (self.kernel.window,):
+                raise ConfigurationError(
+                    "carried TickState ring does not match this config's window"
+                )
+            if state.filter_tail.shape != (self.kernel.halfwidth,):
+                raise ConfigurationError(
+                    "carried TickState filter tail does not match this config"
+                )
+        self.state = state
+        self.lane_id = lane_id
+
+    def run(
+        self,
+        program: TickProgram,
+        events: "LaneEvents | None" = None,
+    ) -> TickRunReport:
+        """Advance through ``program``, returning alarms and deaths."""
+        m = self.machine
+        st = self.state
+        kernel = self.kernel
+        cfg = self.config
+        if program.n_cores != m.spec.n_cores:
+            raise ConfigurationError(
+                f"program has {program.n_cores} cores; machine has {m.spec.n_cores}"
+            )
+        n_ticks = program.n_ticks
+        n_samples = cfg.samples_per_tick
+        window_ticks = kernel.window
+        halfwidth = kernel.halfwidth
+        sel_by_tick, seu_by_tick = _index_events(program, events, n_ticks)
+        ov_idx = kernel.override_indices(program)
+        base = program.utilization
+        rng = m.rng
+        n_cores = m.spec.n_cores
+        alarms: list = []
+        deaths: list = []
+
+        for k0 in range(0, n_ticks, cfg.block_ticks):
+            if st.dead:
+                break  # frozen lane: no further draws, no further ticks
+            k1 = min(n_ticks, k0 + cfg.block_ticks)
+            block = k1 - k0
+            jit = rng.normal(0.0, 1.0, (block, n_cores))
+            noise = rng.normal(0.0, 1.0, (block, n_samples))
+            spike_u = rng.random((block, n_samples))
+            spike_m = rng.random((block, n_samples))
+            for b in range(block):
+                if st.dead:
+                    break  # died mid-block: block draws already consumed
+                k = k0 + b
+                t = m.clock.now
+                # 1. radiation events scheduled for this tick
+                for delta in sel_by_tick.get(k, ()):
+                    m.extra_current_draw += delta
+                    if math.isnan(st.sel_onset_time):
+                        st.sel_onset_time = t
+                    deadline = t + time_to_damage(
+                        kernel.thermal, float(m.extra_current_draw)
+                    )
+                    st.damage_deadline = min(st.damage_deadline, deadline)
+                for core_index in seu_by_tick.get(k, ()):
+                    m.cores[core_index].poisoned = True
+                # 2. utilization with per-tick jitter
+                amp = program.jitter_amp(k, cfg.util_jitter)
+                util = np.clip(base[k] + amp * jit[b], 0.0, 1.0)
+                # 3. DVFS level
+                if ov_idx is not None and ov_idx[k] >= 0:
+                    idx = np.full(n_cores, ov_idx[k], dtype=np.int64)
+                else:
+                    idx = kernel.freq_index(util)
+                # 4. charge the cores
+                instr, branches, misses, cycles, bus, seconds = kernel.charge(
+                    util, idx
+                )
+                for c, core in enumerate(m.cores):
+                    counters = core.counters
+                    counters.instructions += int(instr[c])
+                    counters.cycles += int(cycles[c])
+                    counters.bus_cycles += int(bus[c])
+                    counters.branches += int(branches[c])
+                    counters.branch_misses += int(misses[c])
+                    core.busy_seconds += float(seconds[c])
+                    core.freq = kernel.level_floats[int(idx[c])]
+                # 5. currents and sensor samples
+                active = kernel.board_current(util, idx)
+                total = active + m.extra_current_draw
+                fine = kernel.sense(total, noise[b], spike_u[b], spike_m[b])
+                # 6. rolling-minimum filter
+                window = np.concatenate([st.filter_tail, fine])
+                filtered = window.min()
+                st.filter_tail = window[window.size - halfwidth:]
+                # 7. ILD residual persistence
+                residual = filtered - active
+                quiescent = util.mean() <= kernel.quiescence_utilization
+                if quiescent:
+                    st.streak += 1
+                    old = st.ring[st.ring_pos]
+                    st.ring[st.ring_pos] = residual
+                    st.ring_pos = (st.ring_pos + 1) % window_ticks
+                    delta = residual if st.streak <= window_ticks else residual - old
+                    st.run_sum = float(st.run_sum + delta)
+                    if st.streak >= window_ticks:
+                        mean = st.run_sum / window_ticks
+                        over = bool(mean > kernel.residual_threshold)
+                        if over and not st.in_alarm:
+                            at = t + cfg.dt
+                            st.alarm_count += 1
+                            if math.isnan(st.first_alarm_time):
+                                st.first_alarm_time = at
+                            alarms.append(
+                                TickAlarm(
+                                    lane=self.lane_id,
+                                    tick=k,
+                                    time=float(at),
+                                    mean_residual=float(mean),
+                                )
+                            )
+                        st.in_alarm = over
+                else:
+                    st.streak = 0
+                    st.run_sum = 0.0
+                    st.ring_pos = 0
+                    st.in_alarm = False
+                # 8. energy, clock, thermal deadline
+                st.energy_joules = float(st.energy_joules + total * kernel.vdt)
+                m.clock.advance(cfg.dt)
+                st.ticks_run += 1
+                if m.clock.now >= st.damage_deadline:
+                    st.dead = True
+                    for core in m.cores:
+                        core.damaged = True
+                    deaths.append(
+                        TickDeath(
+                            lane=self.lane_id, tick=k, time=float(m.clock.now)
+                        )
+                    )
+        return TickRunReport(
+            lanes=1, ticks=n_ticks, alarms=tuple(alarms), deaths=tuple(deaths)
+        )
+
+    def state_digest(self) -> str:
+        """Engine digest of this lane (machine hot state + TickState)."""
+        m = self.machine
+        kernel = self.kernel
+        freq_idx = np.array([kernel.index_of(c.freq) for c in m.cores], np.int64)
+        counters = np.array(
+            [
+                [getattr(core.counters, name) for name in _COUNTER_FIELDS]
+                for core in m.cores
+            ],
+            np.int64,
+        )
+        return _engine_digest(
+            m.rng.bit_generator.state,
+            m.clock.now,
+            freq_idx,
+            counters,
+            np.array([c.busy_seconds for c in m.cores]),
+            np.array([c.poisoned for c in m.cores], bool),
+            np.array([c.damaged for c in m.cores], bool),
+            m.extra_current_draw,
+            m.reboots,
+            m.power_cycles,
+            self.state,
+        )
+
+
+class BatchMachines:
+    """N machine lanes advanced in lockstep as packed arrays.
+
+    Construct by *adopting* live machines (``BatchMachines(machines)``
+    — their ``rng`` objects become the lane streams, and
+    :meth:`sync` writes engine state back into them) or lane-lightly
+    via :meth:`from_specs` (machines materialise lazily on
+    :meth:`machine`/:meth:`peel`).
+    """
+
+    def __init__(
+        self, machines, config: "TickConfig | None" = None
+    ) -> None:
+        machines = list(machines)
+        if not machines:
+            raise ConfigurationError("need at least one machine")
+        spec = machines[0].spec
+        for m in machines[1:]:
+            if m.spec != spec:
+                raise ConfigurationError(
+                    "batched machines must share one spec; got "
+                    f"{spec.name!r} and {m.spec.name!r}"
+                )
+        if len({id(m.rng) for m in machines}) != len(machines):
+            raise ConfigurationError("batched machines must not share RNGs")
+        self._init_lanes(spec, [m.rng for m in machines], config)
+        self._machines = machines
+        kernel = self.kernel
+        for i, m in enumerate(machines):
+            self._t[i] = m.clock.now
+            self._extra[i] = m.extra_current_draw
+            self._reboots[i] = m.reboots
+            self._power_cycles[i] = m.power_cycles
+            for c, core in enumerate(m.cores):
+                self._freq_idx[i, c] = kernel.index_of(core.freq)
+                for j, name in enumerate(_COUNTER_FIELDS):
+                    self._counters[i, c, j] = getattr(core.counters, name)
+                self._busy[i, c] = core.busy_seconds
+                self._poisoned[i, c] = core.poisoned
+                self._damaged[i, c] = core.damaged
+            self._dead[i] = bool(self._damaged[i].all())
+
+    def _init_lanes(self, spec: MachineSpec, rngs, config) -> None:
+        self.spec = spec
+        self.config = config or TickConfig()
+        self.kernel = _TickKernel(spec, self.config)
+        n = len(rngs)
+        n_cores = spec.n_cores
+        self._rngs = list(rngs)
+        self._machines: "list[Machine | None]" = [None] * n
+        self._t = np.zeros(n)
+        self._extra = np.zeros(n)
+        self._reboots = np.zeros(n, np.int64)
+        self._power_cycles = np.zeros(n, np.int64)
+        self._freq_idx = np.zeros((n, n_cores), np.int64)
+        self._counters = np.zeros((n, n_cores, len(_COUNTER_FIELDS)), np.int64)
+        self._busy = np.zeros((n, n_cores))
+        self._poisoned = np.zeros((n, n_cores), bool)
+        self._damaged = np.zeros((n, n_cores), bool)
+        self._tails = np.full((n, self.kernel.halfwidth), np.inf)
+        self._rings = np.zeros((n, self.kernel.window))
+        self._ring_pos = np.zeros(n, np.int64)
+        self._streak = np.zeros(n, np.int64)
+        self._run_sum = np.zeros(n)
+        self._in_alarm = np.zeros(n, bool)
+        self._alarm_count = np.zeros(n, np.int64)
+        self._first_alarm = np.full(n, np.nan)
+        self._sel_onset = np.full(n, np.nan)
+        self._deadline = np.full(n, np.inf)
+        self._energy = np.zeros(n)
+        self._ticks_run = np.zeros(n, np.int64)
+        self._dead = np.zeros(n, bool)
+        self._peeled = np.zeros(n, bool)
+
+    @classmethod
+    def from_specs(
+        cls,
+        spec: MachineSpec,
+        seeds=None,
+        config: "TickConfig | None" = None,
+        *,
+        rngs=None,
+    ) -> "BatchMachines":
+        """Lanes from a spec and per-lane seeds (or ready Generators —
+        e.g. per-trial ``SeedSequence`` streams from
+        :func:`repro.campaign.trial_rng`) without materialising any
+        :class:`Machine` up front."""
+        if (seeds is None) == (rngs is None):
+            raise ConfigurationError("pass exactly one of seeds/rngs")
+        if rngs is None:
+            rngs = [np.random.default_rng(int(s)) for s in seeds]
+        else:
+            rngs = list(rngs)
+        if not rngs:
+            raise ConfigurationError("need at least one lane")
+        batch = cls.__new__(cls)
+        batch._init_lanes(spec, rngs, config)
+        return batch
+
+    # ------------------------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return len(self._rngs)
+
+    @property
+    def active_lanes(self) -> "list[int]":
+        """Lanes still advanced by :meth:`run` (not dead, not peeled)."""
+        return [
+            int(i) for i in np.nonzero(~self._dead & ~self._peeled)[0]
+        ]
+
+    def lane_state(self, lane: int) -> TickState:
+        """A detached :class:`TickState` copy of one lane."""
+        return TickState(
+            filter_tail=self._tails[lane].copy(),
+            ring=self._rings[lane].copy(),
+            ring_pos=int(self._ring_pos[lane]),
+            streak=int(self._streak[lane]),
+            run_sum=float(self._run_sum[lane]),
+            in_alarm=bool(self._in_alarm[lane]),
+            alarm_count=int(self._alarm_count[lane]),
+            first_alarm_time=float(self._first_alarm[lane]),
+            sel_onset_time=float(self._sel_onset[lane]),
+            damage_deadline=float(self._deadline[lane]),
+            energy_joules=float(self._energy[lane]),
+            ticks_run=int(self._ticks_run[lane]),
+            dead=bool(self._dead[lane]),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, program: TickProgram, lane_events=None) -> TickRunReport:
+        """Advance every active lane through ``program`` in lockstep.
+
+        ``lane_events`` is an optional sequence of
+        :class:`LaneEvents | None`, one per lane. Program-level events
+        apply to every lane; per lane, program events precede lane
+        events at the same tick (matching :meth:`FleetTicker.run`).
+        """
+        cfg = self.config
+        kernel = self.kernel
+        n = self.n_lanes
+        n_cores = self.spec.n_cores
+        n_samples = cfg.samples_per_tick
+        window_ticks = kernel.window
+        halfwidth = kernel.halfwidth
+        if program.n_cores != n_cores:
+            raise ConfigurationError(
+                f"program has {program.n_cores} cores; spec has {n_cores}"
+            )
+        if lane_events is not None and len(lane_events) != n:
+            raise ConfigurationError(
+                f"lane_events has {len(lane_events)} entries for {n} lanes"
+            )
+        n_ticks = program.n_ticks
+        ov_idx = kernel.override_indices(program)
+        base = program.utilization
+        # Merge program-level and per-lane events into tick indices.
+        sel_by_tick: "dict[int, list]" = {}
+        seu_by_tick: "dict[int, list]" = {}
+        for lane in range(n):
+            events = lane_events[lane] if lane_events is not None else None
+            lane_sels, lane_seus = _index_events(program, events, n_ticks)
+            for k, deltas in lane_sels.items():
+                sel_by_tick.setdefault(k, []).extend(
+                    (lane, delta) for delta in deltas
+                )
+            for k, cores in lane_seus.items():
+                seu_by_tick.setdefault(k, []).extend(
+                    (lane, core) for core in cores
+                )
+        alarms: list = []
+        deaths: list = []
+
+        for k0 in range(0, n_ticks, cfg.block_ticks):
+            drawing = ~self._dead & ~self._peeled
+            if not drawing.any():
+                break
+            k1 = min(n_ticks, k0 + cfg.block_ticks)
+            block = k1 - k0
+            jit = np.zeros((n, block, n_cores))
+            noise = np.zeros((n, block, n_samples))
+            spike_u = np.zeros((n, block, n_samples))
+            spike_m = np.zeros((n, block, n_samples))
+            for i in np.nonzero(drawing)[0]:
+                rng = self._rngs[i]
+                jit[i] = rng.normal(0.0, 1.0, (block, n_cores))
+                noise[i] = rng.normal(0.0, 1.0, (block, n_samples))
+                spike_u[i] = rng.random((block, n_samples))
+                spike_m[i] = rng.random((block, n_samples))
+            for b in range(block):
+                k = k0 + b
+                live = ~self._dead & ~self._peeled
+                if not live.any():
+                    break
+                # 1. radiation events
+                for lane, delta in sel_by_tick.get(k, ()):
+                    if not live[lane]:
+                        continue
+                    self._extra[lane] += delta
+                    if math.isnan(self._sel_onset[lane]):
+                        self._sel_onset[lane] = self._t[lane]
+                    deadline = self._t[lane] + time_to_damage(
+                        kernel.thermal, float(self._extra[lane])
+                    )
+                    self._deadline[lane] = min(
+                        self._deadline[lane], deadline
+                    )
+                for lane, core_index in seu_by_tick.get(k, ()):
+                    if live[lane]:
+                        self._poisoned[lane, core_index] = True
+                # 2–5. utilization, DVFS, charging, currents, sensing
+                amp = program.jitter_amp(k, cfg.util_jitter)
+                util = np.clip(base[k][None, :] + amp * jit[:, b, :], 0.0, 1.0)
+                if ov_idx is not None and ov_idx[k] >= 0:
+                    idx = np.full((n, n_cores), ov_idx[k], dtype=np.int64)
+                else:
+                    idx = kernel.freq_index(util)
+                instr, branches, misses, cycles, bus, seconds = kernel.charge(
+                    util, idx
+                )
+                active = kernel.board_current(util, idx)
+                total = active + self._extra
+                fine = kernel.sense(
+                    total, noise[:, b, :], spike_u[:, b, :], spike_m[:, b, :]
+                )
+                window = np.concatenate([self._tails, fine], axis=1)
+                filtered = window.min(axis=1)
+                new_tails = window[:, window.shape[1] - halfwidth:]
+                residual = filtered - active
+                quiescent = util.mean(axis=1) <= kernel.quiescence_utilization
+                # Commit hot state for live lanes only (dead/peeled
+                # lanes stay bitwise frozen, like the scalar `break`).
+                li = slice(None) if bool(live.all()) else np.nonzero(live)[0]
+                self._freq_idx[li] = idx[li]
+                self._counters[li, :, 0] += instr[li]
+                self._counters[li, :, 1] += cycles[li]
+                self._counters[li, :, 2] += bus[li]
+                self._counters[li, :, 3] += branches[li]
+                self._counters[li, :, 4] += misses[li]
+                self._busy[li] += seconds[li]
+                self._tails[li] = new_tails[li]
+                self._energy[li] = self._energy[li] + total[li] * kernel.vdt
+                # 6–7. ILD residual persistence
+                q_lanes = np.nonzero(live & quiescent)[0]
+                if q_lanes.size:
+                    self._streak[q_lanes] += 1
+                    pos = self._ring_pos[q_lanes]
+                    old = self._rings[q_lanes, pos].copy()
+                    self._rings[q_lanes, pos] = residual[q_lanes]
+                    self._ring_pos[q_lanes] = (pos + 1) % window_ticks
+                    deep = self._streak[q_lanes] > window_ticks
+                    delta = np.where(
+                        deep, residual[q_lanes] - old, residual[q_lanes]
+                    )
+                    self._run_sum[q_lanes] = self._run_sum[q_lanes] + delta
+                    ready = self._streak[q_lanes] >= window_ticks
+                    if ready.any():
+                        r_lanes = q_lanes[ready]
+                        mean = self._run_sum[r_lanes] / window_ticks
+                        over = mean > kernel.residual_threshold
+                        onset = over & ~self._in_alarm[r_lanes]
+                        if onset.any():
+                            o_lanes = r_lanes[onset]
+                            at = self._t[o_lanes] + cfg.dt
+                            self._alarm_count[o_lanes] += 1
+                            first = self._first_alarm[o_lanes]
+                            self._first_alarm[o_lanes] = np.where(
+                                np.isnan(first), at, first
+                            )
+                            o_means = mean[onset]
+                            for j, lane in enumerate(o_lanes):
+                                alarms.append(
+                                    TickAlarm(
+                                        lane=int(lane),
+                                        tick=k,
+                                        time=float(at[j]),
+                                        mean_residual=float(o_means[j]),
+                                    )
+                                )
+                        self._in_alarm[r_lanes] = over
+                nq_lanes = np.nonzero(live & ~quiescent)[0]
+                if nq_lanes.size:
+                    self._streak[nq_lanes] = 0
+                    self._run_sum[nq_lanes] = 0.0
+                    self._ring_pos[nq_lanes] = 0
+                    self._in_alarm[nq_lanes] = False
+                # 8. clock + thermal deadline
+                self._t[li] = self._t[li] + cfg.dt
+                self._ticks_run[li] += 1
+                newly_dead = live & (self._t >= self._deadline)
+                for lane in np.nonzero(newly_dead)[0]:
+                    self._dead[lane] = True
+                    self._damaged[lane, :] = True
+                    deaths.append(
+                        TickDeath(
+                            lane=int(lane), tick=k, time=float(self._t[lane])
+                        )
+                    )
+        return TickRunReport(
+            lanes=n, ticks=n_ticks, alarms=tuple(alarms), deaths=tuple(deaths)
+        )
+
+    # ------------------------------------------------------------------
+    def machine(self, lane: int) -> Machine:
+        """The lane's real :class:`Machine`, materialised if needed and
+        synced to the lane's current engine state."""
+        m = self._machines[lane]
+        if m is None:
+            m = Machine(self.spec, seed=0)
+            m.rng = self._rngs[lane]
+            self._machines[lane] = m
+        self._sync_lane(m, lane)
+        return m
+
+    def _sync_lane(self, m: Machine, lane: int) -> None:
+        m.clock.advance_to(float(self._t[lane]))
+        kernel = self.kernel
+        for c, core in enumerate(m.cores):
+            counters = core.counters
+            for j, name in enumerate(_COUNTER_FIELDS):
+                setattr(counters, name, int(self._counters[lane, c, j]))
+            core.busy_seconds = float(self._busy[lane, c])
+            core.freq = kernel.level_floats[int(self._freq_idx[lane, c])]
+            core.poisoned = bool(self._poisoned[lane, c])
+            core.damaged = bool(self._damaged[lane, c])
+        m.extra_current_draw = float(self._extra[lane])
+
+    def sync(self) -> None:
+        """Write engine state back into every materialised machine (all
+        adopted machines, plus lanes touched via :meth:`machine`)."""
+        for lane, m in enumerate(self._machines):
+            if m is not None:
+                self._sync_lane(m, lane)
+
+    def peel(self, lanes) -> "list[FleetTicker]":
+        """Remove lanes from the batch for scalar continuation.
+
+        Each peeled lane is materialised into its :class:`Machine`
+        (sharing the lane's RNG stream, so draws continue seamlessly)
+        and wrapped in a :class:`FleetTicker` carrying the lane's
+        :class:`TickState`. The batch never touches peeled lanes again.
+        """
+        tickers = []
+        for lane in lanes:
+            if self._peeled[lane]:
+                raise SimulationError(f"lane {lane} is already peeled")
+            m = self.machine(lane)
+            state = self.lane_state(lane)
+            self._peeled[lane] = True
+            tickers.append(
+                FleetTicker(m, self.config, state=state, lane_id=int(lane))
+            )
+        return tickers
+
+    # ------------------------------------------------------------------
+    def state_digest(self, lane: int) -> str:
+        """Engine digest of one lane — comparable bit-for-bit with
+        :meth:`FleetTicker.state_digest`."""
+        return _engine_digest(
+            self._rngs[lane].bit_generator.state,
+            self._t[lane],
+            self._freq_idx[lane],
+            self._counters[lane],
+            self._busy[lane],
+            self._poisoned[lane],
+            self._damaged[lane],
+            self._extra[lane],
+            self._reboots[lane],
+            self._power_cycles[lane],
+            self.lane_state(lane),
+        )
+
+    def lane_digests(self) -> "list[str]":
+        return [self.state_digest(lane) for lane in range(self.n_lanes)]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchMachines({self.spec.name!r}, {self.n_lanes} lanes, "
+            f"{len(self.active_lanes)} active)"
+        )

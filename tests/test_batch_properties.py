@@ -1,0 +1,139 @@
+"""Property-based identity: BatchMachines == N scalar Machines.
+
+Hypothesis drives randomized machine specs, lane counts, tick
+schedules, events and run segmentations through both backends and
+requires equal engine digests *after every tick* — the strongest form
+of the lockstep contract, covering RNG draw order across block
+boundaries, event application order, DVFS transitions, ILD filter
+state and death freezing. The fast tier stays at small N; the slow
+tier repeats the invariant at N=256.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Machine, MachineSpec
+from repro.sim.batch import (
+    BatchMachines,
+    FleetTicker,
+    LaneEvents,
+    SelStep,
+    SeuStrike,
+    TickConfig,
+    TickProgram,
+)
+
+CONFIG = TickConfig()
+
+
+def small_spec(n_cores: int) -> MachineSpec:
+    return MachineSpec(
+        n_cores=n_cores,
+        dram_size=1 << 16,
+        l1_lines=8,
+        l2_lines=16,
+        flash_capacity=1 << 16,
+    )
+
+
+@st.composite
+def schedules(draw, max_ticks=48):
+    """A utilization matrix plus optional overrides and events."""
+    n_cores = draw(st.integers(1, 4))
+    ticks = draw(st.integers(4, max_ticks))
+    util = np.array(
+        [
+            [draw(st.integers(0, 10)) / 10.0 for _ in range(n_cores)]
+            for _ in range(ticks)
+        ]
+    )
+    override = None
+    if draw(st.booleans()):
+        spec = small_spec(n_cores)
+        levels = spec.core_spec.freq_levels
+        override = np.full(ticks, np.nan)
+        for _ in range(draw(st.integers(1, 3))):
+            tick = draw(st.integers(0, ticks - 1))
+            override[tick] = levels[draw(st.integers(0, len(levels) - 1))]
+    sels = tuple(
+        SelStep(draw(st.integers(0, ticks - 1)),
+                draw(st.sampled_from([0.02, 0.05, 0.09])))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    seus = tuple(
+        SeuStrike(draw(st.integers(0, ticks - 1)),
+                  draw(st.integers(0, n_cores - 1)))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return n_cores, TickProgram(util, freq_override=override,
+                                sels=sels, seus=seus)
+
+
+def per_tick_programs(program: TickProgram):
+    """Split a schedule into 1-tick programs, re-anchoring event ticks."""
+    for k in range(program.n_ticks):
+        override = (
+            None
+            if program.freq_override is None
+            else program.freq_override[k : k + 1]
+        )
+        yield TickProgram(
+            program.utilization[k : k + 1],
+            freq_override=override,
+            sels=tuple(SelStep(0, s.delta_amps)
+                       for s in program.sels if s.tick == k),
+            seus=tuple(SeuStrike(0, s.core)
+                       for s in program.seus if s.tick == k),
+        )
+
+
+@given(data=schedules(), n=st.integers(1, 4), seed0=st.integers(0, 1 << 16))
+@settings(max_examples=25, deadline=None)
+def test_batch_equals_scalar_tick_for_tick(data, n, seed0):
+    n_cores, program = data
+    spec = small_spec(n_cores)
+    seeds = [seed0 + i for i in range(n)]
+    tickers = [FleetTicker(Machine(spec, seed=s), CONFIG) for s in seeds]
+    batch = BatchMachines.from_specs(spec, seeds=seeds, config=CONFIG)
+    for step in per_tick_programs(program):
+        for ticker in tickers:
+            ticker.run(step)
+        batch.run(step)
+        assert batch.lane_digests() == [t.state_digest() for t in tickers]
+
+
+@given(data=schedules(), seed0=st.integers(0, 1 << 16))
+@settings(max_examples=20, deadline=None)
+def test_batch_equals_scalar_with_lane_events(data, seed0):
+    n_cores, program = data
+    spec = small_spec(n_cores)
+    ticks = program.n_ticks
+    events = [
+        None,
+        LaneEvents(sels=(SelStep(ticks // 2, 0.04),)),
+        LaneEvents(seus=(SeuStrike(ticks // 3, n_cores - 1),)),
+    ]
+    seeds = [seed0, seed0 + 1, seed0 + 2]
+    tickers = [FleetTicker(Machine(spec, seed=s), CONFIG) for s in seeds]
+    for i, ticker in enumerate(tickers):
+        ticker.run(program, events[i])
+    batch = BatchMachines.from_specs(spec, seeds=seeds, config=CONFIG)
+    batch.run(program, events)
+    assert batch.lane_digests() == [t.state_digest() for t in tickers]
+
+
+@pytest.mark.slow
+@given(data=schedules(max_ticks=96), seed0=st.integers(0, 1 << 16))
+@settings(max_examples=5, deadline=None)
+def test_batch_equals_scalar_at_n256(data, seed0):
+    n_cores, program = data
+    spec = small_spec(n_cores)
+    seeds = [seed0 + i for i in range(256)]
+    tickers = [FleetTicker(Machine(spec, seed=s), CONFIG) for s in seeds]
+    for ticker in tickers:
+        ticker.run(program)
+    batch = BatchMachines.from_specs(spec, seeds=seeds, config=CONFIG)
+    batch.run(program)
+    assert batch.lane_digests() == [t.state_digest() for t in tickers]
