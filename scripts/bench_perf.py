@@ -21,6 +21,10 @@ straightforward reference implementation, verifies each one is
    digest check at every N; plus a 1000-machine fleet tick sweep and a
    batched 960-hour ground-testbed trace (the paper's §5 campaign
    duration) to show fleet-scale volumes complete in minutes.
+6. The constellation engine (``repro.fleet``): one ``run_fleet`` over
+   the smoke fleet (``--smoke``) or the 1,110-craft / >= 1M
+   machine-hour reference fleet, calibration pre-warmed, with a
+   batched-vs-scalar byte-identity spot check.
 
 ``--smoke`` shrinks every section to CI size. Either way the script
 loads ``BENCH_floors.json`` (committed next to ``BENCH_perf.json``)
@@ -410,6 +414,72 @@ def bench_testbed_trace(smoke: bool) -> dict:
     }
 
 
+def bench_fleet_scale(smoke: bool) -> dict:
+    """The constellation engine end to end: one ``run_fleet`` over the
+    smoke fleet (CI) or the reference fleet (1,110 craft, >= 1M
+    machine-hours). The SEU calibration is pre-warmed into the store
+    first, so the timed section is the survey tier itself — sharding,
+    batch lockstep, scalar SEL remainders, aggregation."""
+    import tempfile
+
+    from repro.fleet import (
+        BandSpec,
+        FleetSpec,
+        calibrate_fleet,
+        reference_spec,
+        report_json,
+        run_fleet,
+        smoke_spec,
+    )
+
+    spec = smoke_spec() if smoke else reference_spec()
+
+    with tempfile.TemporaryDirectory() as root:
+        # Identity spot-check on a CI-sized sibling fleet (same seed
+        # and calibration_runs, so it also pre-warms the calibration
+        # cells): the batched-lockstep path against the all-scalar
+        # path must produce byte-identical report JSON.
+        spot = FleetSpec(
+            name="bench-spot",
+            seed=spec.seed,
+            dt=spec.dt,
+            calibration_runs=spec.calibration_runs,
+            bands=tuple(
+                BandSpec(preset=band.preset, craft=min(band.craft, 2),
+                         schemes=band.schemes, profile=band.profile,
+                         days=min(band.days, 1.0))
+                for band in spec.bands[:2]
+            ),
+        )
+        batched = run_fleet(spot, store=root, workers=1)
+        scalar = run_fleet(spot, workers=1, use_batch=False)
+        identical = bool(
+            report_json(batched.report) == report_json(scalar.report)
+        )
+        assert identical, "batched fleet diverged from the scalar path"
+
+        calibrate_fleet(spec, store=root)
+        result, wall_s = _timed(
+            run_fleet, spec, store=root, workers=None
+        )
+
+    hours = result.report["machine_hours"]
+    return {
+        "fleet": spec.name,
+        "craft": spec.total_craft,
+        "planned_machine_hours": spec.planned_machine_hours,
+        "machine_hours": hours,
+        "sel_total": int(result.report["totals"]["sel_total"]),
+        "craft_lost": int(
+            result.report["totals"]["craft"]
+            - result.report["totals"]["survived"]
+        ),
+        "wall_s": wall_s,
+        "machine_hours_per_s": hours / wall_s,
+        "identical_batched_vs_scalar": True,
+    }
+
+
 def _walk_identical_flags(value, path=""):
     """Yield ``(path, bool)`` for every ``identical*`` flag in the tree."""
     if isinstance(value, dict):
@@ -525,6 +595,15 @@ def main(argv: "list[str] | None" = None) -> int:
     tb = results["testbed_trace"]
     print(f"  {tb['simulated_hours']:.0f} simulated hours in "
           f"{tb['wall_s']:.2f} s  ({tb['alarms']} ILD alarms)")
+
+    print("constellation fleet engine (repro.fleet.run_fleet) ...")
+    results["fleet_scale"] = bench_fleet_scale(args.smoke)
+    fs = results["fleet_scale"]
+    print(f"  {fs['fleet']!r}: {fs['craft']} craft, "
+          f"{fs['machine_hours']:,.0f} machine-hours in "
+          f"{fs['wall_s']:.2f} s  "
+          f"({fs['machine_hours_per_s']:,.0f} machine-hours/s; "
+          f"{fs['sel_total']} latchups, {fs['craft_lost']} craft lost)")
 
     floors_path = Path(__file__).resolve().parent.parent / "BENCH_floors.json"
     failures = check_floors(results, floors_path)

@@ -1,0 +1,176 @@
+"""CI fleet check: kill a fleet run mid-constellation, resume it, and
+require the aggregate report to match an uninterrupted run byte for
+byte.
+
+The drill (the fleet-scale sibling of ``check_resume.py``):
+
+1. run the smoke fleet cold, in-process, and keep its canonical
+   report JSON as the reference;
+2. launch ``python -m repro fleet run --spec smoke --store <dir>`` as
+   a subprocess and ``SIGKILL`` it once the store holds some — but not
+   all — trials (calibration cells and craft alike; the atomic
+   store-write guarantee is what's under test);
+3. resume in-process against the mauled store, asserting via the
+   campaign metrics counters that surviving trials replayed rather
+   than re-ran, and that the resumed report is byte-identical to the
+   cold one;
+4. replay once more (``executed == 0``) and rebuild the report from
+   the store alone (the ``fleet report`` path), which must also match.
+
+The store and the report JSON are left in place so CI can publish
+them as artifacts.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_fleet.py [--spec smoke]
+        [--store fleet-store] [--report fleet-report.json]
+        [--timeout 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _store_count(root: Path) -> int:
+    return len(list(root.glob("??/*.json")))
+
+
+def interrupt_subprocess_run(
+    spec: str, store_dir: Path, total: int, timeout: float
+) -> int:
+    """Start the fleet in a subprocess; kill it mid-constellation.
+
+    Returns the number of trials the store held at the kill. If the
+    subprocess finishes everything before we catch it, trim the store
+    back so the resume still has work to do.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "fleet", "run",
+            "--spec", spec, "--store", str(store_dir.resolve()),
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    # Let calibration land plus a few craft, then pull the plug.
+    kill_at = total // 2
+    deadline = time.monotonic() + timeout
+    try:
+        while proc.poll() is None and time.monotonic() < deadline:
+            if _store_count(store_dir) >= kill_at:
+                proc.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.05)
+        proc.wait(timeout=timeout)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    completed = _store_count(store_dir)
+    if completed == 0:
+        raise SystemExit(
+            f"subprocess died with no completed trials (rc={proc.returncode})"
+        )
+    if completed >= total:
+        for path in sorted(store_dir.glob("??/*.json"))[: total // 2 or 1]:
+            path.unlink()
+        completed = _store_count(store_dir)
+        print(f"note: fleet finished before the kill; "
+              f"trimmed store back to {completed}/{total}")
+    return completed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spec", default="smoke",
+                        help="fleet spec (builtin name or JSON path)")
+    parser.add_argument("--store", default="fleet-store",
+                        help="store directory (kept, for the CI artifact)")
+    parser.add_argument("--report", default="fleet-report.json",
+                        help="where to leave the report JSON artifact")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    from repro.fleet import (
+        fleet_status,
+        load_spec,
+        report_json,
+        run_fleet,
+    )
+    from repro.obs import MetricsRegistry
+
+    spec = load_spec(args.spec)
+    store_dir = Path(args.store)
+    store_dir.mkdir(parents=True, exist_ok=True)
+    # Calibration cells + one trial per craft (+ flight samples).
+    total = 42 + spec.total_craft
+
+    print(f"fleet {spec.name!r}: {spec.total_craft} craft, "
+          f"{spec.planned_machine_hours:,.0f} planned machine-hours")
+
+    cold = run_fleet(spec, workers=1)
+    cold_json = report_json(cold.report)
+    assert cold.report["machine_hours"] > 0
+    assert cold.report["totals"]["sel_total"] > 0, (
+        "smoke fleet sampled no latchups — the scalar shard never ran"
+    )
+    print(f"cold reference: {cold.executed} trials, "
+          f"{cold.report['machine_hours']:,.0f} machine-hours, "
+          f"{cold.report['totals']['sel_total']} latchups")
+
+    completed = interrupt_subprocess_run(
+        args.spec, store_dir, total, args.timeout
+    )
+    print(f"killed mid-run with {completed}/{total} trials in the store")
+
+    metrics = MetricsRegistry()
+    resumed = run_fleet(spec, store=store_dir, workers=1, metrics=metrics)
+    counters = metrics.snapshot()["counters"]
+    hits = int(counters["campaign.store.hits"])
+    assert hits == completed, (
+        f"resume replayed {hits} store entries, expected {completed}"
+    )
+    assert resumed.executed == total - completed, (
+        f"resume executed {resumed.executed}, "
+        f"expected {total - completed}"
+    )
+    print(f"resumed: {resumed.executed} executed, {hits} replayed")
+    assert report_json(resumed.report) == cold_json, (
+        "resumed report diverged from the uninterrupted run"
+    )
+    print("resumed report byte-identical to the cold run")
+
+    replay = run_fleet(spec, store=store_dir, workers=1)
+    assert replay.executed == 0, (
+        f"warm replay executed {replay.executed} trials"
+    )
+    assert report_json(replay.report) == cold_json, (
+        "store replay diverged from the cold run"
+    )
+    statuses = fleet_status(spec, store_dir)
+    pending = sum(st.total - st.completed for st in statuses.values())
+    assert pending == 0, f"{pending} trials still pending after replay"
+    print("warm replay byte-identical (0 executed); store complete")
+
+    Path(args.report).write_text(cold_json)
+    print(f"PASS: interrupt + resume == uninterrupted; "
+          f"store at {store_dir}, report at {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

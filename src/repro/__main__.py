@@ -10,6 +10,11 @@ Usage::
     python -m repro campaign resume table7 --store store/
     python -m repro mission --days 1 --environment deep-space [--csv log.csv]
     python -m repro mission --supervised --environment low-earth-orbit
+    python -m repro fleet run --spec reference --store fleet-store/ [--workers 8]
+    python -m repro fleet status --spec reference --store fleet-store/
+    python -m repro fleet report --spec reference --store fleet-store/ [--report out.json]
+    python -m repro fleet presets
+    python -m repro fleet bench --machines 1000 --ticks 3600
     python -m repro trace summarize t.jsonl [--task 4]
     python -m repro chaos list
     python -m repro chaos run [--workers 4] [--store dir/] [--scenario NAME]
@@ -238,7 +243,104 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     return 0 if report.survived else 2
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .fleet import load_spec, render_report, report_json, run_fleet
+    from .obs.metrics import MetricsRegistry
+
+    try:
+        spec = load_spec(args.spec)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    metrics = MetricsRegistry() if args.metrics else None
+    result = run_fleet(
+        spec,
+        store=args.store,
+        workers=args.workers,
+        metrics=metrics,
+        use_batch=not args.no_batch,
+    )
+    print(render_report(result.report))
+    print(
+        f"\ntrials executed: {result.executed}, "
+        f"replayed from store: {result.store_hits}"
+    )
+    if args.report:
+        Path(args.report).write_text(report_json(result.report))
+        print(f"wrote report JSON: {args.report}")
+    if metrics is not None:
+        print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .fleet import fleet_status, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+        statuses = fleet_status(spec, args.store)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pending = 0
+    for name, st in statuses.items():
+        pending += st.total - st.completed
+        print(f"{name:12s} {st.completed}/{st.total} trials complete")
+    print("fleet complete" if pending == 0 else f"{pending} trials pending")
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .fleet import fleet_status, load_spec, render_report, report_json, run_fleet
+
+    try:
+        spec = load_spec(args.spec)
+        statuses = fleet_status(spec, args.store)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pending = sum(st.total - st.completed for st in statuses.values())
+    if pending:
+        print(
+            f"error: {pending} trials still pending in {args.store}; "
+            "run `repro fleet run` first",
+            file=sys.stderr,
+        )
+        return 1
+    # Every trial is stored, so this is a pure store replay.
+    result = run_fleet(spec, store=args.store, workers=1)
+    print(render_report(result.report))
+    if args.report:
+        Path(args.report).write_text(report_json(result.report))
+        print(f"wrote report JSON: {args.report}")
+    return 0
+
+
+def _cmd_fleet_presets(args: argparse.Namespace) -> int:
+    from .fleet import PRESETS, PROFILES
+
+    print("orbit-band presets:")
+    for name in sorted(PRESETS):
+        preset = PRESETS[name]
+        env = preset.environment
+        print(
+            f"  {name:22s} SEU/day {env.seu_per_day:>10.2f}  "
+            f"SEL/yr {env.sel_per_year:>6.2f}  "
+            f"amps {env.sel_delta_amps_range[0]:.2f}-"
+            f"{env.sel_delta_amps_range[1]:.2f}"
+        )
+        print(f"  {'':22s} {preset.rationale}")
+    print("mission profiles:")
+    for name in sorted(PROFILES):
+        profile = PROFILES[name]
+        print(f"  {name:22s} {profile.description}")
+    return 0
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     import time
 
     from .sim import MachineSpec
@@ -452,15 +554,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = sub.add_parser(
         "fleet",
-        help="advance a batched machine fleet in lockstep (SoA tick engine)",
+        help="simulate a constellation-scale fleet (docs/fleet.md)",
     )
-    fleet.add_argument("--machines", type=int, default=1000)
-    fleet.add_argument("--ticks", type=int, default=3600)
-    fleet.add_argument("--dt", type=float, default=1.0,
-                       help="tick length in simulated seconds (default 1.0)")
-    fleet.add_argument("--utilization", type=float, default=0.5)
-    fleet.add_argument("--seed", type=int, default=0)
-    fleet.set_defaults(func=_cmd_fleet)
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_spec_args(p, store_required=False):
+        p.add_argument(
+            "--spec", required=True, metavar="SPEC",
+            help="fleet spec: a JSON file path, or a builtin name "
+                 "('reference': 1,110 craft / 1M machine-hours; "
+                 "'smoke': 64 craft)",
+        )
+        p.add_argument(
+            "--store", default=None, required=store_required, metavar="DIR",
+            help="trial-store directory; completed craft are skipped on "
+                 "rerun and the aggregate report is byte-identical",
+        )
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate (or resume) the whole fleet"
+    )
+    _fleet_spec_args(fleet_run)
+    fleet_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the scalar shard "
+             "(reports identical at any value)",
+    )
+    fleet_run.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the aggregate report as canonical JSON",
+    )
+    fleet_run.add_argument(
+        "--no-batch", action="store_true",
+        help="run every craft through the scalar path "
+             "(results are byte-identical; this only changes wall time)",
+    )
+    fleet_run.add_argument(
+        "--metrics", action="store_true",
+        help="print the campaign metrics snapshot after the run",
+    )
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    fleet_status_cmd = fleet_sub.add_parser(
+        "status", help="completed vs pending trials, without running"
+    )
+    _fleet_spec_args(fleet_status_cmd, store_required=True)
+    fleet_status_cmd.set_defaults(func=_cmd_fleet_status)
+
+    fleet_report = fleet_sub.add_parser(
+        "report", help="rebuild the aggregate report from a complete store"
+    )
+    _fleet_spec_args(fleet_report, store_required=True)
+    fleet_report.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the aggregate report as canonical JSON",
+    )
+    fleet_report.set_defaults(func=_cmd_fleet_report)
+
+    fleet_sub.add_parser(
+        "presets", help="list the orbit-band and mission-profile catalog"
+    ).set_defaults(func=_cmd_fleet_presets)
+
+    fleet_bench = fleet_sub.add_parser(
+        "bench", help="raw SoA tick-engine throughput (no campaign layer)"
+    )
+    fleet_bench.add_argument("--machines", type=int, default=1000)
+    fleet_bench.add_argument("--ticks", type=int, default=3600)
+    fleet_bench.add_argument(
+        "--dt", type=float, default=1.0,
+        help="tick length in simulated seconds (default 1.0)",
+    )
+    fleet_bench.add_argument("--utilization", type=float, default=0.5)
+    fleet_bench.add_argument("--seed", type=int, default=0)
+    fleet_bench.set_defaults(func=_cmd_fleet_bench)
 
     chaos = sub.add_parser(
         "chaos", help="fuzz the whole protection stack with seeded faults"

@@ -1,0 +1,196 @@
+"""Fleet-level aggregation: orbit band x redundancy scheme tables.
+
+:func:`build_report` folds per-craft trial values (plus optional
+flight-tier samples) into one JSON-safe dict — deterministic key
+order, canonical floats — so a resumed, re-sharded, or re-parallelised
+fleet run serialises to byte-identical report JSON.
+:func:`render_report` turns it into the CLI's tables.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..campaign import canonical_json
+from .calibration import OUTCOME_ORDER
+from .spec import FleetSpec
+
+__all__ = ["build_report", "render_report", "report_json"]
+
+HOURS_PER_YEAR = 8766.0  # 365.25 days
+
+
+def _empty_cell() -> dict:
+    return {
+        "craft": 0,
+        "survived": 0,
+        "machine_hours": 0.0,
+        "sel_total": 0,
+        "sel_ocp": 0,
+        "sel_ild": 0,
+        "sel_latched": 0,
+        "sel_fatal": 0,
+        "seu": {k: 0 for k in OUTCOME_ORDER},
+        "alarms": 0,
+        "false_alarms": 0,
+        "power_cycles": 0,
+        "reboots": 0,
+        "downtime_s": 0.0,
+        "detections": 0,
+        "detect_latency_s": 0.0,
+        "energy_j": 0.0,
+    }
+
+
+def _absorb(cell: dict, value: dict) -> None:
+    cell["craft"] += 1
+    cell["survived"] += 1 if value["survived"] else 0
+    cell["machine_hours"] += value["machine_hours"]
+    sels = value["sels"]
+    cell["sel_total"] += sels["total"]
+    cell["sel_ocp"] += sels["ocp"]
+    cell["sel_ild"] += sels["ild"]
+    cell["sel_latched"] += sels["latched"]
+    cell["sel_fatal"] += sels["fatal"]
+    for key in OUTCOME_ORDER:
+        cell["seu"][key] += value["seu"][key]
+    cell["alarms"] += value["alarms"]
+    cell["false_alarms"] += value["false_alarms"]
+    cell["power_cycles"] += value["power_cycles"]
+    cell["reboots"] += value["reboots"]
+    cell["downtime_s"] += value["downtime_s"]
+    cell["detections"] += value["detections"]
+    cell["detect_latency_s"] += value["detect_latency_s"]
+    cell["energy_j"] += value["energy_j"]
+
+
+def _derive(cell: dict) -> None:
+    hours = cell["machine_hours"]
+    craft_years = hours / HOURS_PER_YEAR
+    cell["loss_rate"] = (
+        1.0 - cell["survived"] / cell["craft"] if cell["craft"] else 0.0
+    )
+    cell["availability"] = (
+        1.0 - cell["downtime_s"] / (hours * 3600.0) if hours > 0 else 0.0
+    )
+    cell["sel_per_craft_year"] = (
+        cell["sel_total"] / craft_years if craft_years > 0 else 0.0
+    )
+    cell["sdc_per_craft_year"] = (
+        cell["seu"]["sdc"] / craft_years if craft_years > 0 else 0.0
+    )
+    recovered = cell["sel_ocp"] + cell["sel_ild"]
+    cell["sel_recovery_rate"] = (
+        recovered / cell["sel_total"] if cell["sel_total"] else 1.0
+    )
+    cell["mean_detect_latency_s"] = (
+        cell["detect_latency_s"] / cell["detections"]
+        if cell["detections"]
+        else 0.0
+    )
+
+
+def build_report(
+    spec: FleetSpec, values, flight_values=()
+) -> dict:
+    """The fleet aggregate, keyed (preset, scheme), plus totals."""
+    cells: dict = {}
+    totals = _empty_cell()
+    for value in values:
+        key = (value["preset"], value["scheme"])
+        cell = cells.setdefault(key, _empty_cell())
+        _absorb(cell, value)
+        _absorb(totals, value)
+    for cell in cells.values():
+        _derive(cell)
+    _derive(totals)
+
+    flight_cells: dict = {}
+    for value in flight_values:
+        key = (value["preset"], value["scheme"])
+        cell = flight_cells.setdefault(
+            key,
+            {
+                "missions": 0,
+                "survived": 0,
+                "downtime_s": 0.0,
+                "power_cycles": 0,
+                "silent_corruptions": 0,
+                "workload_runs": 0,
+            },
+        )
+        cell["missions"] += 1
+        cell["survived"] += 1 if value["survived"] else 0
+        cell["downtime_s"] += value["downtime_s"]
+        cell["power_cycles"] += value["power_cycles"]
+        cell["silent_corruptions"] += value["silent_corruptions"]
+        cell["workload_runs"] += value["workload_runs"]
+
+    return {
+        "fleet": spec.name,
+        "seed": spec.seed,
+        "craft": totals["craft"],
+        "machine_hours": totals["machine_hours"],
+        "cells": [
+            dict(cell, preset=preset, scheme=scheme)
+            for (preset, scheme), cell in sorted(cells.items())
+        ],
+        "totals": totals,
+        "flight": [
+            dict(cell, preset=preset, scheme=scheme)
+            for (preset, scheme), cell in sorted(flight_cells.items())
+        ],
+    }
+
+
+def report_json(report: dict) -> str:
+    """Canonical JSON — the byte-identity surface CI asserts on."""
+    return canonical_json(report)
+
+
+def render_report(report: dict) -> str:
+    """Human-readable tables for the CLI."""
+    main = Table(
+        title=(
+            f"Fleet {report['fleet']!r}: {report['craft']} craft, "
+            f"{report['machine_hours']:.0f} machine-hours"
+        ),
+        columns=(
+            "band", "scheme", "craft", "hours", "lost",
+            "SEL/cy", "recov%", "SDC/cy", "avail%", "lat(s)",
+        ),
+    )
+    rows = list(report["cells"]) + [dict(report["totals"],
+                                         preset="TOTAL", scheme="-")]
+    for cell in rows:
+        main.add_row(
+            cell["preset"],
+            cell["scheme"],
+            cell["craft"],
+            f"{cell['machine_hours']:.0f}",
+            cell["craft"] - cell["survived"],
+            f"{cell['sel_per_craft_year']:.2f}",
+            f"{100.0 * cell['sel_recovery_rate']:.1f}",
+            f"{cell['sdc_per_craft_year']:.2f}",
+            f"{100.0 * cell['availability']:.3f}",
+            f"{cell['mean_detect_latency_s']:.1f}",
+        )
+    out = [main.render()]
+    if report["flight"]:
+        flight = Table(
+            title="Flight-tier samples (full-fidelity missions)",
+            columns=(
+                "band", "scheme", "missions", "survived",
+                "power-cycles", "SDC",
+            ),
+        )
+        for cell in report["flight"]:
+            flight.add_row(
+                cell["preset"],
+                cell["scheme"],
+                cell["missions"],
+                cell["survived"],
+                cell["power_cycles"],
+                cell["silent_corruptions"],
+            )
+        out.append(flight.render())
+    return "\n\n".join(out)
