@@ -480,6 +480,41 @@ def bench_fleet_scale(smoke: bool) -> dict:
     }
 
 
+def bench_hmr_frontier(smoke: bool) -> dict:
+    """The HMR frontier sweep: cold campaign vs pure store replay,
+    with the serial / batched / replay paths required byte-identical
+    on the canonical frontier JSON."""
+    import tempfile
+
+    from repro.experiments.fig_hmr_frontier import (
+        campaign,
+        frontier_json,
+        run,
+    )
+
+    scale = 1 if smoke else 2
+    with tempfile.TemporaryDirectory() as root:
+        cold, cold_s = _timed(
+            run, scale=scale, seed=7, workers=1, store=root
+        )
+        replay, replay_s = _timed(run, scale=scale, seed=7, store=root)
+    batched = run(scale=scale, seed=7, batched=True)
+    canonical = frontier_json(cold)
+    identical = bool(
+        frontier_json(replay) == canonical
+        and frontier_json(batched) == canonical
+    )
+    assert identical, "frontier paths diverged"
+    return {
+        "scale": scale,
+        "trials": len(campaign(scale=scale, seed=7).trials),
+        "cold_s": cold_s,
+        "replay_s": replay_s,
+        "replay_speedup": cold_s / replay_s,
+        "identical_paths": True,
+    }
+
+
 def _walk_identical_flags(value, path=""):
     """Yield ``(path, bool)`` for every ``identical*`` flag in the tree."""
     if isinstance(value, dict):
@@ -595,6 +630,13 @@ def main(argv: "list[str] | None" = None) -> int:
     tb = results["testbed_trace"]
     print(f"  {tb['simulated_hours']:.0f} simulated hours in "
           f"{tb['wall_s']:.2f} s  ({tb['alarms']} ILD alarms)")
+
+    print("HMR frontier sweep (repro hmr sweep) ...")
+    results["hmr_frontier"] = bench_hmr_frontier(args.smoke)
+    hf = results["hmr_frontier"]
+    print(f"  cold   {hf['cold_s']:8.2f} s    "
+          f"replay     {hf['replay_s']:8.2f} s    "
+          f"{hf['replay_speedup']:.1f}x  ({hf['trials']} trials)")
 
     print("constellation fleet engine (repro.fleet.run_fleet) ...")
     results["fleet_scale"] = bench_fleet_scale(args.smoke)

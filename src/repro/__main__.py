@@ -404,6 +404,66 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if violations == 0 else 2
 
 
+def _cmd_hmr_modes(args: argparse.Namespace) -> int:
+    from .hmr import MODES
+
+    print("redundancy-mode lattice (weakest to strongest):")
+    for mode in MODES:
+        aliases = f" (alias: {', '.join(mode.aliases)})" if mode.aliases else ""
+        print(
+            f"  {mode.name:<18} executors={mode.n_executors} "
+            f"replicas={mode.replicas} "
+            f"threshold={mode.replication_threshold:<4g} "
+            f"cost={mode.current_cost_amps:.2f} A "
+            f"scheme={mode.scheme}{aliases}"
+        )
+    return 0
+
+
+def _cmd_hmr_sweep(args: argparse.Namespace) -> int:
+    from .experiments.fig_hmr_frontier import frontier_json, run
+
+    table = run(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        store=args.store,
+        batched=args.batched,
+    )
+    canonical = frontier_json(table)
+    if args.verify:
+        # Every execution path must land on the same bytes: serial,
+        # the worker pool, the batched engine, and a pure store replay
+        # of whatever the first pass persisted.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            paths = {
+                "serial": run(scale=args.scale, seed=args.seed, workers=1),
+                "workers": run(scale=args.scale, seed=args.seed, workers=2),
+                "batched": run(
+                    scale=args.scale, seed=args.seed, batched=True,
+                    store=scratch,
+                ),
+                "store-replay": run(
+                    scale=args.scale, seed=args.seed, store=scratch
+                ),
+            }
+        for name, result in paths.items():
+            if frontier_json(result) != canonical:
+                print(f"error: {name} path diverged", file=sys.stderr)
+                return 2
+        print("verified: serial == workers == batched == store-replay")
+    if args.json:
+        print(canonical)
+    else:
+        print(table.render())
+    if args.out:
+        Path(args.out).write_text(canonical + "\n")
+        print(f"wrote frontier JSON: {args.out}")
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .sim.faults import census_json, render_census
     from .sim.machine import Machine
@@ -656,6 +716,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_run.add_argument("--seed", type=int, default=0)
     chaos_run.set_defaults(func=_cmd_chaos)
+
+    hmr = sub.add_parser(
+        "hmr", help="hybrid modular redundancy: the mode lattice"
+    )
+    hmr_sub = hmr.add_subparsers(dest="hmr_command", required=True)
+    hmr_sub.add_parser(
+        "modes", help="list the redundancy-mode lattice"
+    ).set_defaults(func=_cmd_hmr_modes)
+    hmr_sweep = hmr_sub.add_parser(
+        "sweep", help="sweep the throughput-vs-SDC-coverage frontier"
+    )
+    hmr_sweep.add_argument("--scale", type=int, default=1,
+                           help="injections per mode = 8 * scale")
+    hmr_sweep.add_argument("--seed", type=int, default=7)
+    hmr_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel worker processes (output identical at any value)",
+    )
+    hmr_sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="trial-store directory; completed trials are skipped on rerun",
+    )
+    hmr_sweep.add_argument(
+        "--batched", action="store_true",
+        help="run through the batched campaign engine",
+    )
+    hmr_sweep.add_argument(
+        "--verify", action="store_true",
+        help="run serial, worker-pool, batched, and store-replay paths "
+             "and require byte-identical frontier JSON",
+    )
+    hmr_sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical frontier JSON instead of the table",
+    )
+    hmr_sweep.add_argument("--out", help="write the frontier JSON to a file")
+    hmr_sweep.set_defaults(func=_cmd_hmr_sweep)
 
     faults = sub.add_parser(
         "faults", help="inspect the machine's addressable fault surface"

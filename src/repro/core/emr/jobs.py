@@ -59,6 +59,13 @@ class JobSet:
 
     jobset_id: int
     jobs: "list[Job]" = field(default_factory=list)
+    #: Executor lanes this jobset spans (``None`` = the runtime
+    #: config's ``n_executors`` — the pre-mode-schedule behaviour).
+    n_executors: "int | None" = None
+    #: Redundancy mode the jobset was planned under ("" = fixed mode).
+    mode_name: str = ""
+    #: DVFS operating point while this jobset runs (``None`` = top).
+    freq_level: "int | None" = None
 
     def add(self, job: Job) -> None:
         job.jobset_id = self.jobset_id

@@ -39,7 +39,13 @@ from .frontier import Frontier, FrontierCosts, validate_frontier
 from .jobs import Job, JobResult, JobSet
 from .materialize import MaterializedWorkload
 from .replication import ReplicationPlan, plan_replication
-from .scheduler import build_jobsets, order_jobs, validate_jobsets
+from .scheduler import (
+    ModeSegment,
+    build_jobsets,
+    order_jobs,
+    validate_jobsets,
+    validate_schedule,
+)
 from .voting import VoteStatus, vote
 
 
@@ -302,6 +308,10 @@ class EmrRuntime:
         self.plan_: "ReplicationPlan | None" = None
         self.conflicts_: "ConflictGraph | None" = None
         self.jobsets_: "list[JobSet] | None" = None
+        self.mode_schedule_: "list[ModeSegment] | None" = None
+        #: dataset index -> replicas that must complete before commit.
+        #: Empty means "the config's n_executors for every dataset".
+        self._expected_replicas: "dict[int, int]" = {}
 
     # ------------------------------------------------------------------
     @property
@@ -313,10 +323,28 @@ class EmrRuntime:
         return self.machine.spec.cache_ecc
 
     def plan(self, spec: "WorkloadSpec | None" = None,
-             rng: "np.random.Generator | None" = None) -> "list[JobSet]":
-        """Build replication plan, conflict graph, and jobset schedule."""
+             rng: "np.random.Generator | None" = None,
+             mode_schedule: "list[ModeSegment] | None" = None) -> "list[JobSet]":
+        """Build replication plan, conflict graph, and jobset schedule.
+
+        ``mode_schedule`` splits the dataset list into contiguous
+        :class:`~repro.core.emr.scheduler.ModeSegment` runs, each
+        planned under its own executor width, replication factor, and
+        threshold; the runtime then switches modes at the jobset
+        barriers between segments. Without one, planning is the
+        historical fixed-``n_executors`` path, bit for bit.
+        """
         rng = rng or np.random.default_rng(self.seed)
         self.spec = spec or self.workload.build(rng)
+        self.mode_schedule_ = None
+        self._expected_replicas = {}
+        if mode_schedule is not None:
+            if self.cache_protected:
+                raise ConfigurationError(
+                    "mode schedules need the unprotected cache hierarchy; "
+                    "an ECC-cached machine already reverts EMR to 3-MR"
+                )
+            return self._plan_schedule(mode_schedule)
         if self.cache_protected:
             self.plan_ = plan_replication(self.spec.datasets, threshold=1.5)
             self.conflicts_ = ConflictGraph(neighbours={})
@@ -344,12 +372,83 @@ class EmrRuntime:
             validate_jobsets(self.jobsets_, self.conflicts_)
         return self.jobsets_
 
+    def _plan_schedule(
+        self, mode_schedule: "list[ModeSegment]"
+    ) -> "list[JobSet]":
+        """Per-segment planning: each mode segment gets its own
+        replication plan, conflict graph, and jobsets; the staged
+        replication plan is the union (conservative — a copy staged
+        for one segment is simply unused by the others)."""
+        segments = validate_schedule(mode_schedule, len(self.spec.datasets))
+        line_size = self.machine.spec.line_size
+        jobsets: "list[JobSet]" = []
+        union_refs: set = set()
+        frequencies: dict = {}
+        neighbours: "dict[int, frozenset]" = {}
+        expected: "dict[int, int]" = {}
+        start = 0
+        for segment in segments:
+            subset = self.spec.datasets[start : start + segment.datasets]
+            start += segment.datasets
+            threshold = (
+                segment.replication_threshold
+                if segment.replication_threshold is not None
+                else self.config.replication_threshold
+            )
+            seg_plan = plan_replication(subset, threshold)
+            replicas = segment.effective_replicas
+            if replicas < 2:
+                # An unprotected segment runs without jobset isolation:
+                # it accepts cache-aliasing risk (no vote would catch
+                # the corruption anyway) in exchange for full packing.
+                seg_conflicts = ConflictGraph(neighbours={})
+            else:
+                seg_conflicts = detect_conflicts(
+                    subset, set(seg_plan.replicated), line_size=line_size
+                )
+            jobs = order_jobs(
+                subset, segment.n_executors, self.config.ordering,
+                replicas=replicas,
+            )
+            seg_jobsets = build_jobsets(jobs, seg_conflicts)
+            if self.config.validate_schedule:
+                validate_jobsets(seg_jobsets, seg_conflicts)
+            for jobset in seg_jobsets:
+                jobset.n_executors = segment.n_executors
+                jobset.mode_name = segment.name
+                jobset.freq_level = segment.freq_level
+                jobsets.append(jobset)
+            union_refs |= set(seg_plan.replicated)
+            for ref, freq in seg_plan.frequencies.items():
+                frequencies[ref] = max(frequencies.get(ref, 0.0), freq)
+            # Segments cover disjoint dataset index ranges, so their
+            # conflict graphs merge without collisions.
+            neighbours.update(seg_conflicts.neighbours)
+            for ds in subset:
+                expected[ds.index] = replicas
+        for index, jobset in enumerate(jobsets):
+            jobset.jobset_id = index
+            for job in jobset.jobs:
+                job.jobset_id = index
+        self.plan_ = ReplicationPlan(
+            replicated=frozenset(union_refs),
+            threshold=self.config.replication_threshold,
+            n_datasets=len(self.spec.datasets),
+            frequencies=frequencies,
+        )
+        self.conflicts_ = ConflictGraph(neighbours=neighbours)
+        self.jobsets_ = jobsets
+        self.mode_schedule_ = segments
+        self._expected_replicas = expected
+        return self.jobsets_
+
     # ------------------------------------------------------------------
     def run(self, spec: "WorkloadSpec | None" = None,
-            rng: "np.random.Generator | None" = None) -> RunResult:
+            rng: "np.random.Generator | None" = None,
+            mode_schedule: "list[ModeSegment] | None" = None) -> RunResult:
         rng = rng or np.random.default_rng(self.seed)
-        if spec is not None or self.jobsets_ is None:
-            self.plan(spec, rng)
+        if spec is not None or self.jobsets_ is None or mode_schedule is not None:
+            self.plan(spec, rng, mode_schedule=mode_schedule)
         machine = self.machine
         cfg = self.config
         stats = RunStats(
@@ -361,14 +460,23 @@ class EmrRuntime:
         mem_stats_before = (
             machine.memory.stats.bytes_read + machine.memory.stats.bytes_written
         )
-        groups = machine.default_core_groups(cfg.n_executors)
+        # Executor width: the widest jobset (mode schedules mix widths;
+        # without one, every jobset inherits the config and this is
+        # exactly the historical cfg.n_executors).
+        width = max(
+            (js.n_executors or cfg.n_executors for js in self.jobsets_),
+            default=cfg.n_executors,
+        )
+        groups = machine.default_core_groups(width)
+        core_spec = machine.spec.core_spec
         for group in groups:
             for core_id in group.core_ids:
-                machine.cores[core_id].set_freq(machine.spec.core_spec.max_freq)
+                machine.cores[core_id].set_freq(core_spec.max_freq)
+        applied_freq = core_spec.max_freq
 
         materialized = MaterializedWorkload(
             machine, self.spec, self.frontier, self.plan_,
-            cfg.n_executors, stopwatch, cfg.costs,
+            width, stopwatch, cfg.costs,
         )
         stats.memory_bytes = materialized.allocated_input_bytes
         engine = JobEngine(
@@ -376,22 +484,41 @@ class EmrRuntime:
             cfg.flush_cycles_per_line, stats, obs=self.obs,
         )
 
-        executor_busy = [0.0] * cfg.n_executors
+        executor_busy = [0.0] * width
         replica_results: "dict[int, list]" = {}
         pending_votes: "set[int]" = set()
 
         for jobset in self.jobsets_:
+            n_executors = jobset.n_executors or cfg.n_executors
+            # The segment's DVFS operating point, applied at the
+            # barrier on mode entry (None = the top step, today's
+            # fixed-mode behaviour).
+            freq = (
+                core_spec.max_freq if jobset.freq_level is None
+                else core_spec.freq_levels[jobset.freq_level]
+            )
+            if freq != applied_freq:
+                for group in groups:
+                    for core_id in group.core_ids:
+                        machine.cores[core_id].set_freq(freq)
+                applied_freq = freq
             per_executor = {e: {"compute": 0.0, "cache_clear": 0.0, "disk_read": 0.0}
-                            for e in range(cfg.n_executors)}
-            for executor in range(cfg.n_executors):
+                            for e in range(n_executors)}
+            for executor in range(n_executors):
                 core_id = groups[executor].core_ids[0]
                 for job in jobset.jobs_for_executor(executor):
+                    expected = self._expected_replicas.get(
+                        job.dataset_index, cfg.n_executors
+                    )
                     result, timings = engine.run_job(
                         job, core_id, runtime=self,
-                        flush_after=not self.cache_protected,
+                        # Unprotected (single-replica) segments accept
+                        # aliasing risk instead of paying cache hygiene.
+                        flush_after=not self.cache_protected
+                        and expected >= 2,
                     )
                     replica_results.setdefault(job.dataset_index, []).append(result)
-                    if len(replica_results[job.dataset_index]) == cfg.n_executors:
+                    if len(replica_results[job.dataset_index]) == expected:
                         pending_votes.add(job.dataset_index)
                     for bucket, seconds in timings.items():
                         per_executor[executor][bucket] += seconds
@@ -408,7 +535,7 @@ class EmrRuntime:
             if wall > executor_totals[straggler]:
                 stopwatch.add("disk_read", wall - executor_totals[straggler])
             machine.clock.advance(wall)
-            for executor in range(cfg.n_executors):
+            for executor in range(n_executors):
                 executor_busy[executor] += sum(per_executor[executor].values())
             # Barrier + votes.
             machine.clock.advance(cfg.costs.barrier_seconds)
@@ -465,6 +592,20 @@ class EmrRuntime:
 
         for dataset_index in sorted(pending):
             results = replica_results.pop(dataset_index)
+            if self._expected_replicas.get(dataset_index, 2) == 1:
+                # Unreplicated segment (independent mode): nothing to
+                # compare — commit the single output unverified, the
+                # way the unprotected baseline does. A replica fault is
+                # already a recorded detected fault.
+                result = results[0]
+                if result.ok:
+                    stored = materialized.load_replica_output(
+                        dataset_index, result.executor_id
+                    )
+                    materialized.commit_output(dataset_index, stored)
+                else:
+                    materialized.commit_output(dataset_index, b"")
+                continue
             # The orchestrator reads replica outputs back from inside
             # the frontier — the authoritative copies, not the python
             # objects (a DRAM SEU on a slot shows up here).

@@ -19,23 +19,97 @@ scheduling ablation benchmark.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ...errors import ConfigurationError
 from ...workloads.base import DatasetSpec
 from .conflicts import ConflictGraph
 from .jobs import Job, JobSet
 
 
+@dataclass(frozen=True)
+class ModeSegment:
+    """A contiguous run of datasets planned under one redundancy mode.
+
+    A mode schedule is a list of segments whose ``datasets`` counts sum
+    to the workload's dataset count; the runtime plans each segment
+    independently (its own replication plan, conflict graph, and
+    jobsets) and switches executor width, replication factor, and DVFS
+    operating point at the jobset barriers between segments.
+    """
+
+    #: How many consecutive datasets this segment covers.
+    datasets: int
+    #: Executor lanes the segment's jobs spread across.
+    n_executors: int = 3
+    #: Copies of each job that run (``None`` = one per executor).
+    replicas: "int | None" = None
+    #: Replication threshold for this segment (``None`` = the config's).
+    replication_threshold: "float | None" = None
+    #: Display name (the redundancy mode, for traces and reports).
+    name: str = ""
+    #: DVFS operating point: index into ``CoreSpec.freq_levels``
+    #: applied while the segment runs (``None`` = top step).
+    freq_level: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.datasets < 1:
+            raise ConfigurationError("a mode segment needs >= 1 dataset")
+        if self.n_executors < 1:
+            raise ConfigurationError("a mode segment needs >= 1 executor")
+        if self.replicas is not None and not (
+            1 <= self.replicas <= self.n_executors
+        ):
+            raise ConfigurationError(
+                f"segment replicas must be in [1, n_executors]; got "
+                f"{self.replicas} on {self.n_executors} executors"
+            )
+
+    @property
+    def effective_replicas(self) -> int:
+        return self.replicas if self.replicas is not None else self.n_executors
+
+
+def validate_schedule(
+    schedule: "list[ModeSegment]", n_datasets: int
+) -> "list[ModeSegment]":
+    """Check a mode schedule covers the dataset list exactly."""
+    segments = list(schedule)
+    if not segments:
+        raise ConfigurationError("a mode schedule needs >= 1 segment")
+    covered = sum(seg.datasets for seg in segments)
+    if covered != n_datasets:
+        raise ConfigurationError(
+            f"mode schedule covers {covered} datasets; workload has "
+            f"{n_datasets}"
+        )
+    return segments
+
+
 def order_jobs(
     datasets: "list[DatasetSpec]",
     n_executors: int,
     strategy: str = "rotated",
+    replicas: "int | None" = None,
 ) -> "list[Job]":
-    """Emit the 3N replica jobs in scheduling order."""
+    """Emit the replica jobs in scheduling order.
+
+    ``replicas`` decouples the redundancy factor from the executor
+    count (``None`` keeps the historical one-copy-per-executor
+    behaviour): each dataset gets ``replicas`` copies spread across
+    ``n_executors`` lanes, every copy on a distinct executor.
+    """
     if n_executors < 1:
         raise ConfigurationError("need at least one executor")
+    replicas = n_executors if replicas is None else replicas
+    if not 1 <= replicas <= n_executors:
+        raise ConfigurationError(
+            f"replicas must be in [1, n_executors]; got {replicas} on "
+            f"{n_executors} executors"
+        )
     if strategy == "rotated":
         jobs = []
-        for round_index in range(n_executors):
+        for round_index in range(replicas):
             for position, ds in enumerate(datasets):
                 executor = (position + round_index) % n_executors
                 jobs.append(Job(dataset=ds, executor_id=executor))
@@ -44,7 +118,7 @@ def order_jobs(
         return [
             Job(dataset=ds, executor_id=e)
             for ds in datasets
-            for e in range(n_executors)
+            for e in range(replicas)
         ]
     raise ConfigurationError(f"unknown ordering strategy {strategy!r}")
 

@@ -16,6 +16,7 @@ from . import (
     fig12_input_size,
     fig13_replication_sweep,
     fig14_energy,
+    fig_hmr_frontier,
     table2_ild_accuracy,
     table3_ild_overhead,
     table4_protected_area,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "fig14": fig14_energy.run,
     "table7": table7_fault_injection.run,
     "table8": table8_dev_overhead.run,
+    "hmr_frontier": fig_hmr_frontier.run,
 }
 
 ABLATIONS = {
@@ -76,6 +78,7 @@ CAMPAIGNS = {
     "table6": table6_breakdown.campaign,
     "table7": table7_fault_injection.campaign,
     "table8": table8_dev_overhead.campaign,
+    "hmr_frontier": fig_hmr_frontier.campaign,
     "ablation:scheduling_order": ablations.scheduling_order_campaign,
     "ablation:rolling_window": ablations.rolling_window_campaign,
     "ablation:bubble_cadence": ablations.bubble_cadence_campaign,

@@ -23,11 +23,14 @@ from .engine import (
     run_fleet,
 )
 from .presets import (
+    HMR_POLICIES,
     PRESETS,
     PROFILES,
+    HMRPolicy,
     MissionProfile,
     OrbitBandPreset,
     build_utilization,
+    get_hmr_policy,
     get_preset,
     get_profile,
     register_preset,
@@ -38,7 +41,9 @@ from .spec import (
     FLEET_SCHEMES,
     BandSpec,
     FleetSpec,
+    fleet_mode,
     load_spec,
+    normalize_scheme,
     reference_spec,
     smoke_spec,
 )
@@ -46,12 +51,14 @@ from .spec import (
 __all__ = [
     "CRAFT_SPEC",
     "FLEET_SCHEMES",
+    "HMR_POLICIES",
     "OUTCOME_ORDER",
     "PRESETS",
     "PROFILES",
     "BandSpec",
     "FleetRunResult",
     "FleetSpec",
+    "HMRPolicy",
     "MissionProfile",
     "OrbitBandPreset",
     "build_report",
@@ -60,11 +67,14 @@ __all__ = [
     "calibration_campaign",
     "calibration_table",
     "fleet_campaign",
+    "fleet_mode",
     "fleet_status",
     "flight_campaign",
+    "get_hmr_policy",
     "get_preset",
     "get_profile",
     "load_spec",
+    "normalize_scheme",
     "reference_spec",
     "register_preset",
     "render_report",

@@ -77,7 +77,7 @@ from .calibration import (
 )
 from .presets import build_utilization, get_preset, get_profile
 from .report import build_report
-from .spec import FleetSpec
+from .spec import FleetSpec, fleet_mode
 
 __all__ = [
     "FleetRunResult",
@@ -213,11 +213,14 @@ def _craft_trial(item, rng, tracer):
     cells = _sample_seu_cells(env, duration_s, rng)
     seu = _classify_seus(cells, item["calib"], item["params"]["scheme"], rng)
     util = build_utilization(profile, ticks, CRAFT_SPEC.n_cores, dt)
+    # The craft's scheme, as the fixed HMR mode it flies: replica cores
+    # held hot are a standing draw on the board (energy accounting).
+    mode = fleet_mode(item["params"]["scheme"]).as_tick_mode()
 
     if not sel_events:
         machine = Machine(CRAFT_SPEC, seed=0)
         machine.rng = rng
-        ticker = FleetTicker(machine, _coarse_config(dt))
+        ticker = FleetTicker(machine, _coarse_config(dt), mode=mode)
         report = ticker.run(TickProgram(util))
         n_alarms = len(report.alarms)
         return _reduce(
@@ -234,10 +237,13 @@ def _craft_trial(item, rng, tracer):
             detect_latency_s=0.0,
             energy_j=float(ticker.state.energy_joules),
         )
-    return _run_sel_craft(item, rng, sel_events, seu, util, ticks, dt, profile)
+    return _run_sel_craft(
+        item, rng, sel_events, seu, util, ticks, dt, profile, mode
+    )
 
 
-def _run_episode(machine, fine_cfg, delta: float, active_util: float):
+def _run_episode(machine, fine_cfg, delta: float, active_util: float,
+                 mode=None):
     """A 1 s-tick detection episode for one micro-SEL.
 
     Returns ``("cleared", latency_s, downtime_s, energy_j)``,
@@ -261,7 +267,7 @@ def _run_episode(machine, fine_cfg, delta: float, active_util: float):
     while True:
         events = LaneEvents(sels=(SelStep(0, delta),)) if first else None
         first = False
-        ticker = FleetTicker(machine, fine_cfg, state=state)
+        ticker = FleetTicker(machine, fine_cfg, state=state, mode=mode)
         rep = ticker.run(program, events=events)
         state = ticker.state
         if rep.deaths:
@@ -277,7 +283,8 @@ def _run_episode(machine, fine_cfg, delta: float, active_util: float):
             return ("latched", float(state.energy_joules))
 
 
-def _run_sel_craft(item, rng, sel_events, seu, util, ticks, dt, profile):
+def _run_sel_craft(item, rng, sel_events, seu, util, ticks, dt, profile,
+                   mode=None):
     machine = Machine(CRAFT_SPEC, seed=0)
     machine.rng = rng
     coarse_cfg = _coarse_config(dt)
@@ -303,7 +310,7 @@ def _run_sel_craft(item, rng, sel_events, seu, util, ticks, dt, profile):
         nonlocal power_cycles, downtime, energy, cur, latched_onset
         if upto <= cur:
             return
-        ticker = FleetTicker(machine, coarse_cfg)
+        ticker = FleetTicker(machine, coarse_cfg, mode=mode)
         rep = ticker.run(TickProgram(util[cur:upto]))
         energy += float(ticker.state.energy_joules)
         alarms += len(rep.alarms)
@@ -341,7 +348,7 @@ def _run_sel_craft(item, rng, sel_events, seu, util, ticks, dt, profile):
         else:
             outcome = _run_episode(
                 machine, fine_cfg, sel.delta_amps,
-                profile.active_utilization,
+                profile.active_utilization, mode=mode,
             )
             if outcome[0] == "cleared":
                 stats["ild"] += 1
@@ -433,6 +440,14 @@ def _fleet_batch_fn(items, rngs):
             CRAFT_SPEC,
             config=_coarse_config(dt),
             rngs=[rngs[i] for i in lanes],
+        )
+        # Buckets mix schemes (the bucket key is band-shaped, not
+        # scheme-shaped), so modes apply as per-lane masks.
+        batch.set_lane_modes(
+            [
+                fleet_mode(items[i]["params"]["scheme"]).as_tick_mode()
+                for i in lanes
+            ]
         )
         util = build_utilization(profile, ticks, CRAFT_SPEC.n_cores, dt)
         rep = batch.run(TickProgram(util))

@@ -31,18 +31,23 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..hmr import HMRScheduler, WorkloadPhase, mode_named
 from ..radiation.environment import (
     DEEP_SPACE,
     LOW_EARTH_ORBIT,
     RadiationEnvironment,
 )
+from ..recovery import PolicyConfig
 
 __all__ = [
+    "HMR_POLICIES",
     "PRESETS",
     "PROFILES",
+    "HMRPolicy",
     "MissionProfile",
     "OrbitBandPreset",
     "build_utilization",
+    "get_hmr_policy",
     "get_preset",
     "get_profile",
     "register_preset",
@@ -265,6 +270,133 @@ PROFILES: "dict[str, MissionProfile]" = {
         ),
     )
 }
+
+
+@dataclass(frozen=True)
+class HMRPolicy:
+    """A named hybrid-modular-redundancy policy: how a craft moves
+    through the mode lattice over a mission.
+
+    The legacy fleet schemes are the degenerate case — a fixed mode
+    flown for the whole mission — which is why the catalog carries one
+    entry per :data:`~repro.fleet.spec.FLEET_SCHEMES` name. Adaptive
+    entries add workload phases, a degradation-policy floor, or a
+    power ceiling. :meth:`scheduler` builds the runnable
+    :class:`~repro.hmr.HMRScheduler`.
+    """
+
+    name: str
+    description: str
+    start_mode: str
+    #: Workload phases as ``(name, fraction, mode_name)`` triples —
+    #: plain data so the catalog stays declarative and JSON-friendly.
+    phases: tuple = ()
+    policy: "PolicyConfig | None" = None
+    power_budget_amps: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.description:
+            raise ConfigurationError(
+                "an HMR policy needs a name and a description"
+            )
+        mode_named(self.start_mode)  # raises on unknown names
+        for entry in self.phases:
+            if len(entry) != 3:
+                raise ConfigurationError(
+                    "phases must be (name, fraction, mode_name) triples"
+                )
+            mode_named(entry[2])
+        object.__setattr__(self, "phases", tuple(tuple(e) for e in self.phases))
+
+    def scheduler(self, eventlog=None, obs=None) -> HMRScheduler:
+        """The runnable scheduler this policy describes."""
+        return HMRScheduler(
+            phases=tuple(
+                WorkloadPhase(name, float(fraction), mode_named(mode))
+                for name, fraction, mode in self.phases
+            ),
+            start_mode=self.start_mode,
+            policy=self.policy,
+            power_budget_amps=self.power_budget_amps,
+            eventlog=eventlog,
+            obs=obs,
+        )
+
+
+HMR_POLICIES: "dict[str, HMRPolicy]" = {
+    p.name: p
+    for p in (
+        # The three legacy schemes, as fixed-mode policies.
+        HMRPolicy(
+            name="none",
+            description="unprotected throughput: independent mode, always",
+            start_mode="independent",
+        ),
+        HMRPolicy(
+            name="3mr",
+            description="full lockstep triplication, always",
+            start_mode="3mr-lockstep",
+        ),
+        HMRPolicy(
+            name="emr",
+            description="the paper's EMR vote, always",
+            start_mode="emr-voted",
+        ),
+        # Adaptive members of the lattice.
+        HMRPolicy(
+            name="adaptive-cruise",
+            description=(
+                "independent through quiet cruise; ILD alarms and EMR "
+                "faults raise the floor through the lattice, a long "
+                "quiet spell lowers it"
+            ),
+            start_mode="independent",
+            policy=PolicyConfig(
+                start_level="independent",
+                escalate_alarms=1,
+                escalate_faults=2,
+            ),
+        ),
+        HMRPolicy(
+            name="storm-watch",
+            description=(
+                "voted EMR baseline that hardens to lockstep on the "
+                "first alarm window; a power ceiling keeps lockstep "
+                "honest on degraded panels"
+            ),
+            start_mode="emr-voted",
+            policy=PolicyConfig(
+                start_level="emr-voted",
+                escalate_alarms=1,
+                escalate_faults=2,
+            ),
+            power_budget_amps=0.72,
+        ),
+        HMRPolicy(
+            name="duty-cycle",
+            description=(
+                "phase-split missions: an unprotected imaging burst, a "
+                "duplex downlink, a voted navigation solve"
+            ),
+            start_mode="emr-voted",
+            phases=(
+                ("burst", 0.5, "independent"),
+                ("downlink", 0.2, "duplex-checkpoint"),
+                ("solve", 0.3, "emr-voted"),
+            ),
+        ),
+    )
+}
+
+
+def get_hmr_policy(name: str) -> HMRPolicy:
+    try:
+        return HMR_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(HMR_POLICIES))
+        raise ConfigurationError(
+            f"unknown HMR policy {name!r}; known policies: {known}"
+        ) from None
 
 
 def get_profile(name: str) -> MissionProfile:

@@ -15,13 +15,22 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import ConfigurationError
+from ..hmr.modes import (
+    EMR_VOTED,
+    INDEPENDENT,
+    TMR_LOCKSTEP,
+    RedundancyMode,
+    mode_named,
+)
 from .presets import get_preset, get_profile
 
 __all__ = [
     "FLEET_SCHEMES",
     "BandSpec",
     "FleetSpec",
+    "fleet_mode",
     "load_spec",
+    "normalize_scheme",
     "reference_spec",
     "smoke_spec",
 ]
@@ -29,6 +38,41 @@ __all__ = [
 #: Redundancy schemes a fleet may fly (the Table 7 vocabulary the SEU
 #: calibration table is built over).
 FLEET_SCHEMES = ("none", "3mr", "emr")
+
+#: Each fleet scheme is a *fixed-mode HMR policy*: the craft flies one
+#: redundancy mode for the whole mission. The calibration vocabulary
+#: stays the Table-7 one; the modes supply ILD deployment, standing
+#: current and EMR strength.
+_SCHEME_MODES = {
+    "none": INDEPENDENT,
+    "3mr": TMR_LOCKSTEP,
+    "emr": EMR_VOTED,
+}
+
+
+def normalize_scheme(name: str) -> str:
+    """Canonical fleet scheme for ``name``.
+
+    Accepts a fleet scheme verbatim, or any HMR mode name or legacy
+    alias — which maps to the scheme that mode's EMR layer flies
+    (``"3mr-lockstep"``/``"hardened"`` → ``"3mr"``,
+    ``"independent"`` → ``"none"``, …). Spec fingerprints are stable:
+    normalization happens before the craft grid is expanded.
+    """
+    if name in FLEET_SCHEMES:
+        return name
+    try:
+        return mode_named(name).scheme
+    except ConfigurationError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; known: {FLEET_SCHEMES} "
+            f"or an HMR mode name/alias"
+        ) from None
+
+
+def fleet_mode(scheme: str) -> RedundancyMode:
+    """The :class:`RedundancyMode` a fleet scheme flies."""
+    return _SCHEME_MODES[normalize_scheme(scheme)]
 
 
 @dataclass(frozen=True)
@@ -54,12 +98,11 @@ class BandSpec:
             raise ConfigurationError("mission days must be positive")
         if not self.schemes:
             raise ConfigurationError("a band needs at least one scheme")
-        object.__setattr__(self, "schemes", tuple(self.schemes))
-        for scheme in self.schemes:
-            if scheme not in FLEET_SCHEMES:
-                raise ConfigurationError(
-                    f"unknown scheme {scheme!r}; known: {FLEET_SCHEMES}"
-                )
+        object.__setattr__(
+            self,
+            "schemes",
+            tuple(normalize_scheme(scheme) for scheme in self.schemes),
+        )
         if len(set(self.schemes)) != len(self.schemes):
             raise ConfigurationError("schemes must be unique within a band")
 

@@ -1,0 +1,34 @@
+"""Hybrid modular redundancy: the runtime mode plane.
+
+One vocabulary for "how redundant are we right now", shared by the EMR
+runtime (mode schedules at jobset barriers), the recovery policy (a
+lattice the :class:`~repro.recovery.policy.DegradationPolicy` walks),
+the mission simulator (per-chunk mode decisions), the batch tick
+engine (per-lane mode masks), and the fleet (schemes as fixed-mode
+policies). See ``docs/hmr.md``.
+"""
+
+from .modes import (
+    DUPLEX,
+    EMR_VOTED,
+    INDEPENDENT,
+    MODES,
+    TMR_LOCKSTEP,
+    RedundancyMode,
+    mode_named,
+)
+from .scheduler import HMRScheduler, ModeChange, WorkloadPhase, mode_segment
+
+__all__ = [
+    "DUPLEX",
+    "EMR_VOTED",
+    "INDEPENDENT",
+    "MODES",
+    "TMR_LOCKSTEP",
+    "HMRScheduler",
+    "ModeChange",
+    "RedundancyMode",
+    "WorkloadPhase",
+    "mode_named",
+    "mode_segment",
+]

@@ -1,0 +1,191 @@
+"""The redundancy-mode lattice: hybrid modular redundancy presets.
+
+The paper's EMR is one fixed point in a wider redundancy/performance
+space. "Hybrid Modular Redundancy" and "Trikarenos" (PAPERS.md)
+characterize runtime-switchable independent vs. lockstep/voted modes
+on RISC-V clusters; this module names the four canonical points of
+that space for the simulated Pi-class board and gives every layer of
+the repo one shared vocabulary for "how redundant are we right now":
+
+* ``INDEPENDENT`` — every core its own lane, no replication. Maximum
+  throughput, zero SDC coverage beyond ECC.
+* ``DUPLEX`` — two replicas + checkpoint/rollback: disagreement
+  detects (and the supervisor replays from the checkpoint) but cannot
+  out-vote. The legacy ``economy`` protection level.
+* ``EMR_VOTED`` — the paper's deployed configuration: selective
+  replication with a triple vote. The legacy ``standard`` level.
+* ``TMR_LOCKSTEP`` — full three-way lockstep: everything replicated
+  (threshold 0), strictest ILD. The legacy ``hardened`` level.
+
+A :class:`RedundancyMode` is deliberately shaped like
+:class:`~repro.recovery.policy.ProtectionLevel` (name, ``n_executors``,
+``replication_threshold``, ``ild``, ``current_cost_amps``) so the
+:class:`~repro.recovery.policy.DegradationPolicy` can walk either
+lattice unchanged — the legacy three-rung ladder is the sub-lattice
+``MODES[1:]`` under the aliases ``economy``/``standard``/``hardened``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ild.detector import IldConfig
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DUPLEX",
+    "EMR_VOTED",
+    "INDEPENDENT",
+    "MODES",
+    "TMR_LOCKSTEP",
+    "RedundancyMode",
+    "mode_named",
+]
+
+
+@dataclass(frozen=True)
+class RedundancyMode:
+    """One point of the HMR lattice: a coherent core-split + EMR + ILD
+    + DVFS preset with its power price."""
+
+    name: str
+    #: Parallel executor lanes the scheduler spreads jobs across.
+    n_executors: int
+    #: Copies of every job that actually run (the redundancy factor).
+    #: ``INDEPENDENT`` decouples the two: four lanes, one copy each.
+    replicas: int
+    #: EMR acceptance threshold (fraction of datasets replicated);
+    #: 0.0 replicates everything (full lockstep).
+    replication_threshold: float
+    #: ILD deployment parameters while in this mode.
+    ild: IldConfig
+    #: Rough board current while protected at this mode (amps), used
+    #: when a power budget caps the lattice.
+    current_cost_amps: float
+    #: Cores running protected work vs. left free for opportunistic
+    #: (unprotected) compute, summing to the Pi's four cores.
+    core_split: "tuple[int, int]" = (3, 1)
+    #: DVFS operating point: index into ``CoreSpec.freq_levels``
+    #: applied at mode entry (-1 = the top step, today's behavior).
+    freq_level: int = -1
+    #: Standing current the protection machinery itself draws over the
+    #: independent baseline (amps) — the per-lane tick-mask increment.
+    standing_current_amps: float = 0.0
+    #: The fleet/Table-7 scheme vocabulary this mode maps onto.
+    scheme: str = "emr"
+    #: Legacy names that resolve to this mode (the old ladder rungs).
+    aliases: "tuple[str, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.n_executors < 1 or self.replicas < 1:
+            raise ConfigurationError(
+                "a redundancy mode needs >= 1 executor and >= 1 replica"
+            )
+        if self.replicas > self.n_executors:
+            raise ConfigurationError(
+                f"mode {self.name!r} asks for {self.replicas} replicas on "
+                f"{self.n_executors} executors"
+            )
+        if not 0.0 <= self.replication_threshold <= 1.0:
+            raise ConfigurationError(
+                "replication_threshold must be in [0, 1]"
+            )
+        if self.scheme not in ("none", "3mr", "emr"):
+            raise ConfigurationError(
+                f"mode {self.name!r} maps to unknown scheme {self.scheme!r}"
+            )
+
+    @property
+    def voted(self) -> bool:
+        """Whether replica outputs are compared (>= 2 copies)."""
+        return self.replicas >= 2
+
+    def as_tick_mode(self):
+        """This mode's per-lane tick mask for ``repro.sim.batch``."""
+        from ..sim.batch import TickLaneMode
+
+        return TickLaneMode(
+            name=self.name, extra_current_amps=self.standing_current_amps
+        )
+
+    def matches(self, name: str) -> bool:
+        return name == self.name or name in self.aliases
+
+
+#: Every core its own lane: 4 independent executors, no replication,
+#: no voting, no standing protection draw. Pure throughput.
+INDEPENDENT = RedundancyMode(
+    name="independent",
+    n_executors=4,
+    replicas=1,
+    replication_threshold=1.0,
+    ild=IldConfig(residual_threshold_amps=0.075, persistence_seconds=4.0),
+    current_cost_amps=0.42,
+    core_split=(0, 4),
+    standing_current_amps=0.0,
+    scheme="none",
+)
+
+#: Duplication + checkpoint: two replicas detect (the supervisor's
+#: checkpoint/rollback/replay resolves), two cores stay free.
+DUPLEX = RedundancyMode(
+    name="duplex-checkpoint",
+    n_executors=2,
+    replicas=2,
+    replication_threshold=0.5,
+    ild=IldConfig(residual_threshold_amps=0.075, persistence_seconds=4.0),
+    current_cost_amps=0.50,
+    core_split=(2, 2),
+    standing_current_amps=0.08,
+    scheme="emr",
+    aliases=("economy",),
+)
+
+#: The paper's deployed configuration: selective replication, triple
+#: vote, Table-1 ILD.
+EMR_VOTED = RedundancyMode(
+    name="emr-voted",
+    n_executors=3,
+    replicas=3,
+    replication_threshold=0.2,
+    ild=IldConfig(),
+    current_cost_amps=0.68,
+    core_split=(3, 1),
+    standing_current_amps=0.26,
+    scheme="emr",
+    aliases=("standard",),
+)
+
+#: Full three-way lockstep: replicate everything, hair-trigger ILD,
+#: one DVFS step down to hold the thermal/power envelope.
+TMR_LOCKSTEP = RedundancyMode(
+    name="3mr-lockstep",
+    n_executors=3,
+    replicas=3,
+    replication_threshold=0.0,
+    ild=IldConfig(residual_threshold_amps=0.045, persistence_seconds=2.0),
+    current_cost_amps=0.72,
+    core_split=(3, 1),
+    freq_level=-2,
+    standing_current_amps=0.30,
+    scheme="3mr",
+    aliases=("hardened",),
+)
+
+#: The lattice, weakest to strongest. ``MODES[1:]`` is the legacy
+#: economy/standard/hardened ladder under its new names.
+MODES: "tuple[RedundancyMode, ...]" = (
+    INDEPENDENT, DUPLEX, EMR_VOTED, TMR_LOCKSTEP,
+)
+
+
+def mode_named(name: str) -> RedundancyMode:
+    """Resolve a canonical mode name or a legacy ladder alias."""
+    for mode in MODES:
+        if mode.matches(name):
+            return mode
+    known = [m.name for m in MODES]
+    raise ConfigurationError(
+        f"unknown redundancy mode {name!r}; choose from {known} "
+        f"(legacy aliases: economy, standard, hardened)"
+    )

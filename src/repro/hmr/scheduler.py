@@ -1,0 +1,227 @@
+"""The HMR scheduler: mode switches at checkpoint/jobset boundaries.
+
+Per-phase mode *requests* come from the workload (an imaging burst
+wants ``independent`` throughput, a navigation solve wants the vote);
+the adaptive *floor* comes from a
+:class:`~repro.recovery.policy.DegradationPolicy` walking the mode
+lattice on the stack's own signals; the *ceiling* is the power budget.
+``on_boundary`` reconciles the three — grant the strongest of request
+and floor, stepped down to the costliest affordable mode — and only
+ever at a boundary, because a mode switch mid-jobset would tear the
+replica bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.emr.scheduler import ModeSegment
+from ..errors import ConfigurationError
+from ..flightsw.eventlog import EvrSeverity
+from ..obs import NULL_OBS
+from ..recovery.policy import DegradationPolicy, PolicyConfig
+from .modes import MODES, EMR_VOTED, RedundancyMode, mode_named
+
+__all__ = [
+    "HMRScheduler",
+    "ModeChange",
+    "WorkloadPhase",
+    "mode_segment",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A named slice of the workload and the mode it asks for."""
+
+    name: str
+    #: Share of the datasets this phase covers (normalized over the
+    #: schedule, so fractions need not sum to exactly 1).
+    fraction: float
+    mode: RedundancyMode
+
+    def __post_init__(self) -> None:
+        if self.fraction <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r} needs a positive fraction"
+            )
+
+
+@dataclass(frozen=True)
+class ModeChange:
+    """One granted mode switch, as reported to callers and the log."""
+
+    time: float
+    from_mode: RedundancyMode
+    to_mode: RedundancyMode
+    reason: str
+
+
+def mode_segment(mode: RedundancyMode, datasets: int,
+                 name: "str | None" = None) -> ModeSegment:
+    """One :class:`ModeSegment` covering ``datasets`` under ``mode``."""
+    return ModeSegment(
+        datasets=datasets,
+        n_executors=mode.n_executors,
+        replicas=mode.replicas,
+        replication_threshold=mode.replication_threshold,
+        name=name if name is not None else mode.name,
+        freq_level=mode.freq_level,
+    )
+
+
+def _apportion(fractions: "list[float]", total: int) -> "list[int]":
+    """Largest-remainder split of ``total`` items by weight —
+    deterministic, order-stable, sums exactly to ``total``."""
+    weight = sum(fractions)
+    quotas = [total * f / weight for f in fractions]
+    counts = [int(q) for q in quotas]
+    shortfall = total - sum(counts)
+    remainders = sorted(
+        range(len(quotas)),
+        key=lambda i: (-(quotas[i] - counts[i]), i),
+    )
+    for i in remainders[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+class HMRScheduler:
+    """Grants redundancy modes at checkpoint/jobset boundaries.
+
+    Three inputs meet here:
+
+    * :meth:`request` — the workload phase's desired mode;
+    * an optional :class:`DegradationPolicy` over the mode lattice,
+      whose current level is an adaptive floor (alarms raise it);
+    * an optional power budget, a hard ceiling.
+
+    :meth:`on_boundary` is the only place a mode actually changes; the
+    mission simulator calls it once per checkpointed telemetry chunk
+    and the EMR runtime consumes the result as a mode schedule.
+    """
+
+    def __init__(
+        self,
+        phases: "tuple[WorkloadPhase, ...] | None" = None,
+        start_mode: "RedundancyMode | str" = EMR_VOTED,
+        policy: "DegradationPolicy | PolicyConfig | None" = None,
+        power_budget_amps: "float | None" = None,
+        eventlog=None,
+        obs=None,
+    ) -> None:
+        if isinstance(start_mode, str):
+            start_mode = mode_named(start_mode)
+        self.phases = tuple(phases or ())
+        if isinstance(policy, PolicyConfig):
+            policy = DegradationPolicy(policy, lattice=MODES)
+        self.policy = policy
+        if policy is not None and policy.level not in MODES:
+            raise ConfigurationError(
+                "the scheduler's policy must walk the MODES lattice "
+                "(pass lattice=repro.hmr.MODES)"
+            )
+        self.power_budget_amps = power_budget_amps
+        self.eventlog = eventlog
+        self.obs = obs if obs is not None else NULL_OBS
+        self._mode = self._cap(start_mode)
+        if self._mode is not start_mode:
+            raise ConfigurationError(
+                f"start mode {start_mode.name!r} exceeds the power budget "
+                f"of {power_budget_amps} A"
+            )
+        self._requested = start_mode
+        self.changes: "list[ModeChange]" = []
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> RedundancyMode:
+        """The currently granted mode."""
+        return self._mode
+
+    def request(self, mode: "RedundancyMode | str") -> None:
+        """Set the workload phase's desired mode; granted (subject to
+        the policy floor and the budget) at the next boundary."""
+        self._requested = (
+            mode_named(mode) if isinstance(mode, str) else mode
+        )
+
+    def observe_alarm(self, time: float) -> None:
+        if self.policy is not None:
+            self.policy.observe_alarm(time)
+
+    def observe_fault(self, time: float) -> None:
+        if self.policy is not None:
+            self.policy.observe_fault(time)
+
+    def _cap(self, mode: RedundancyMode) -> RedundancyMode:
+        """Step down to the costliest affordable mode."""
+        budget = self.power_budget_amps
+        if budget is None:
+            return mode
+        index = MODES.index(mode)
+        while index > 0 and MODES[index].current_cost_amps > budget:
+            index -= 1
+        return MODES[index]
+
+    def on_boundary(self, now: float) -> "ModeChange | None":
+        """Reconcile request, policy floor, and budget; grant at most
+        one mode change, logged as an ``hmr.mode`` EVR."""
+        floor = None
+        reason = f"phase requested {self._requested.name}"
+        if self.policy is not None:
+            self.policy.update(now)
+            floor = self.policy.level
+        target = self._requested
+        if floor is not None and MODES.index(floor) > MODES.index(target):
+            target = floor
+            reason = f"policy floor {floor.name}"
+        capped = self._cap(target)
+        if capped is not target:
+            reason = f"{reason}; budget caps at {capped.name}"
+            target = capped
+        if target is self._mode:
+            return None
+        change = ModeChange(
+            time=float(now), from_mode=self._mode, to_mode=target,
+            reason=reason,
+        )
+        self._mode = target
+        self.changes.append(change)
+        if self.eventlog is not None:
+            self.eventlog.log(
+                "hmr.mode",
+                f"{change.from_mode.name} -> {change.to_mode.name}: {reason}",
+                EvrSeverity.WARNING_LO,
+                time=now,
+                from_mode=change.from_mode.name,
+                to_mode=change.to_mode.name,
+                replicas=change.to_mode.replicas,
+            )
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "hmr.mode", t=float(now),
+                from_mode=change.from_mode.name,
+                to_mode=change.to_mode.name,
+            )
+            self.obs.metrics.counter("hmr.mode_changes").inc()
+        return change
+
+    # ------------------------------------------------------------------
+    def plan_segments(self, n_datasets: int) -> "list[ModeSegment]":
+        """The phase list as a deterministic mode schedule over
+        ``n_datasets`` datasets (largest-remainder apportionment;
+        zero-dataset phases drop out). With no phases, one segment of
+        the current mode covers everything."""
+        if n_datasets < 1:
+            raise ConfigurationError("need >= 1 dataset to plan")
+        if not self.phases:
+            return [mode_segment(self._mode, n_datasets)]
+        counts = _apportion(
+            [phase.fraction for phase in self.phases], n_datasets
+        )
+        return [
+            mode_segment(self._cap(phase.mode), count, name=phase.name)
+            for phase, count in zip(self.phases, counts)
+            if count > 0
+        ]

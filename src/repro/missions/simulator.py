@@ -61,6 +61,18 @@ class MissionConfig:
     supervised: bool = False
     supervisor: "SupervisorConfig | None" = None
     policy: "PolicyConfig | None" = None
+    #: Hybrid modular redundancy: start mode name (``independent``,
+    #: ``duplex-checkpoint``, ``emr-voted``, ``3mr-lockstep`` or a
+    #: legacy alias). ``None`` keeps the fixed-strength legacy path.
+    #: When set, an :class:`~repro.hmr.HMRScheduler` grants modes at
+    #: chunk boundaries and the granted mode drives EMR strength,
+    #: scheme and ILD deployment per chunk.
+    hmr_mode: "str | None" = None
+    #: Adaptive floor for the HMR scheduler: a :class:`PolicyConfig`
+    #: walked over the mode lattice. ``None`` = fixed requests only.
+    hmr_policy: "PolicyConfig | None" = None
+    #: Power ceiling for the HMR scheduler (amps).
+    hmr_power_budget_amps: "float | None" = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -88,6 +100,10 @@ class MissionReport:
     level_changes: int = 0
     #: Protection level at end of mission ("" when unsupervised).
     final_level: str = ""
+    #: HMR mode switches granted at chunk boundaries (0 without HMR).
+    mode_changes: int = 0
+    #: Granted HMR mode at end of mission ("" without HMR).
+    final_mode: str = ""
     #: Flight event log (EVRs) of the mission's protection actions.
     events: "tuple" = ()
 
@@ -185,6 +201,8 @@ class _MissionLane:
     policy: "DegradationPolicy | None"
     sel_events: list
     seu_events: list
+    #: The HMR mode plane (``None`` on the fixed-strength legacy path).
+    scheduler: "object | None" = None
     sel_index: int = 0
     seu_index: int = 0
     elapsed: float = 0.0
@@ -267,12 +285,29 @@ class MissionSimulator:
         )
 
         detector = _trained_ild(cfg, generator) if cfg.ild_enabled else None
+        scheduler = None
+        if cfg.hmr_mode is not None:
+            from ..hmr import HMRScheduler
+
+            scheduler = HMRScheduler(
+                start_mode=cfg.hmr_mode,
+                policy=cfg.hmr_policy,
+                power_budget_amps=cfg.hmr_power_budget_amps,
+                eventlog=eventlog,
+            )
+            if detector is not None:
+                detector.reconfigure(scheduler.mode.ild)
         supervisor = None
         policy = None
         if cfg.supervised:
-            policy = DegradationPolicy(
-                cfg.policy or PolicyConfig(), eventlog=eventlog
-            )
+            if scheduler is not None and scheduler.policy is not None:
+                # One lattice, one policy: the supervisor and the HMR
+                # scheduler share signals and walk the mode lattice.
+                policy = scheduler.policy
+            else:
+                policy = DegradationPolicy(
+                    cfg.policy or PolicyConfig(), eventlog=eventlog
+                )
             supervisor = RecoverySupervisor(
                 machine,
                 detector=detector,
@@ -297,6 +332,7 @@ class MissionSimulator:
             policy=policy,
             sel_events=sel_events,
             seu_events=seu_events,
+            scheduler=scheduler,
         )
 
     def _advance_chunk(self, lane: _MissionLane) -> None:
@@ -317,6 +353,7 @@ class MissionSimulator:
             lane.machine, lane.injector, lane.thermal, lane.generator,
             lane.detector, chunk, lane.elapsed, chunk_sels, lane.rng,
             report, lane.eventlog, supervisor=lane.supervisor,
+            scheduler=lane.scheduler,
         )
         if not report.survived:
             return
@@ -325,8 +362,19 @@ class MissionSimulator:
             lane.seu_events, lane.seu_index, elapsed_end
         )
         for seu in chunk_seus:
-            self._handle_seu(seu, lane.rng, report, lane.eventlog, lane.policy)
-        if lane.policy is not None:
+            self._handle_seu(
+                seu, lane.rng, report, lane.eventlog, lane.policy,
+                scheduler=lane.scheduler,
+            )
+        # The chunk end is a checkpoint boundary: the only place a
+        # redundancy-mode (or legacy level) change takes effect.
+        if lane.scheduler is not None:
+            change = lane.scheduler.on_boundary(elapsed_end)
+            if change is not None and lane.detector is not None:
+                lane.detector.reconfigure(change.to_mode.ild)
+        if lane.policy is not None and (
+            lane.scheduler is None or lane.policy is not lane.scheduler.policy
+        ):
             change = lane.policy.update(elapsed_end)
             if change is not None and lane.detector is not None:
                 lane.detector.reconfigure(change.to_level.ild)
@@ -346,6 +394,9 @@ class MissionSimulator:
         if lane.policy is not None:
             report.level_changes = len(lane.policy.changes)
             report.final_level = lane.policy.level.name
+        if lane.scheduler is not None:
+            report.mode_changes = len(lane.scheduler.changes)
+            report.final_mode = lane.scheduler.mode.name
         report.events = lane.eventlog.events()
         return report
 
@@ -386,7 +437,7 @@ class MissionSimulator:
     def _run_telemetry_chunk(
         self, machine, injector, thermal, generator, detector,
         chunk_seconds, chunk_start, chunk_sels, rng, report, eventlog,
-        supervisor=None,
+        supervisor=None, scheduler=None,
     ) -> None:
         cfg = self.config
         # Latch events at their onset times (current steps local to chunk).
@@ -412,6 +463,10 @@ class MissionSimulator:
                     outcome = supervisor.handle_alarm(event.time)
                     report.downtime_seconds += outcome.downtime_seconds
                 else:
+                    # Unsupervised, the scheduler's policy hears the
+                    # alarm here (the supervisor feeds it otherwise).
+                    if scheduler is not None:
+                        scheduler.observe_alarm(event.time)
                     downtime = machine.power_cycle()
                     report.downtime_seconds += downtime
                     eventlog.log(
@@ -461,6 +516,8 @@ class MissionSimulator:
                     outcome = supervisor.handle_alarm(detection_time)
                     report.downtime_seconds += outcome.downtime_seconds
                 else:
+                    if scheduler is not None:
+                        scheduler.observe_alarm(detection_time)
                     downtime = machine.power_cycle()
                     report.downtime_seconds += downtime
                     if detector is not None:
@@ -514,14 +571,24 @@ class MissionSimulator:
 
     # ------------------------------------------------------------------
     def _handle_seu(self, seu: SeuEvent, rng, report: MissionReport, eventlog,
-                    policy=None) -> None:
+                    policy=None, scheduler=None) -> None:
         """Evaluate one upset by running the flight workload with that
         strike injected, under the mission's protection scheme."""
         cfg = self.config
         workload = self.workload_factory()
         threshold = cfg.emr_threshold
         n_executors = 3
-        if policy is not None:
+        scheme = "emr" if cfg.emr_enabled else "none"
+        if scheduler is not None:
+            # The granted HMR mode sets scheme and EMR strength for
+            # every upset landing in this chunk. ``independent`` mode
+            # runs unreplicated (scheme "none"; the executor count is
+            # then unused, but the campaign still validates it).
+            mode = scheduler.mode
+            threshold = mode.replication_threshold
+            n_executors = max(2, mode.replicas)
+            scheme = mode.scheme if cfg.emr_enabled else "none"
+        elif policy is not None:
             # The degradation policy's current level sets EMR strength.
             threshold = policy.level.replication_threshold
             n_executors = policy.level.n_executors
@@ -536,7 +603,6 @@ class MissionSimulator:
             ),
             seed=int(seu.time) % (2**31),
         )
-        scheme = "emr" if cfg.emr_enabled else "none"
         outcome = campaign.run(schemes=(scheme,))[scheme]
         report.workload_runs += 1
         outcome_class = next(iter(outcome))
@@ -552,10 +618,13 @@ class MissionSimulator:
             action = "reboot"
         elif outcome_class is OutcomeClass.SDC:
             report.silent_corruptions += 1
-        if policy is not None and outcome_class in (
-            OutcomeClass.CORRECTED, OutcomeClass.ERROR
-        ):
-            policy.observe_fault(seu.time)
+        if outcome_class in (OutcomeClass.CORRECTED, OutcomeClass.ERROR):
+            if scheduler is not None:
+                scheduler.observe_fault(seu.time)
+            if policy is not None and (
+                scheduler is None or policy is not scheduler.policy
+            ):
+                policy.observe_fault(seu.time)
         severity = {
             OutcomeClass.NO_EFFECT: EvrSeverity.DIAGNOSTIC,
             OutcomeClass.CORRECTED: EvrSeverity.WARNING_LO,

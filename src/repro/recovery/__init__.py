@@ -14,6 +14,7 @@ from .policy import (
     PolicyConfig,
     ProtectionLevel,
     level_named,
+    point_named,
 )
 from .supervisor import RecoveryOutcome, RecoverySupervisor, SupervisorConfig
 from .watchdog import Watchdog
@@ -32,4 +33,5 @@ __all__ = [
     "SupervisorConfig",
     "Watchdog",
     "level_named",
+    "point_named",
 ]

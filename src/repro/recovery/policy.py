@@ -20,6 +20,7 @@ watts, the cost of being under-protected is the mission.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..core.ild.detector import IldConfig
@@ -81,14 +82,26 @@ HARDENED = ProtectionLevel(
 LEVELS: "tuple[ProtectionLevel, ...]" = (ECONOMY, STANDARD, HARDENED)
 
 
-def level_named(name: str) -> ProtectionLevel:
-    for level in LEVELS:
-        if level.name == name:
-            return level
+def point_named(name: str, lattice: "tuple" = LEVELS):
+    """Resolve a point of ``lattice`` by canonical name or alias.
+
+    Lattice points are duck-typed: anything with ``name``,
+    ``n_executors``, ``current_cost_amps``, and ``ild`` qualifies —
+    both :class:`ProtectionLevel` and
+    :class:`~repro.hmr.modes.RedundancyMode` (whose legacy aliases
+    ``economy``/``standard``/``hardened`` resolve here too).
+    """
+    for point in lattice:
+        if point.name == name or name in getattr(point, "aliases", ()):
+            return point
     raise ConfigurationError(
         f"unknown protection level {name!r}; "
-        f"choose from {[lvl.name for lvl in LEVELS]}"
+        f"choose from {[point.name for point in lattice]}"
     )
+
+
+def level_named(name: str) -> ProtectionLevel:
+    return point_named(name, LEVELS)
 
 
 @dataclass(frozen=True)
@@ -137,12 +150,17 @@ class _Signals:
 
 
 class DegradationPolicy:
-    """Walks the protection ladder in response to observed signals.
+    """Walks a protection lattice in response to observed signals.
 
     Callers feed it :meth:`observe_alarm` / :meth:`observe_fault` as
     incidents happen and call :meth:`update` at decision points (the
     mission simulator does so once per telemetry chunk). ``update``
     returns the :class:`LevelChange` if one was made, else ``None``.
+
+    ``lattice`` is the ordered weakest-to-strongest tuple of points to
+    walk: the legacy :data:`LEVELS` ladder by default, or the HMR mode
+    lattice (:data:`repro.hmr.MODES`) — any tuple of objects shaped
+    like :class:`ProtectionLevel` works.
     """
 
     def __init__(
@@ -150,11 +168,16 @@ class DegradationPolicy:
         config: "PolicyConfig | None" = None,
         eventlog=None,
         obs=None,
+        lattice: "tuple | None" = None,
     ) -> None:
         self.config = config or PolicyConfig()
         self.eventlog = eventlog
         self.obs = obs if obs is not None else NULL_OBS
-        self._index = LEVELS.index(level_named(self.config.start_level))
+        self.lattice = tuple(lattice) if lattice is not None else LEVELS
+        if not self.lattice:
+            raise ConfigurationError("the protection lattice is empty")
+        start = point_named(self.config.start_level, self.lattice)
+        self._index = self.lattice.index(start)
         if not self._affordable(self._index):
             raise ConfigurationError(
                 f"start level {self.config.start_level!r} exceeds the "
@@ -166,27 +189,44 @@ class DegradationPolicy:
 
     # ------------------------------------------------------------------
     @property
-    def level(self) -> ProtectionLevel:
-        return LEVELS[self._index]
+    def level(self):
+        return self.lattice[self._index]
+
+    @staticmethod
+    def _checked_time(time: float, what: str) -> float:
+        """A non-finite timestamp would poison ``max()`` in the quiet
+        clock and every window comparison downstream — reject it."""
+        time = float(time)
+        if not math.isfinite(time):
+            raise ConfigurationError(
+                f"{what} timestamp must be finite; got {time!r}"
+            )
+        return time
 
     def observe_alarm(self, time: float) -> None:
         """An ILD alarm (an SEL trip) at ``time``."""
-        self._signals.alarms.append(float(time))
+        time = self._checked_time(time, "alarm")
+        self._signals.alarms.append(time)
         self._signals.last_signal_time = max(
-            self._signals.last_signal_time, float(time)
+            self._signals.last_signal_time, time
         )
+        # Prune here too: between decision points a multi-week mission
+        # must not accumulate an unbounded signal list.
+        self._prune(time)
 
     def observe_fault(self, time: float) -> None:
         """An EMR vote correction or detected replica fault at ``time``."""
-        self._signals.faults.append(float(time))
+        time = self._checked_time(time, "fault")
+        self._signals.faults.append(time)
         self._signals.last_signal_time = max(
-            self._signals.last_signal_time, float(time)
+            self._signals.last_signal_time, time
         )
+        self._prune(time)
 
     # ------------------------------------------------------------------
     def _affordable(self, index: int) -> bool:
         budget = self.config.power_budget_amps
-        return budget is None or LEVELS[index].current_cost_amps <= budget
+        return budget is None or self.lattice[index].current_cost_amps <= budget
 
     def _prune(self, now: float) -> None:
         horizon = now - self.config.window_seconds
@@ -210,6 +250,7 @@ class DegradationPolicy:
 
     def update(self, now: float) -> "LevelChange | None":
         """Evaluate the signals and move at most one rung."""
+        now = self._checked_time(now, "decision")
         if self._signals.last_signal_time == float("-inf"):
             # First decision point anchors the quiet clock: the policy
             # cannot claim "quiet since forever" before it has watched
@@ -223,17 +264,18 @@ class DegradationPolicy:
         if decision is None:
             return None
         target, reason = decision
-        target = max(0, min(target, len(LEVELS) - 1))
+        target = max(0, min(target, len(self.lattice) - 1))
         while target > self._index and not self._affordable(target):
             target -= 1
         if target == self._index:
             return None
         change = LevelChange(
             time=float(now),
-            from_level=LEVELS[self._index],
-            to_level=LEVELS[target],
+            from_level=self.lattice[self._index],
+            to_level=self.lattice[target],
             reason=reason,
         )
+        direction = "escalate" if target > self._index else "de-escalate"
         self._index = target
         self._last_change_time = float(now)
         # Escalation consumes the signals that caused it; a fresh
@@ -242,11 +284,6 @@ class DegradationPolicy:
         self._signals = _Signals()
         self._signals.last_signal_time = float(now)
         self.changes.append(change)
-        direction = (
-            "escalate"
-            if LEVELS.index(change.to_level) > LEVELS.index(change.from_level)
-            else "de-escalate"
-        )
         if self.eventlog is not None:
             self.eventlog.log(
                 "emr.degrade",

@@ -9,6 +9,7 @@ the substitution rationale.
 from .cache import AccessTrace, Cache, CacheHierarchy, CacheStats
 from .clock import SimClock, Stopwatch
 from .batch import (
+    DEFAULT_LANE_MODE,
     BatchMachines,
     FleetTicker,
     LaneEvents,
@@ -17,6 +18,7 @@ from .batch import (
     TickAlarm,
     TickConfig,
     TickDeath,
+    TickLaneMode,
     TickProgram,
     TickRunReport,
     TickState,
@@ -77,6 +79,7 @@ __all__ = [
     "CounterFrame",
     "CurrentSensor",
     "CurrentStep",
+    "DEFAULT_LANE_MODE",
     "EnergyMeter",
     "EnergyReport",
     "ExecutionCost",
@@ -116,6 +119,7 @@ __all__ = [
     "TickAlarm",
     "TickConfig",
     "TickDeath",
+    "TickLaneMode",
     "TickProgram",
     "TickRunReport",
     "TickState",

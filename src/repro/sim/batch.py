@@ -127,6 +127,42 @@ class TickConfig:
 
 
 @dataclass(frozen=True)
+class TickLaneMode:
+    """Per-lane redundancy-mode overlay for the tick engines.
+
+    The tick engines model the *board*, not the software stack, so a
+    redundancy mode projects onto exactly two knobs: a standing extra
+    current draw (replica cores held hot) and an optional ILD residual
+    threshold override. The standing draw is part of the *expected*
+    current model — it raises energy, not the ILD residual — so mode
+    changes never masquerade as latchups. Defaults are arithmetic
+    no-ops: a default-mode lane is bitwise identical to a mode-less
+    one, and the mode is configuration, not state, so it stays out of
+    :func:`_engine_digest`.
+    """
+
+    name: str = ""
+    #: Standing board current of the mode (amps), added to the modeled
+    #: active current (and therefore to energy), not to the residual.
+    extra_current_amps: float = 0.0
+    #: ILD residual threshold override; ``None`` keeps the config's.
+    residual_threshold_amps: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.extra_current_amps < 0:
+            raise ConfigurationError("mode standing current must be >= 0")
+        if (
+            self.residual_threshold_amps is not None
+            and self.residual_threshold_amps <= 0
+        ):
+            raise ConfigurationError("mode residual threshold must be positive")
+
+
+#: The mode-less default: zero standing draw, config thresholds.
+DEFAULT_LANE_MODE = TickLaneMode()
+
+
+@dataclass(frozen=True)
 class SelStep:
     """A latchup step: persistent extra current from ``tick`` onward."""
 
@@ -523,10 +559,12 @@ class FleetTicker:
         config: "TickConfig | None" = None,
         state: "TickState | None" = None,
         lane_id: int = 0,
+        mode: "TickLaneMode | None" = None,
     ) -> None:
         self.machine = machine
         self.config = config or TickConfig()
         self.kernel = _TickKernel(machine.spec, self.config)
+        self.mode = mode if mode is not None else DEFAULT_LANE_MODE
         if state is None:
             state = TickState.fresh(self.config)
             state.dead = bool(all(core.damaged for core in machine.cores))
@@ -563,6 +601,12 @@ class FleetTicker:
         sel_by_tick, seu_by_tick = _index_events(program, events, n_ticks)
         ov_idx = kernel.override_indices(program)
         base = program.utilization
+        mode_extra = float(self.mode.extra_current_amps)
+        threshold = (
+            kernel.residual_threshold
+            if self.mode.residual_threshold_amps is None
+            else float(self.mode.residual_threshold_amps)
+        )
         rng = m.rng
         n_cores = m.spec.n_cores
         alarms: list = []
@@ -614,8 +658,11 @@ class FleetTicker:
                     counters.branch_misses += int(misses[c])
                     core.busy_seconds += float(seconds[c])
                     core.freq = kernel.level_floats[int(idx[c])]
-                # 5. currents and sensor samples
-                active = kernel.board_current(util, idx)
+                # 5. currents and sensor samples (the mode's standing
+                # draw is part of the *modeled* active current, so it
+                # cancels out of the ILD residual; ``x + 0.0`` is
+                # bitwise x, so the default mode changes nothing)
+                active = kernel.board_current(util, idx) + mode_extra
                 total = active + m.extra_current_draw
                 fine = kernel.sense(total, noise[b], spike_u[b], spike_m[b])
                 # 6. rolling-minimum filter
@@ -634,7 +681,7 @@ class FleetTicker:
                     st.run_sum = float(st.run_sum + delta)
                     if st.streak >= window_ticks:
                         mean = st.run_sum / window_ticks
-                        over = bool(mean > kernel.residual_threshold)
+                        over = bool(mean > threshold)
                         if over and not st.in_alarm:
                             at = t + cfg.dt
                             st.alarm_count += 1
@@ -771,6 +818,9 @@ class BatchMachines:
         self._ticks_run = np.zeros(n, np.int64)
         self._dead = np.zeros(n, bool)
         self._peeled = np.zeros(n, bool)
+        self._lane_modes: "list[TickLaneMode]" = [DEFAULT_LANE_MODE] * n
+        self._mode_extra = np.zeros(n)
+        self._mode_threshold = np.full(n, self.kernel.residual_threshold)
 
     @classmethod
     def from_specs(
@@ -808,6 +858,35 @@ class BatchMachines:
         return [
             int(i) for i in np.nonzero(~self._dead & ~self._peeled)[0]
         ]
+
+    def set_lane_modes(self, modes) -> None:
+        """Apply per-lane redundancy modes (the per-lane mode masks).
+
+        ``modes`` is a sequence of :class:`TickLaneMode | None`, one
+        per lane (``None`` means the default mode). Modes are engine
+        configuration, not lane state: they change the arithmetic from
+        the next tick on, do not enter digests, and follow the lane
+        through :meth:`peel`.
+        """
+        modes = list(modes)
+        if len(modes) != self.n_lanes:
+            raise ConfigurationError(
+                f"got {len(modes)} modes for {self.n_lanes} lanes"
+            )
+        kernel = self.kernel
+        for lane, mode in enumerate(modes):
+            mode = mode if mode is not None else DEFAULT_LANE_MODE
+            self._lane_modes[lane] = mode
+            self._mode_extra[lane] = mode.extra_current_amps
+            self._mode_threshold[lane] = (
+                kernel.residual_threshold
+                if mode.residual_threshold_amps is None
+                else mode.residual_threshold_amps
+            )
+
+    def lane_mode(self, lane: int) -> TickLaneMode:
+        """The lane's current redundancy-mode overlay."""
+        return self._lane_modes[lane]
 
     def lane_state(self, lane: int) -> TickState:
         """A detached :class:`TickState` copy of one lane."""
@@ -918,7 +997,7 @@ class BatchMachines:
                 instr, branches, misses, cycles, bus, seconds = kernel.charge(
                     util, idx
                 )
-                active = kernel.board_current(util, idx)
+                active = kernel.board_current(util, idx) + self._mode_extra
                 total = active + self._extra
                 fine = kernel.sense(
                     total, noise[:, b, :], spike_u[:, b, :], spike_m[:, b, :]
@@ -957,7 +1036,7 @@ class BatchMachines:
                     if ready.any():
                         r_lanes = q_lanes[ready]
                         mean = self._run_sum[r_lanes] / window_ticks
-                        over = mean > kernel.residual_threshold
+                        over = mean > self._mode_threshold[r_lanes]
                         onset = over & ~self._in_alarm[r_lanes]
                         if onset.any():
                             o_lanes = r_lanes[onset]
@@ -1048,7 +1127,13 @@ class BatchMachines:
             state = self.lane_state(lane)
             self._peeled[lane] = True
             tickers.append(
-                FleetTicker(m, self.config, state=state, lane_id=int(lane))
+                FleetTicker(
+                    m,
+                    self.config,
+                    state=state,
+                    lane_id=int(lane),
+                    mode=self._lane_modes[lane],
+                )
             )
         return tickers
 

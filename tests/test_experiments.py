@@ -39,7 +39,7 @@ class TestRegistry:
         expected = {
             "fig1", "fig2", "fig5", "fig10", "fig11", "fig12", "fig13",
             "fig14", "table2", "table3", "table4", "table5", "table6",
-            "table7", "table8",
+            "table7", "table8", "hmr_frontier",
         }
         assert set(EXPERIMENTS) == expected
         assert set(ABLATIONS) == {

@@ -1,0 +1,311 @@
+"""The HMR mode plane: the lattice, the boundary scheduler, the EMR
+mode-schedule contract, and the per-lane tick masks.
+
+The load-bearing property is commit determinism: a fault-free EMR run
+produces byte-identical outputs under *any* mode-segment placement at
+jobset boundaries — the schedule moves watts and wall time, never
+bytes. A hypothesis property drives that against randomized schedules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emr.runtime import EmrRuntime
+from repro.core.emr.scheduler import ModeSegment, validate_schedule
+from repro.errors import ConfigurationError
+from repro.flightsw.eventlog import EventLog
+from repro.hmr import (
+    DUPLEX,
+    EMR_VOTED,
+    INDEPENDENT,
+    MODES,
+    TMR_LOCKSTEP,
+    HMRScheduler,
+    RedundancyMode,
+    WorkloadPhase,
+    mode_named,
+    mode_segment,
+)
+from repro.recovery import DegradationPolicy, PolicyConfig
+from repro.sim import DEFAULT_LANE_MODE, Machine, MachineSpec, TickLaneMode
+from repro.sim.batch import BatchMachines, FleetTicker, TickConfig, TickProgram
+from repro.workloads import ImageProcessingWorkload
+
+
+class TestModeLattice:
+    def test_lattice_orders_weakest_to_strongest(self):
+        assert MODES == (INDEPENDENT, DUPLEX, EMR_VOTED, TMR_LOCKSTEP)
+        costs = [mode.current_cost_amps for mode in MODES]
+        assert costs == sorted(costs)
+        assert INDEPENDENT.replicas == 1 and not INDEPENDENT.voted
+        assert TMR_LOCKSTEP.replication_threshold == 0.0  # everything
+
+    def test_legacy_aliases_resolve(self):
+        assert mode_named("economy") is DUPLEX
+        assert mode_named("standard") is EMR_VOTED
+        assert mode_named("hardened") is TMR_LOCKSTEP
+        assert mode_named("3mr-lockstep") is TMR_LOCKSTEP
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mode_named("paranoid")
+
+    def test_invalid_mode_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RedundancyMode(
+                name="bad", n_executors=2, replicas=3,
+                replication_threshold=0.5, ild=INDEPENDENT.ild,
+                current_cost_amps=0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            RedundancyMode(
+                name="bad", n_executors=3, replicas=3,
+                replication_threshold=1.5, ild=INDEPENDENT.ild,
+                current_cost_amps=0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            RedundancyMode(
+                name="bad", n_executors=3, replicas=3,
+                replication_threshold=0.5, ild=INDEPENDENT.ild,
+                current_cost_amps=0.5, scheme="quantum",
+            )
+
+    def test_tick_mask_carries_standing_draw(self):
+        mask = EMR_VOTED.as_tick_mode()
+        assert isinstance(mask, TickLaneMode)
+        assert mask.extra_current_amps == EMR_VOTED.standing_current_amps
+        assert INDEPENDENT.as_tick_mode().extra_current_amps == 0.0
+        assert DEFAULT_LANE_MODE.extra_current_amps == 0.0
+
+    def test_mode_segment_maps_every_knob(self):
+        seg = mode_segment(TMR_LOCKSTEP, 5)
+        assert seg.datasets == 5
+        assert seg.n_executors == TMR_LOCKSTEP.n_executors
+        assert seg.replicas == TMR_LOCKSTEP.replicas
+        assert seg.replication_threshold == TMR_LOCKSTEP.replication_threshold
+        assert seg.freq_level == TMR_LOCKSTEP.freq_level == -2
+        assert seg.name == "3mr-lockstep"
+        assert mode_segment(INDEPENDENT, 2, name="burst").name == "burst"
+
+    def test_schedule_must_cover_datasets_exactly(self):
+        with pytest.raises(ConfigurationError):
+            validate_schedule([mode_segment(EMR_VOTED, 4)], 9)
+        with pytest.raises(ConfigurationError):
+            validate_schedule([], 9)
+        with pytest.raises(ConfigurationError):
+            ModeSegment(datasets=0)
+
+
+# ----------------------------------------------------------------------
+# Mode-schedule placement property
+# ----------------------------------------------------------------------
+
+_WORKLOAD = ImageProcessingWorkload(map_size=32, template_size=16, stride=8)
+_SPEC = _WORKLOAD.build(np.random.default_rng(0))
+_N_DATASETS = len(_SPEC.datasets)
+_BASELINE = EmrRuntime(Machine.rpi_zero2w(seed=0), _WORKLOAD).run(spec=_SPEC)
+
+
+@st.composite
+def mode_schedules(draw):
+    """An arbitrary partition of the dataset list into mode segments."""
+    n_cuts = draw(st.integers(0, min(3, _N_DATASETS - 1)))
+    cuts = sorted(draw(st.lists(
+        st.integers(1, _N_DATASETS - 1),
+        min_size=n_cuts, max_size=n_cuts, unique=True,
+    )))
+    bounds = [0, *cuts, _N_DATASETS]
+    return [
+        mode_segment(draw(st.sampled_from(MODES)), hi - lo)
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+class TestSchedulePlacement:
+    @given(schedule=mode_schedules())
+    @settings(max_examples=12, deadline=None)
+    def test_fault_free_outputs_invariant_under_placement(self, schedule):
+        runtime = EmrRuntime(Machine.rpi_zero2w(seed=0), _WORKLOAD)
+        result = runtime.run(spec=_SPEC, mode_schedule=schedule)
+        assert result.outputs == _BASELINE.outputs
+
+    def test_schedule_moves_time_not_bytes(self):
+        half = _N_DATASETS // 2
+        schedule = [
+            mode_segment(INDEPENDENT, half),
+            mode_segment(TMR_LOCKSTEP, _N_DATASETS - half),
+        ]
+        runtime = EmrRuntime(Machine.rpi_zero2w(seed=0), _WORKLOAD)
+        result = runtime.run(spec=_SPEC, mode_schedule=schedule)
+        assert result.outputs == _BASELINE.outputs
+        assert result.wall_seconds != _BASELINE.wall_seconds
+
+
+class TestHMRScheduler:
+    def test_escalates_one_rung_per_boundary_until_budget(self):
+        sched = HMRScheduler(
+            start_mode="independent",
+            policy=PolicyConfig(
+                start_level="independent", escalate_alarms=2,
+                cooldown_seconds=0.0,
+            ),
+            power_budget_amps=0.70,
+        )
+        assert sched.mode is INDEPENDENT
+        sched.observe_alarm(10.0)
+        sched.observe_alarm(11.0)
+        assert sched.on_boundary(12.0).to_mode is DUPLEX
+        sched.observe_alarm(12.5)
+        sched.observe_alarm(12.6)
+        assert sched.on_boundary(13.0).to_mode is EMR_VOTED
+        sched.observe_alarm(13.5)
+        sched.observe_alarm(13.6)
+        # The floor climbs to 3mr-lockstep (0.72 A) but the 0.70 A
+        # budget holds the grant at emr-voted: no change at all.
+        assert sched.on_boundary(14.0) is None
+        assert sched.policy.level is TMR_LOCKSTEP
+        assert sched.mode is EMR_VOTED
+
+    def test_request_granted_only_at_boundary(self):
+        sched = HMRScheduler(start_mode="independent")
+        sched.request("emr-voted")
+        assert sched.mode is INDEPENDENT  # nothing moves mid-jobset
+        change = sched.on_boundary(5.0)
+        assert change.to_mode is EMR_VOTED
+        assert "requested" in change.reason
+        assert sched.on_boundary(6.0) is None  # already granted
+
+    def test_policy_floor_overrides_weaker_request(self):
+        sched = HMRScheduler(
+            start_mode="3mr-lockstep",
+            policy=DegradationPolicy(
+                PolicyConfig(start_level="3mr-lockstep"), lattice=MODES,
+            ),
+        )
+        sched.request("independent")
+        assert sched.on_boundary(1.0) is None  # the floor pins us up
+        assert sched.mode is TMR_LOCKSTEP
+
+    def test_start_mode_over_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HMRScheduler(start_mode="3mr-lockstep", power_budget_amps=0.5)
+
+    def test_policy_must_walk_the_modes_lattice(self):
+        with pytest.raises(ConfigurationError):
+            HMRScheduler(policy=DegradationPolicy(PolicyConfig()))
+
+    def test_mode_change_logged_as_hmr_evr(self):
+        eventlog = EventLog()
+        sched = HMRScheduler(start_mode="independent", eventlog=eventlog)
+        sched.request("duplex-checkpoint")
+        sched.on_boundary(3.0)
+        events = [e for e in eventlog.events() if e.name == "hmr.mode"]
+        assert len(events) == 1
+        args = dict(events[0].args)
+        assert args["from_mode"] == "independent"
+        assert args["to_mode"] == "duplex-checkpoint"
+        assert args["replicas"] == 2
+
+    def test_plan_segments_apportions_exactly(self):
+        sched = HMRScheduler(phases=(
+            WorkloadPhase("burst", 0.75, INDEPENDENT),
+            WorkloadPhase("solve", 0.25, EMR_VOTED),
+        ))
+        segments = sched.plan_segments(49)
+        assert [seg.name for seg in segments] == ["burst", "solve"]
+        assert sum(seg.datasets for seg in segments) == 49
+        assert segments[0].datasets == 37  # largest remainder of 36.75
+
+    def test_plan_segments_drops_zero_count_phases(self):
+        sched = HMRScheduler(phases=(
+            WorkloadPhase("burst", 0.99, INDEPENDENT),
+            WorkloadPhase("sliver", 0.01, TMR_LOCKSTEP),
+        ))
+        segments = sched.plan_segments(2)
+        assert [seg.name for seg in segments] == ["burst"]
+        assert segments[0].datasets == 2
+
+    def test_plan_segments_caps_phases_at_budget(self):
+        sched = HMRScheduler(
+            phases=(WorkloadPhase("solve", 1.0, TMR_LOCKSTEP),),
+            start_mode="independent",
+            power_budget_amps=0.70,
+        )
+        [segment] = sched.plan_segments(9)
+        # 3mr-lockstep costs 0.72 A; the grant steps down to emr-voted.
+        assert segment.replication_threshold == EMR_VOTED.replication_threshold
+
+    def test_plan_segments_without_phases_covers_with_current_mode(self):
+        sched = HMRScheduler(start_mode="duplex-checkpoint")
+        [segment] = sched.plan_segments(7)
+        assert segment.datasets == 7
+        assert segment.name == "duplex-checkpoint"
+        with pytest.raises(ConfigurationError):
+            sched.plan_segments(0)
+
+
+# ----------------------------------------------------------------------
+# Per-lane tick masks
+# ----------------------------------------------------------------------
+
+_TICK_SPEC = MachineSpec(
+    dram_size=1 << 16, l1_lines=8, l2_lines=16, flash_capacity=1 << 16
+)
+
+
+def _tick_program(ticks=200):
+    t = np.arange(ticks, dtype=float)
+    rows = np.clip(
+        0.5 + 0.4 * np.sin(t[:, None] / 7.0 + np.arange(_TICK_SPEC.n_cores)),
+        0.0, 1.0,
+    )
+    return TickProgram(rows)
+
+
+class TestLaneModeMasks:
+    def test_batch_with_lane_modes_matches_scalar(self):
+        config = TickConfig()
+        program = _tick_program()
+        masks = [EMR_VOTED.as_tick_mode(), None, TMR_LOCKSTEP.as_tick_mode()]
+        seeds = [5, 6, 7]
+        tickers = [
+            FleetTicker(Machine(_TICK_SPEC, seed=s), config, lane_id=i,
+                        mode=masks[i])
+            for i, s in enumerate(seeds)
+        ]
+        for ticker in tickers:
+            ticker.run(program)
+        batch = BatchMachines.from_specs(_TICK_SPEC, seeds=seeds,
+                                         config=config)
+        batch.set_lane_modes(masks)
+        batch.run(program)
+        assert batch.lane_digests() == [t.state_digest() for t in tickers]
+        assert batch.lane_mode(1) is DEFAULT_LANE_MODE
+        assert batch.lane_mode(2).extra_current_amps == (
+            TMR_LOCKSTEP.standing_current_amps
+        )
+
+    def test_default_mask_is_arithmetic_noop(self):
+        config = TickConfig()
+        program = _tick_program()
+        plain = BatchMachines.from_specs(_TICK_SPEC, seeds=[3], config=config)
+        plain.run(program)
+        masked = BatchMachines.from_specs(_TICK_SPEC, seeds=[3], config=config)
+        masked.set_lane_modes([DEFAULT_LANE_MODE])
+        masked.run(program)
+        assert masked.lane_digests() == plain.lane_digests()
+
+
+class TestFleetSchemes:
+    def test_modes_normalize_to_fleet_schemes(self):
+        from repro.fleet import HMR_POLICIES, fleet_mode, normalize_scheme
+
+        assert normalize_scheme("hardened") == "3mr"
+        assert normalize_scheme("independent") == "none"
+        assert normalize_scheme("emr") == "emr"
+        assert fleet_mode("emr").name == "emr-voted"
+        assert set(HMR_POLICIES) >= {
+            "adaptive-cruise", "storm-watch", "duty-cycle",
+        }

@@ -13,6 +13,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.flightsw.eventlog import EventLog
+from repro.hmr import MODES
 from repro.radiation.sel import LatchupInjector
 from repro.recovery import (
     ECONOMY,
@@ -25,6 +26,7 @@ from repro.recovery import (
     SupervisorConfig,
     Watchdog,
     level_named,
+    point_named,
 )
 from repro.sim import Machine
 from repro.sim.telemetry import TelemetryConfig, TraceGenerator
@@ -207,6 +209,68 @@ class TestDegradationPolicy:
         args = dict(degrades[0].args)
         assert args["to_level"] == "hardened"
         assert args["n_executors"] == 3
+
+    def test_non_finite_timestamps_rejected(self):
+        policy = DegradationPolicy(PolicyConfig())
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                policy.observe_alarm(bad)
+            with pytest.raises(ConfigurationError):
+                policy.observe_fault(bad)
+            with pytest.raises(ConfigurationError):
+                policy.update(bad)
+        # Nothing leaked into the windows or the quiet clock.
+        policy.update(0.0)
+        policy.observe_alarm(1.0)
+        assert policy.update(2.0) is None  # one alarm, not a trend
+
+    def test_observe_prunes_without_update(self):
+        policy = DegradationPolicy(PolicyConfig(
+            window_seconds=50.0, escalate_alarms=2,
+        ))
+        policy.update(0.0)
+        # A long mission between decision points: the windows must not
+        # grow without bound while nobody calls update().
+        for t in (10.0, 100.0, 200.0, 300.0):
+            policy.observe_alarm(t)
+            policy.observe_fault(t)
+        assert policy._signals.alarms == [300.0]
+        assert policy._signals.faults == [300.0]
+
+    def test_change_exactly_at_cooldown_expiry_allowed(self):
+        policy = DegradationPolicy(PolicyConfig(
+            escalate_alarms=1, cooldown_seconds=100.0, start_level="economy",
+        ))
+        policy.update(0.0)
+        policy.observe_alarm(10.0)
+        assert policy.update(11.0).to_level is STANDARD
+        policy.observe_alarm(20.0)
+        assert policy.update(110.999) is None          # inside cooldown
+        change = policy.update(111.0)                  # exactly at expiry
+        assert change is not None and change.to_level is HARDENED
+
+    def test_budget_forbidding_every_level_rejected(self):
+        # Even the weakest rung costs more than this budget: there is
+        # no level to start at, so construction must fail loudly.
+        cheapest = min(level.current_cost_amps for level in LEVELS)
+        for start in ("economy", "standard", "hardened"):
+            with pytest.raises(ConfigurationError):
+                DegradationPolicy(PolicyConfig(
+                    start_level=start, power_budget_amps=cheapest / 2,
+                ))
+
+    def test_walks_the_hmr_mode_lattice(self):
+        policy = DegradationPolicy(
+            PolicyConfig(start_level="independent", escalate_faults=1,
+                         cooldown_seconds=0.0),
+            lattice=MODES,
+        )
+        policy.update(0.0)
+        policy.observe_fault(10.0)
+        assert policy.update(11.0).to_level.name == "duplex-checkpoint"
+        # The legacy vocabulary resolves onto the new lattice points.
+        assert point_named("standard", MODES).name == "emr-voted"
+        assert point_named("hardened", MODES).name == "3mr-lockstep"
 
 
 def _supervised(machine, **config):
