@@ -1,0 +1,156 @@
+"""CI ground-hardening check: hostile hosts must not change results.
+
+Three drills, all against real (small) campaigns:
+
+1. **Host-fault chaos subset** — run the worker-crash, poison-trial,
+   store-bitflip, and disk-full scenarios from
+   :func:`repro.ground.run_host_chaos` at the requested worker count
+   and require zero invariant violations (``--full`` runs all eight).
+2. **Worker-count byte-identity** — re-run the same subset serially
+   (workers=1) and require the scenario-report digest to match the
+   pooled run exactly: host faults and their recovery must leave no
+   imprint on campaign output.
+3. **Quarantine manifest** — run a poison-trial campaign under
+   supervision end to end, require it to *complete* (not die) with
+   the poison trial named in a non-empty quarantine manifest, then
+   write the manifest to ``--manifest`` so CI publishes it as an
+   artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_ground.py [--workers 2]
+        [--manifest quarantine-manifest.json] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import TrialStore, execute  # noqa: E402
+from repro.ground import (  # noqa: E402
+    GroundPolicy,
+    default_host_scenarios,
+    host_reports_digest,
+    quarantine_manifest,
+    render_host_reports,
+    run_host_chaos,
+)
+from repro.ground.chaos import _host_campaign  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+
+SUBSET = ("worker-crash", "poison-trial", "store-bitflip", "disk-full")
+
+
+def chaos_matrix(scenarios, workers: int) -> str:
+    """Drill 1: the scenario matrix holds at ``workers``."""
+    reports, digest = run_host_chaos(scenarios, workers=workers)
+    print(render_host_reports(reports))
+    bad = [r for r in reports if not r.ok]
+    assert not bad, "host-fault invariant violations: " + "; ".join(
+        f"{r.scenario}: {v}" for r in bad for v in r.violations
+    )
+    print(f"chaos matrix ok at workers={workers} (digest {digest})")
+    return digest
+
+
+def serial_equality(scenarios, pooled_digest: str) -> None:
+    """Drill 2: the same faults, drained serially, same bytes."""
+    reports, digest = run_host_chaos(scenarios, workers=1)
+    assert all(r.ok for r in reports), [
+        (r.scenario, r.violations) for r in reports if not r.ok
+    ]
+    assert digest == pooled_digest, (
+        f"scenario digests diverged across worker counts: "
+        f"serial {digest} != pooled {pooled_digest}"
+    )
+    print(f"serial == pooled: {digest}")
+
+
+def quarantine_drill(workers: int, manifest_path: Path) -> None:
+    """Drill 3: a poison trial cannot kill the campaign."""
+    scenario = next(
+        s for s in default_host_scenarios() if s.name == "poison-trial"
+    )
+    with tempfile.TemporaryDirectory(prefix="ground-check-") as tmp:
+        markers = Path(tmp) / "markers"
+        markers.mkdir(parents=True)
+        fault = {
+            "kind": scenario.kind,
+            "trials": list(scenario.fault_trials),
+            "fail_attempts": scenario.fail_attempts,
+            "marker_dir": str(markers),
+        }
+        camp = _host_campaign(scenario, fault)
+        store = TrialStore(Path(tmp) / "store")
+        metrics = MetricsRegistry()
+        result = execute(
+            camp,
+            workers=workers,
+            store=store,
+            metrics=metrics,
+            supervision=scenario.policy(),
+        )
+    manifest = quarantine_manifest(result)
+    quarantined = manifest["quarantined"]
+    assert quarantined, "poison trial was not quarantined"
+    assert [q["index"] for q in quarantined] == list(
+        scenario.expect_quarantined
+    ), manifest
+    for q in quarantined:
+        assert q["fingerprint"] and q["error"], q
+    healthy = [v for v in result.values if v is not None]
+    assert len(healthy) == scenario.trials - len(quarantined), (
+        f"campaign lost healthy trials: {len(healthy)}"
+    )
+    counters = metrics.snapshot()["counters"]
+    assert counters["campaign.trials.quarantined"] == len(quarantined)
+
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    print(
+        f"quarantine manifest: {len(quarantined)} trial(s), "
+        f"written to {manifest_path}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--manifest",
+        default="quarantine-manifest.json",
+        help="where to write the quarantine-manifest artifact",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run all scenarios, not just the CI subset",
+    )
+    args = parser.parse_args()
+
+    scenarios = [
+        s
+        for s in default_host_scenarios()
+        if args.full or s.name in SUBSET
+    ]
+    print(
+        f"scenarios: {', '.join(s.name for s in scenarios)} "
+        f"(workers={args.workers})"
+    )
+    pooled_digest = chaos_matrix(scenarios, args.workers)
+    serial_equality(scenarios, pooled_digest)
+    quarantine_drill(args.workers, Path(args.manifest))
+    # Sanity: the supervision layer itself stays importable/configurable.
+    GroundPolicy(timeout_seconds=1.0)
+    print("PASS: ground hardening holds (faults recovered, bytes identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,11 @@ Usage::
     python -m repro trace summarize t.jsonl [--task 4]
     python -m repro chaos list
     python -m repro chaos run [--workers 4] [--store dir/] [--scenario NAME]
+    python -m repro store verify --store dir/
+    python -m repro store scrub --store dir/
+    python -m repro store stats --store dir/
+    python -m repro ground list
+    python -m repro ground run [--workers 2] [--scenario NAME]
     python -m repro faults census [--json] [--warm] [--seed 0]
 """
 
@@ -174,14 +179,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{st.name}: {st.completed}/{st.total} trials complete, "
             f"{st.pending} pending (store: {args.store})"
         )
+        if st.corrupt:
+            print(
+                f"warning: {st.corrupt} defective store entr"
+                f"{'y' if st.corrupt == 1 else 'ies'} "
+                f"(bad checksum / truncated / stale schema) quarantined "
+                f"to {store.quarantine_dir} — counted as pending, will "
+                "re-run"
+            )
         return 0
+
+    supervision = None
+    if getattr(args, "supervised", False):
+        from .ground import GroundPolicy
+
+        supervision = GroundPolicy(
+            timeout_seconds=args.timeout,
+            max_attempts=args.max_attempts,
+        )
 
     # `run` and `resume` are the same operation — the store makes every
     # run a resume. The two verbs exist so scripts read naturally.
     metrics = MetricsRegistry()
     result = execute(
         camp, workers=args.workers, store=store, trace_path=args.trace,
-        metrics=metrics,
+        metrics=metrics, supervision=supervision,
     )
     counters = metrics.snapshot()["counters"]
     print(
@@ -189,6 +211,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"executed, {result.store_hits} replayed from store, "
         f"{len(result.specs)} total"
     )
+    if counters.get("campaign.store.corrupt"):
+        print(
+            f"warning: {int(counters['campaign.store.corrupt'])} defective "
+            f"store entries quarantined to {store.quarantine_dir} and re-run"
+        )
+    if result.quarantined:
+        from .ground import quarantine_manifest
+
+        print(
+            f"warning: {len(result.quarantined)} trial(s) quarantined "
+            "after exhausting retries:"
+        )
+        print(json.dumps(quarantine_manifest(result), indent=2))
     if camp.aggregate is not None:
         rendered = camp.aggregate(result.values, metrics=None).render()
     else:
@@ -254,18 +289,31 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     metrics = MetricsRegistry() if args.metrics else None
+    supervision = None
+    if args.supervised:
+        from .ground import GroundPolicy
+
+        supervision = GroundPolicy(timeout_seconds=args.timeout)
     result = run_fleet(
         spec,
         store=args.store,
         workers=args.workers,
         metrics=metrics,
         use_batch=not args.no_batch,
+        supervision=supervision,
     )
     print(render_report(result.report))
     print(
         f"\ntrials executed: {result.executed}, "
         f"replayed from store: {result.store_hits}"
     )
+    if result.quarantined:
+        print(
+            f"warning: {len(result.quarantined)} craft quarantined after "
+            "exhausting retries; the report covers the survivors"
+        )
+        for q in result.quarantined:
+            print(f"  !! trial {q.index} ({q.fingerprint[:12]}…): {q.error}")
     if args.report:
         Path(args.report).write_text(report_json(result.report))
         print(f"wrote report JSON: {args.report}")
@@ -400,6 +448,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(render_reports(reports))
     if args.trace:
         print(f"wrote trace: {args.trace}")
+    violations = sum(len(r.violations) for r in reports)
+    return 0 if violations == 0 else 2
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .campaign import TrialStore
+
+    store = TrialStore(args.store)
+    if args.store_command == "stats":
+        print(json.dumps(store.stats(), indent=2))
+        return 0
+    report = (
+        store.verify() if args.store_command == "verify" else store.scrub()
+    )
+    print(
+        f"{store.root}: {report.ok}/{report.total} entries intact, "
+        f"{len(report.corrupt)} corrupt, {len(report.stale)} stale"
+    )
+    for fingerprint in [*report.corrupt, *report.stale]:
+        print(f"  !! {fingerprint}")
+    if args.store_command == "scrub" and report.quarantined:
+        print(
+            f"quarantined {report.quarantined} defective entr"
+            f"{'y' if report.quarantined == 1 else 'ies'} to "
+            f"{store.quarantine_dir} — the next campaign run re-executes "
+            "those trials"
+        )
+    return 0 if report.clean else 1
+
+
+def _cmd_ground(args: argparse.Namespace) -> int:
+    from .ground import (
+        default_host_scenarios,
+        render_host_reports,
+        run_host_chaos,
+    )
+
+    scenarios = default_host_scenarios()
+    if args.ground_command == "list":
+        for scenario in scenarios:
+            print(
+                f"{scenario.name:<18} kind={scenario.kind:<14} "
+                f"seed={scenario.seed:<4} trials={scenario.trials} "
+                f"fail_attempts={scenario.fail_attempts}"
+            )
+        return 0
+    if args.scenario is not None:
+        scenarios = tuple(s for s in scenarios if s.name == args.scenario)
+        if not scenarios:
+            raise SystemExit(f"unknown scenario {args.scenario!r}")
+    reports, _ = run_host_chaos(scenarios, workers=args.workers)
+    print(render_host_reports(reports))
     violations = sum(len(r.violations) for r in reports)
     return 0 if violations == 0 else 2
 
@@ -578,6 +678,22 @@ def build_parser() -> argparse.ArgumentParser:
                 "--metrics", action="store_true",
                 help="print the campaign metrics snapshot as JSON",
             )
+            verb_parser.add_argument(
+                "--supervised", action="store_true",
+                help="run under the fault-tolerant ground executor: "
+                     "crashed/hung workers replaced, failing trials "
+                     "retried with identical seeds, poison trials "
+                     "quarantined instead of killing the run",
+            )
+            verb_parser.add_argument(
+                "--timeout", type=float, default=None, metavar="SECONDS",
+                help="per-trial wall-clock budget (with --supervised)",
+            )
+            verb_parser.add_argument(
+                "--max-attempts", type=int, default=3,
+                help="attempts per trial before quarantine "
+                     "(with --supervised; default 3)",
+            )
         verb_parser.set_defaults(func=_cmd_campaign)
 
     trace = sub.add_parser("trace", help="inspect a recorded trace")
@@ -653,6 +769,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the campaign metrics snapshot after the run",
     )
+    fleet_run.add_argument(
+        "--supervised", action="store_true",
+        help="run the scalar shard under the fault-tolerant ground "
+             "executor (worker replacement, retries, quarantine)",
+    )
+    fleet_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-craft wall-clock budget (with --supervised)",
+    )
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     fleet_status_cmd = fleet_sub.add_parser(
@@ -716,6 +841,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_run.add_argument("--seed", type=int, default=0)
     chaos_run.set_defaults(func=_cmd_chaos)
+
+    store_cmd = sub.add_parser(
+        "store", help="audit a trial store's integrity (docs/ground.md)"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    for verb, help_text in (
+        ("verify", "read-only integrity walk: checksum every entry"),
+        ("scrub", "verify + quarantine defective entries to .quarantine/"),
+        ("stats", "occupancy, per-campaign counts, integrity counters"),
+    ):
+        verb_parser = store_sub.add_parser(verb, help=help_text)
+        verb_parser.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="trial-store directory to audit",
+        )
+        verb_parser.set_defaults(func=_cmd_store)
+
+    ground = sub.add_parser(
+        "ground",
+        help="host-fault chaos tier: break the ground segment, "
+             "assert it holds (docs/ground.md)",
+    )
+    ground_sub = ground.add_subparsers(dest="ground_command", required=True)
+    ground_sub.add_parser(
+        "list", help="list the standing host-fault scenarios"
+    ).set_defaults(func=_cmd_ground)
+    ground_run = ground_sub.add_parser(
+        "run", help="run the host-fault matrix and check invariants"
+    )
+    ground_run.add_argument(
+        "--scenario", default=None,
+        help="run only the scenario with this name",
+    )
+    ground_run.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for the faulted runs "
+             "(reports identical at any value; default 2)",
+    )
+    ground_run.set_defaults(func=_cmd_ground)
 
     hmr = sub.add_parser(
         "hmr", help="hybrid modular redundancy: the mode lattice"

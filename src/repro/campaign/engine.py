@@ -56,11 +56,17 @@ def _execute_trial(payload):
 
 @dataclass(frozen=True)
 class CampaignStatus:
-    """How much of a campaign a store already holds."""
+    """How much of a campaign a store already holds.
+
+    ``corrupt`` counts defective entries (bad checksum, truncation,
+    stale schema) the scan quarantined — they show as pending because
+    they will be re-run.
+    """
 
     name: str
     total: int
     completed: int
+    corrupt: int = 0
 
     @property
     def pending(self) -> int:
@@ -69,7 +75,13 @@ class CampaignStatus:
 
 @dataclass
 class CampaignResult:
-    """Everything :func:`execute` produced, in grid order."""
+    """Everything :func:`execute` produced, in grid order.
+
+    ``quarantined`` is non-empty only for supervised runs
+    (``supervision=``): trials that exhausted their retry budget, as
+    :class:`repro.ground.supervision.QuarantinedTrial` entries. Their
+    slots in ``values`` hold ``None``; the campaign still completed.
+    """
 
     name: str
     values: "list"
@@ -77,6 +89,7 @@ class CampaignResult:
     executed: int
     store_hits: int
     report: "ParallelReport | None"
+    quarantined: "tuple" = ()
 
     @property
     def fingerprints(self) -> "list[str]":
@@ -89,6 +102,15 @@ def _canonical_result(campaign: Campaign, value):
     return json.loads(json.dumps(jsonify(encoded)))
 
 
+def _defects(store: "TrialStore | None") -> int:
+    """Total defective-entry observations on a store handle."""
+    if store is None:
+        return 0
+    return sum(
+        store.counters[k] for k in ("corrupt", "stale", "unreadable")
+    )
+
+
 def execute(
     campaign: Campaign,
     *,
@@ -98,18 +120,29 @@ def execute(
     metrics=None,
     force_pool: bool = False,
     chunksize: "int | None" = None,
+    supervision=None,
 ) -> CampaignResult:
-    """Run ``campaign``, skipping trials the store already holds."""
+    """Run ``campaign``, skipping trials the store already holds.
+
+    With ``supervision`` (a :class:`repro.ground.GroundPolicy`) the
+    missing trials run under the fault-tolerant ground executor:
+    crashed/hung workers are replaced, failing trials retried with
+    byte-identical seeds, and poison trials quarantined — the campaign
+    then *completes* with ``result.quarantined`` naming the survivors'
+    missing peers instead of the whole run dying.
+    """
     store = TrialStore.coerce(store)
     specs = campaign.specs()
     with_tracer = trace_path is not None
 
+    defects_before = _defects(store)
     hits: "dict[int, dict]" = {}
     if store is not None:
         for index, spec in enumerate(specs):
             entry = store.get(spec.fingerprint)
             if entry is not None:
                 hits[index] = entry
+    defect_count = _defects(store) - defects_before
 
     pending = [i for i in range(len(specs)) if i not in hits]
     payloads = [
@@ -158,7 +191,39 @@ def execute(
         force_pool=force_pool,
         chunksize=chunksize,
         on_result=_absorb,
+        supervision=supervision,
+        metrics=metrics if supervision is not None else None,
     )
+
+    # Resolve pmap-level quarantines (positions in `pending`) to their
+    # campaign identities, and splice ground events into trial traces.
+    quarantined: "list" = []
+    quarantined_grid: "set[int]" = set()
+    if report.quarantined:
+        from ..ground.supervision import QuarantinedTrial
+
+        for q in report.quarantined:
+            i = pending[q.index]
+            quarantined_grid.add(i)
+            canonical[i] = None
+            record_dicts[i] = None
+            quarantined.append(
+                QuarantinedTrial(
+                    index=i,
+                    fingerprint=specs[i].fingerprint,
+                    params=specs[i].params,
+                    attempts=q.attempts,
+                    error=q.error,
+                )
+            )
+    if with_tracer and report.ground_events:
+        for position, events in enumerate(report.ground_events):
+            if not events:
+                continue
+            i = pending[position]
+            record_dicts[i] = [r.to_dict() for r in events] + (
+                record_dicts[i] or []
+            )
 
     trace_missing = 0
     for i, entry in hits.items():
@@ -168,7 +233,12 @@ def execute(
             trace_missing += 1
 
     decode = campaign.decode if campaign.decode is not None else lambda v: v
-    values = [decode(canonical[i]) for i in range(len(specs))]
+    values = [
+        None
+        if i in quarantined_grid
+        else decode(canonical[i])
+        for i in range(len(specs))
+    ]
 
     if with_tracer:
         from ..obs import TraceRecord, merge_task_records
@@ -184,9 +254,15 @@ def execute(
     if metrics is not None:
         metrics.counter("campaign.trials.total").inc(len(specs))
         metrics.counter("campaign.trials.executed").inc(len(pending))
+        if quarantined:
+            metrics.counter("campaign.trials.quarantined").inc(
+                len(quarantined)
+            )
         if store is not None:
             metrics.counter("campaign.store.hits").inc(len(hits))
             metrics.counter("campaign.store.misses").inc(len(pending))
+            if defect_count:
+                metrics.counter("campaign.store.corrupt").inc(defect_count)
         if trace_missing:
             metrics.counter("campaign.trace.missing").inc(trace_missing)
 
@@ -194,21 +270,33 @@ def execute(
         name=campaign.name,
         values=values,
         specs=specs,
-        executed=len(pending),
+        executed=len(pending) - len(quarantined),
         store_hits=len(hits),
         report=report,
+        quarantined=tuple(quarantined),
     )
 
 
 def status(campaign: Campaign, store) -> CampaignStatus:
-    """How many of ``campaign``'s trials ``store`` already holds."""
+    """How many of ``campaign``'s trials ``store`` already holds.
+
+    The scan itself verifies checksums: defective entries found along
+    the way are quarantined, counted in ``corrupt``, and reported as
+    pending (they will re-run).
+    """
     store = TrialStore.coerce(store)
     specs = campaign.specs()
     completed = 0
+    corrupt = 0
     if store is not None:
+        defects_before = _defects(store)
         completed = sum(
             1 for spec in specs if store.get(spec.fingerprint) is not None
         )
+        corrupt = _defects(store) - defects_before
     return CampaignStatus(
-        name=campaign.name, total=len(specs), completed=completed
+        name=campaign.name,
+        total=len(specs),
+        completed=completed,
+        corrupt=corrupt,
     )

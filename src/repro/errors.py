@@ -61,6 +61,19 @@ class WorkloadError(ReproError):
     """A workload implementation rejected its input."""
 
 
+class StoreWriteError(ReproError):
+    """The trial store could not durably persist an entry.
+
+    Raised for host-side disk faults with an unambiguous operator
+    action — a full disk (``ENOSPC``), a permission problem
+    (``EACCES``), a read-only mount (``EROFS``), a blown quota
+    (``EDQUOT``) — instead of letting a raw :class:`OSError` surface
+    halfway through a campaign with no context. A campaign that hits
+    this must stop: continuing would silently drop "committed" trials
+    that resume later trusts.
+    """
+
+
 class HardwareDamagedError(SimulationError):
     """The simulated chip burned out (an SEL ran past the thermal limit)."""
 

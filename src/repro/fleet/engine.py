@@ -616,7 +616,12 @@ def flight_campaign(spec: FleetSpec) -> Campaign:
 
 @dataclass
 class FleetRunResult:
-    """Everything one fleet invocation produced."""
+    """Everything one fleet invocation produced.
+
+    ``quarantined`` is non-empty only for supervised runs: craft whose
+    trials exhausted their retry budget. Their slots in ``values`` are
+    ``None`` and the aggregate report covers the surviving craft.
+    """
 
     spec: FleetSpec
     values: list
@@ -624,6 +629,7 @@ class FleetRunResult:
     report: dict
     executed: int
     store_hits: int
+    quarantined: "tuple" = ()
 
 
 def run_fleet(
@@ -633,8 +639,16 @@ def run_fleet(
     workers: "int | None" = 1,
     metrics=None,
     use_batch: bool = True,
+    supervision=None,
 ) -> FleetRunResult:
-    """Simulate (or resume) the whole constellation."""
+    """Simulate (or resume) the whole constellation.
+
+    ``supervision`` (a :class:`repro.ground.GroundPolicy`) hardens the
+    scalar shard against host faults — crashed or hung workers are
+    replaced and poison craft quarantined instead of killing a
+    million-machine-hour run. The batched shard runs in-process and
+    needs no supervision.
+    """
     store = TrialStore.coerce(store)
     calib = calibrate_fleet(
         spec, store=store, workers=workers, metrics=metrics
@@ -660,6 +674,7 @@ def run_fleet(
 
     executed = 0
     store_hits = 0
+    quarantined: "tuple" = ()
     by_fingerprint = {}
     if batch_trials:
         sub = _sub_campaign(campaign, batch_trials)
@@ -673,10 +688,12 @@ def run_fleet(
     if scalar_trials:
         sub = _sub_campaign(campaign, scalar_trials)
         result = execute(
-            sub, workers=workers, store=store, metrics=metrics
+            sub, workers=workers, store=store, metrics=metrics,
+            supervision=supervision,
         )
         executed += result.executed
         store_hits += result.store_hits
+        quarantined = result.quarantined
         for tspec, value in zip(result.specs, result.values):
             by_fingerprint[tspec.fingerprint] = value
     values = [by_fingerprint[tspec.fingerprint] for tspec in specs]
@@ -691,7 +708,12 @@ def run_fleet(
         store_hits += flight_result.store_hits
         flight_values = list(flight_result.values)
 
-    report = build_report(spec, values, flight_values)
+    # Quarantined craft leave None in their grid slots; the aggregate
+    # report covers the survivors (the quarantine manifest names the
+    # rest, so nothing goes missing silently).
+    report = build_report(
+        spec, [v for v in values if v is not None], flight_values
+    )
     return FleetRunResult(
         spec=spec,
         values=values,
@@ -699,6 +721,7 @@ def run_fleet(
         report=report,
         executed=executed,
         store_hits=store_hits,
+        quarantined=quarantined,
     )
 
 

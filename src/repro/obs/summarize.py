@@ -15,6 +15,14 @@ order and classifies them into the four incident stages:
 A *chain* is a task whose trace contains an injection followed by any
 detection-stage record — the post-hoc fault attribution the paper's
 mechanisms themselves cannot provide.
+
+Host-side incidents (``ground.*``, emitted by the supervised executor
+in :mod:`repro.ground.supervision`) render on the same timeline: a
+worker crash / hung-attempt timeout / trial exception is both the
+observed fault and its detection, a retry or serial fallback is the
+recovery, and a quarantine is the (bad) outcome. Their ``t`` axis is
+the attempt ordinal, not simulated seconds — host wall clocks never
+enter a trace.
 """
 
 from __future__ import annotations
@@ -38,7 +46,19 @@ RECOVERY_NAMES = frozenset({
     "recovery.rollback",
     "recovery.replay",
     "emr.degrade",
+    "ground.retry",
+    "ground.serial_fallback",
 })
+
+#: Host-fault records that are simultaneously the fault and its
+#: detection (there is no separate injector on the ground side).
+GROUND_FAULT_NAMES = frozenset({
+    "ground.worker_crash",
+    "ground.timeout",
+    "ground.trial_error",
+    "ground.worker_loss",
+})
+GROUND_OUTCOME_NAMES = frozenset({"ground.quarantine"})
 
 _STAGE_GLYPH = {
     "injection": "⚡ inject",
@@ -63,11 +83,11 @@ def _stage(record: TraceRecord) -> str:
         return ""
     if name == "emr.corruption":
         return "corruption"
-    if name in DETECTION_NAMES:
+    if name in DETECTION_NAMES or name in GROUND_FAULT_NAMES:
         return "detection"
     if name in RECOVERY_NAMES:
         return "recovery"
-    if name.startswith("campaign.outcome"):
+    if name.startswith("campaign.outcome") or name in GROUND_OUTCOME_NAMES:
         return "outcome"
     return ""
 
@@ -100,7 +120,10 @@ def has_incident_chain(records) -> bool:
     injected = False
     for record in records:
         stage = _stage(record)
-        if stage == "injection":
+        if stage == "injection" or record.name in GROUND_FAULT_NAMES:
+            # A ground fault has no separate inject.* record: the
+            # crash/timeout/exception is both the fault and its
+            # detection, so it opens a chain by itself.
             injected = True
         elif injected and stage in ("detection", "recovery", "corruption"):
             return True

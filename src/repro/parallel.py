@@ -68,13 +68,28 @@ class TaskTiming:
 
 @dataclass(frozen=True)
 class ParallelReport:
-    """Everything :func:`pmap` learned while running a batch."""
+    """Everything :func:`pmap` learned while running a batch.
+
+    The last five fields are populated only by supervised runs
+    (``supervision=`` / :mod:`repro.ground`): quarantined tasks carry
+    ``None`` in ``values`` and their identities ride in
+    ``quarantined`` (:class:`repro.ground.supervision.QuarantinedTask`
+    entries); ``ground_events`` holds per-task host-fault trace
+    records (retries, timeouts, worker losses) aligned to the input
+    order.
+    """
 
     values: "list"
     timings: "tuple[TaskTiming, ...]"
     workers: int  # effective worker count actually used
-    mode: str  # "serial" or "fork-pool"
+    mode: str  # "serial", "fork-pool", "ground-pool", or "ground-serial"
     wall_seconds: float
+    quarantined: "tuple" = ()
+    retries: int = 0
+    timeouts: int = 0
+    worker_losses: int = 0
+    serial_fallback: bool = False
+    ground_events: "tuple" = ()
 
     @property
     def task_seconds(self) -> float:
@@ -142,6 +157,8 @@ def pmap_report(
     force_pool: bool = False,
     trace_path: "str | None" = None,
     on_result=None,
+    supervision=None,
+    metrics=None,
 ) -> ParallelReport:
     """Map ``fn`` over ``items``, deterministically, maybe in parallel.
 
@@ -172,8 +189,32 @@ def pmap_report(
         *parent* process, in ascending task order, as each task's
         result arrives (the pool path streams through ``imap``). This
         is the campaign engine's incremental-persistence hook: a run
-        killed mid-grid keeps every trial already absorbed.
+        killed mid-grid keeps every trial already absorbed. Under
+        ``supervision`` results stream in *completion* order instead —
+        retries reorder arrivals — so the callback must key on the
+        index, not on call order.
+    supervision:
+        A :class:`repro.ground.GroundPolicy`. Routes the batch through
+        the fault-tolerant ground executor (per-task wall-clock
+        timeouts, bounded retry with byte-identical reseeding,
+        crashed/hung-worker replacement, poison-task quarantine,
+        serial fallback when the pool is repeatedly lost). ``metrics``
+        (a :class:`repro.obs.MetricsRegistry`) then receives the
+        ``ground.*`` counters; both are ignored on the plain path.
     """
+    if supervision is not None:
+        from .ground.supervision import supervised_pmap_report
+
+        return supervised_pmap_report(
+            fn,
+            items,
+            seed=seed,
+            policy=supervision,
+            workers=workers,
+            trace_path=trace_path,
+            on_result=on_result,
+            metrics=metrics,
+        )
     items = list(items)
     n = len(items)
     if seed is None:

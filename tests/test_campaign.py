@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis.report import Series, Table
 from repro.campaign import (
+    STORE_SCHEMA,
     Campaign,
     Trial,
     TrialStore,
@@ -154,9 +155,12 @@ class TestTrialStore:
     def test_put_get_round_trip(self, tmp_path):
         store = TrialStore(tmp_path / "store")
         fp = "ab" + "0" * 62
-        entry = {"schema": 1, "result": [1, 2.5, "x"]}
+        entry = {"schema": STORE_SCHEMA, "result": [1, 2.5, "x"]}
         store.put(fp, entry)
-        assert store.get(fp) == entry
+        got = store.get(fp)
+        # put stamps the content checksum; everything else round-trips.
+        assert got is not None and "checksum" in got
+        assert {k: v for k, v in got.items() if k != "checksum"} == entry
         assert fp in store
         assert len(store) == 1
         assert store.fingerprints() == [fp]
@@ -168,9 +172,13 @@ class TestTrialStore:
         path = store.path(fp)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("{truncated")
-        assert store.get(fp) is None
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get(fp) is None
         path.write_text(json.dumps({"schema": 999, "result": 1}))
-        assert store.get(fp) is None
+        with pytest.warns(RuntimeWarning, match="stale"):
+            assert store.get(fp) is None
+        assert store.counters["corrupt"] == 1
+        assert store.counters["stale"] == 1
 
     def test_coerce(self, tmp_path):
         store = TrialStore(tmp_path)
