@@ -515,6 +515,55 @@ def bench_hmr_frontier(smoke: bool) -> dict:
     }
 
 
+def bench_adaptive_sampling(smoke: bool) -> dict:
+    """Trials-to-target-CI-width: the ML importance sampler vs the
+    uniform flux-weighted baseline on the smoke surface (known
+    sensitivities, shared stopping rule — docs/adaptive.md), with a
+    serial-vs-store-replay identity check on the stream digest.
+    ``trial_ratio`` is uniform/adaptive: >= 2 means the adaptive
+    stream converged in at most half the trials."""
+    import tempfile
+
+    from repro.adaptive import build_source
+    from repro.campaign import TrialStore
+    from repro.campaign.stream import StreamHistory, execute_stream
+
+    def drain(seed: int, uniform: bool, store=None):
+        source, _ = build_source("smoke", seed=seed, uniform=uniform)
+        result = execute_stream(source, store=store)
+        width = source.estimate(StreamHistory(list(result.rounds))).width
+        return result, width
+
+    entries = []
+    seeds = (0,) if smoke else (0, 1, 2, 3, 4)
+    for seed in seeds:
+        (adaptive, a_width), adaptive_s = _timed(drain, seed, False)
+        (uniform, u_width), _ = _timed(drain, seed, True)
+        entries.append({
+            "seed": seed,
+            "adaptive_trials": adaptive.trials,
+            "uniform_trials": uniform.trials,
+            "ratio": uniform.trials / adaptive.trials,
+            "adaptive_width": a_width,
+            "uniform_width": u_width,
+            "adaptive_s": adaptive_s,
+        })
+        print(f"  seed {seed}: adaptive {adaptive.trials:4d} trials, "
+              f"uniform {uniform.trials:4d}  "
+              f"({entries[-1]['ratio']:.1f}x fewer)")
+
+    with tempfile.TemporaryDirectory() as root:
+        cold, _ = drain(seeds[0], False, store=TrialStore(root))
+        replay, _ = drain(seeds[0], False, store=TrialStore(root))
+    identical = bool(replay.digest == cold.digest and replay.executed == 0)
+    assert identical, "adaptive store replay diverged from the cold run"
+    return {
+        "entries": entries,
+        "trial_ratio": min(e["ratio"] for e in entries),
+        "identical_replay": True,
+    }
+
+
 def _walk_identical_flags(value, path=""):
     """Yield ``(path, bool)`` for every ``identical*`` flag in the tree."""
     if isinstance(value, dict):
@@ -637,6 +686,12 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"  cold   {hf['cold_s']:8.2f} s    "
           f"replay     {hf['replay_s']:8.2f} s    "
           f"{hf['replay_speedup']:.1f}x  ({hf['trials']} trials)")
+
+    print("adaptive sampler vs uniform baseline (smoke surface) ...")
+    results["adaptive_sampling"] = bench_adaptive_sampling(args.smoke)
+    ad = results["adaptive_sampling"]
+    print(f"  worst-seed trial ratio {ad['trial_ratio']:.1f}x "
+          f"(floor 2.0 = 'half the trials')")
 
     print("constellation fleet engine (repro.fleet.run_fleet) ...")
     results["fleet_scale"] = bench_fleet_scale(args.smoke)

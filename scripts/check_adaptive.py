@@ -1,0 +1,187 @@
+"""CI gate for the adaptive sampler's two claims (docs/adaptive.md).
+
+**Efficiency** — on the smoke surface (known sensitivities, seeded
+Bernoulli trials) the adaptive stream must reach the target CI width
+in at most half the trials of the uniform baseline, with both
+samplers sharing the same stopping rule, and both estimates must
+cover the closed-form true rate within a small multiple of their CI.
+
+**Determinism** — the adaptive stream is byte-identical however it is
+executed: serial, through the worker pool, and resumed after a
+``SIGKILL`` lands *mid-round* (so the store holds a partial wave and
+the resumed process must replay it, re-derive the same proposal from
+the same history digest, and continue). All three paths must produce
+identical canonical JSON summaries — same per-round digests, same
+stream digest, same estimate.
+
+The JSON written by ``--out`` is published as a CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_adaptive.py
+        [--seed 0] [--store adaptive-store] [--out adaptive-report.json]
+        [--timeout 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _summary(seed: int, *, uniform: bool = False, workers=None, store=None):
+    """One full stream drain; returns the canonical summary payload."""
+    from repro.__main__ import _adaptive_payload
+    from repro.adaptive import build_source
+    from repro.campaign.stream import execute_stream
+
+    source, true_rate = build_source("smoke", seed=seed, uniform=uniform)
+    result = execute_stream(source, workers=workers, store=store)
+    return _adaptive_payload(source, result, true_rate)
+
+
+def _store_count(root: Path) -> int:
+    return len(list(root.glob("??/*.json")))
+
+
+def _kill_mid_round(seed: int, store_dir: Path, timeout: float) -> int:
+    """Run ``repro adaptive run`` in a subprocess; SIGKILL it mid-wave.
+
+    Waits for the store to hold a partial first round — at least one
+    trial but not a whole wave — so the resumed process must finish a
+    round someone else started. Returns the trial count at the kill.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "adaptive", "run",
+            "--surface", "smoke", "--seed", str(seed),
+            "--store", str(store_dir),
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while proc.poll() is None and time.monotonic() < deadline:
+            if _store_count(store_dir) >= 1:
+                proc.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.02)
+        proc.wait(timeout=timeout)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    completed = _store_count(store_dir)
+    if completed == 0:
+        raise SystemExit(
+            f"subprocess died with no stored trials (rc={proc.returncode})"
+        )
+    return completed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--store", default="adaptive-store",
+                        help="store directory for the kill/resume drill "
+                             "(kept, for the CI artifact)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the check report as JSON")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    from repro.campaign import TrialStore
+    from repro.campaign.spec import canonical_json
+
+    # --- efficiency: adaptive must halve the uniform trial count -----
+    adaptive = _summary(args.seed)
+    uniform = _summary(args.seed, uniform=True)
+    ratio = adaptive["trials"] / uniform["trials"]
+    print(
+        f"seed {args.seed}: adaptive {adaptive['trials']} trials "
+        f"({len(adaptive['rounds'])} rounds), uniform {uniform['trials']} "
+        f"({len(uniform['rounds'])} rounds) -> ratio {ratio:.3f}"
+    )
+    assert ratio <= 0.5, (
+        f"adaptive used {ratio:.0%} of uniform's trials; the gate is 50%"
+    )
+    true_rate = adaptive["true_rate"]
+    for name, summary in (("adaptive", adaptive), ("uniform", uniform)):
+        err = abs(summary["estimate"] - true_rate)
+        # The CI covers the truth ~95% of the time; 2x the half-width
+        # keeps the seed-pinned gate far from the flaky edge while
+        # still catching any systematic reweighting bias.
+        assert err <= summary["width"], (
+            f"{name} estimate {summary['estimate']:.4f} misses the true "
+            f"rate {true_rate:.4f} by {err:.4f} (CI width {summary['width']:.4f})"
+        )
+        print(
+            f"  {name}: estimate {summary['estimate']:.4f} "
+            f"vs true {true_rate:.4f} (|err| {err:.4f} <= "
+            f"half-width x2 {summary['width']:.4f})"
+        )
+
+    # --- determinism: serial == pooled ------------------------------
+    pooled = _summary(args.seed, workers=2)
+    assert canonical_json(pooled) == canonical_json(adaptive), (
+        "pooled stream summary diverged from serial"
+    )
+    print("serial == pooled (canonical summaries byte-identical)")
+
+    # --- determinism: SIGKILL mid-round, resume ---------------------
+    store_dir = Path(args.store)
+    store_dir.mkdir(parents=True, exist_ok=True)
+    killed_at = _kill_mid_round(args.seed, store_dir, args.timeout)
+    wave = adaptive["rounds"][0]["trials"]
+    if killed_at >= adaptive["trials"]:
+        # The drain outpaced the poll: drop everything past a partial
+        # first round so the resume still has real work mid-wave.
+        keep = max(1, wave // 2)
+        for path in sorted(store_dir.glob("??/*.json"))[keep:]:
+            path.unlink()
+        killed_at = _store_count(store_dir)
+        print(f"note: stream finished before the kill; trimmed the "
+              f"store back to {killed_at} trials")
+    print(f"killed the subprocess with {killed_at} trials stored "
+          f"(wave size {wave})")
+
+    store = TrialStore(store_dir)
+    resumed = _summary(args.seed, store=store)
+    assert canonical_json(resumed) == canonical_json(adaptive), (
+        "resumed stream summary diverged from the uninterrupted run"
+    )
+    print("resumed == uninterrupted (same digests, same estimate)")
+
+    report = {
+        "seed": args.seed,
+        "trial_ratio": ratio,
+        "adaptive": adaptive,
+        "uniform": uniform,
+        "killed_at_trials": killed_at,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    print(
+        f"PASS: adaptive reached width {adaptive['width']:.4f} in "
+        f"{ratio:.0%} of uniform's trials; serial == pooled == resumed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

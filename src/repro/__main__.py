@@ -6,8 +6,10 @@ Usage::
     python -m repro run table2 [--out results.txt] [--trace t.jsonl] [--metrics]
     python -m repro run-all [--out-dir results/] [--trace-dir traces/] [--store dir/]
     python -m repro campaign run table7 --store store/ [--workers 4]
-    python -m repro campaign status table7 --store store/
+    python -m repro campaign status table7 --store store/ [--fast]
     python -m repro campaign resume table7 --store store/
+    python -m repro adaptive run --surface smoke --store store/ [--uniform]
+    python -m repro adaptive status --surface smoke --store store/ [--fast]
     python -m repro mission --days 1 --environment deep-space [--csv log.csv]
     python -m repro mission --supervised --environment low-earth-orbit
     python -m repro fleet run --spec reference --store fleet-store/ [--workers 8]
@@ -174,7 +176,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     camp = _resolve_campaign(args.campaign)
     store = TrialStore(args.store)
     if args.campaign_command == "status":
-        st = status(camp, store)
+        st = status(camp, store, fast=args.fast)
         print(
             f"{st.name}: {st.completed}/{st.total} trials complete, "
             f"{st.pending} pending (store: {args.store})"
@@ -238,6 +240,152 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.metrics:
         print("metrics:")
         print(json.dumps(metrics.snapshot(), indent=2))
+    return 0
+
+
+def _adaptive_payload(source, result, true_rate) -> dict:
+    """Canonical JSON-able summary of one adaptive stream run.
+
+    ``scripts/check_adaptive.py`` compares these payloads across
+    serial / pooled / resumed executions — everything here must be a
+    pure function of the stream outcome.
+    """
+    from .campaign.stream import StreamHistory
+
+    history = StreamHistory()
+    rounds = []
+    for rnd in result.rounds:
+        history.rounds.append(rnd)
+        est = source.estimate(history)
+        values = rnd.result.values
+        rounds.append({
+            "round": rnd.index,
+            "trials": len(rnd.result.specs),
+            "sdc": sum(
+                1 for v in values if v is not None and source.label_fn(v)
+            ),
+            "quarantined": len(rnd.result.quarantined),
+            "digest": rnd.digest,
+            "estimate": est.estimate,
+            "width": None if est.width == float("inf") else est.width,
+        })
+    final = source.estimate(history)
+    return {
+        "name": source.name,
+        "rounds": rounds,
+        "trials": final.n,
+        "estimate": final.estimate,
+        "se": final.se,
+        "width": None if final.width == float("inf") else final.width,
+        "confidence": source.config.confidence,
+        "exhausted": result.exhausted,
+        "digest": result.digest,
+        "true_rate": true_rate,
+    }
+
+
+def _cmd_adaptive_run(args: argparse.Namespace) -> int:
+    from .adaptive import build_source
+    from .campaign import TrialStore
+    from .campaign.stream import execute_stream
+
+    source, true_rate = build_source(
+        args.surface,
+        seed=args.seed,
+        uniform=args.uniform,
+        wave_size=args.wave,
+        max_rounds=args.max_rounds,
+        target_width=args.target_width,
+        epsilon=args.epsilon,
+    )
+    store = TrialStore(args.store) if args.store else None
+    result = execute_stream(
+        source, workers=args.workers, store=store, trace_path=args.trace,
+    )
+    payload = _adaptive_payload(source, result, true_rate)
+    if args.json:
+        from .campaign.spec import canonical_json
+
+        print(canonical_json(payload))
+        return 0
+    print(f"{payload['name']} ({args.surface} surface):")
+    for row in payload["rounds"]:
+        width = "inf" if row["width"] is None else f"{row['width']:.4f}"
+        quarantined = (
+            f", {row['quarantined']} quarantined" if row["quarantined"] else ""
+        )
+        print(
+            f"  round {row['round']}: {row['trials']} trials, "
+            f"{row['sdc']} SDC{quarantined} -> "
+            f"estimate {row['estimate']:.4f}, CI width {width}"
+        )
+    width = "inf" if payload["width"] is None else f"{payload['width']:.4f}"
+    if not payload["exhausted"]:
+        stopped = "interrupted"
+    elif len(payload["rounds"]) >= source.config.max_rounds:
+        stopped = "reached max rounds"
+    else:
+        stopped = "converged"
+    print(
+        f"{payload['trials']} trials over {len(payload['rounds'])} rounds "
+        f"({stopped}): SDC rate {payload['estimate']:.4f} "
+        f"+/- {width} ({payload['confidence']:.0%} CI, "
+        "Horvitz-Thompson reweighted)"
+    )
+    if true_rate is not None:
+        print(f"true flux-weighted rate: {true_rate:.4f}")
+    print(f"stream digest: {payload['digest']}")
+    if args.trace:
+        print(f"wrote trace: {args.trace}")
+    return 0
+
+
+def _cmd_adaptive_status(args: argparse.Namespace) -> int:
+    from .adaptive import build_source
+    from .campaign import TrialStore
+    from .campaign.stream import stream_status
+
+    source, _ = build_source(
+        args.surface,
+        seed=args.seed,
+        uniform=args.uniform,
+        wave_size=args.wave,
+        max_rounds=args.max_rounds,
+        target_width=args.target_width,
+        epsilon=args.epsilon,
+    )
+    st = stream_status(source, TrialStore(args.store), fast=args.fast)
+    if args.json:
+        from .campaign.spec import canonical_json
+
+        print(canonical_json({
+            "name": st.name,
+            "rounds_complete": st.rounds_complete,
+            "trials_stored": st.trials_stored,
+            "current": None if st.current is None else {
+                "completed": st.current.completed,
+                "total": st.current.total,
+                "corrupt": st.current.corrupt,
+            },
+            "exhausted": st.exhausted,
+        }))
+        return 0
+    print(
+        f"{st.name}: {st.rounds_complete} round(s) complete, "
+        f"{st.trials_stored} trials stored (store: {args.store})"
+    )
+    if st.current is not None:
+        print(
+            f"  round {st.rounds_complete} in flight: "
+            f"{st.current.completed}/{st.current.total} trials"
+            + (f", {st.current.corrupt} defective entries quarantined"
+               if st.current.corrupt else "")
+        )
+    print(
+        "stream exhausted: the source plans no further rounds"
+        if st.exhausted
+        else "stream resumable: `repro adaptive run` continues from here"
+    )
     return 0
 
 
@@ -664,7 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--store", required=True, metavar="DIR",
             help="trial-store directory (created if missing)",
         )
-        if verb != "status":
+        if verb == "status":
+            verb_parser.add_argument(
+                "--fast", action="store_true",
+                help="presence-only scan (one stat per trial, no "
+                     "checksum verification or defect quarantine)",
+            )
+        else:
             verb_parser.add_argument(
                 "--workers", type=int, default=None,
                 help="parallel worker processes (results identical at any value)",
@@ -695,6 +849,94 @@ def build_parser() -> argparse.ArgumentParser:
                      "(with --supervised; default 3)",
             )
         verb_parser.set_defaults(func=_cmd_campaign)
+
+    adaptive = sub.add_parser(
+        "adaptive",
+        help="ML importance-sampled fault campaigns (docs/adaptive.md)",
+    )
+    adaptive_sub = adaptive.add_subparsers(
+        dest="adaptive_command", required=True
+    )
+
+    def _adaptive_source_args(p):
+        from .adaptive import SURFACES
+
+        p.add_argument(
+            "--surface", default="smoke", choices=sorted(SURFACES),
+            help="what the stream strikes: 'smoke' = synthetic census "
+                 "with known sensitivities (CI-fast); 'table7' = pinned "
+                 "strikes on the warmed machine (default: smoke)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--uniform", action="store_true",
+            help="the baseline sampler: every wave flux-weighted "
+                 "(epsilon=1.0, model never trains), stored under a "
+                 "'-uniform' name so it never collides with the "
+                 "adaptive stream",
+        )
+        p.add_argument(
+            "--wave", type=int, default=None, metavar="N",
+            help="trials per round (default: the surface's preset)",
+        )
+        p.add_argument(
+            "--max-rounds", type=int, default=None, metavar="N",
+            help="hard round cap (default: the surface's preset)",
+        )
+        p.add_argument(
+            "--target-width", type=float, default=None, metavar="W",
+            help="stop once the Horvitz-Thompson CI is narrower than "
+                 "this full width; 0 disables the width stop "
+                 "(default: the surface's preset)",
+        )
+        p.add_argument(
+            "--epsilon", type=float, default=None,
+            help="exploration share of each wave, in [0, 1] "
+                 "(default: the surface's preset)",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="emit the canonical JSON summary instead of text",
+        )
+
+    adaptive_run = adaptive_sub.add_parser(
+        "run",
+        help="drain (or resume) an adaptive stream: model-guided "
+             "strike waves until the CI converges",
+    )
+    _adaptive_source_args(adaptive_run)
+    adaptive_run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="trial-store directory; an interrupted stream resumes "
+             "from here byte-identically, even mid-round",
+    )
+    adaptive_run.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (results identical at any value)",
+    )
+    adaptive_run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the merged JSONL trace of this run",
+    )
+    adaptive_run.set_defaults(func=_cmd_adaptive_run)
+
+    adaptive_status = adaptive_sub.add_parser(
+        "status",
+        help="replay stored rounds and report stream progress "
+             "without executing anything",
+    )
+    _adaptive_source_args(adaptive_status)
+    adaptive_status.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="trial-store directory to inspect",
+    )
+    adaptive_status.add_argument(
+        "--fast", action="store_true",
+        help="presence-only scan of the in-flight round (complete "
+             "rounds still need reads: their digests seed the next "
+             "round's plan)",
+    )
+    adaptive_status.set_defaults(func=_cmd_adaptive_status)
 
     trace = sub.add_parser("trace", help="inspect a recorded trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

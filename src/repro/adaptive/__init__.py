@@ -1,0 +1,59 @@
+"""ML importance-sampled fault campaigns over the round-based stream.
+
+The SSRESF closed loop on Radshield's fault surface: featurize census
+targets (:mod:`repro.adaptive.features`), train a
+:class:`repro.ml.RandomForest` sensitivity model on accumulated trial
+outcomes each round, drive importance-sampled strike waves at the
+predicted-sensitive cells (:mod:`repro.adaptive.sampler`), and
+reweight the SDC-rate estimate with Horvitz–Thompson so confidence
+intervals stay comparable to uniform flux-weighted sampling
+(:mod:`repro.adaptive.estimator`). Backends:
+:mod:`repro.adaptive.strikes` (pinned strikes on the real simulated
+machine) and :mod:`repro.adaptive.smoke` (a synthetic surface with
+known sensitivities, for CI and calibration).
+
+Everything rides :mod:`repro.campaign.stream`: an
+:class:`AdaptiveSource` is a ``TrialSource`` whose rounds are plain
+campaigns, so adaptive runs are resumable and byte-identical at any
+worker count for free. See ``docs/adaptive.md``.
+"""
+
+from .estimator import HTEstimate, ht_estimate, normal_quantile
+from .features import (
+    FEATURE_NAMES,
+    SurfaceCell,
+    cells_from_census,
+    feature_matrix,
+)
+from .sampler import AdaptiveConfig, AdaptiveSource
+from .smoke import make_smoke_source, smoke_census, smoke_sensitivity
+from .strikes import (
+    PinnedStrikeTask,
+    StrikeOutcome,
+    reference_cells,
+    run_pinned_strike,
+    strike_is_sdc,
+)
+from .surfaces import SURFACES, build_source
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSource",
+    "FEATURE_NAMES",
+    "HTEstimate",
+    "PinnedStrikeTask",
+    "SURFACES",
+    "StrikeOutcome",
+    "SurfaceCell",
+    "build_source",
+    "cells_from_census",
+    "feature_matrix",
+    "ht_estimate",
+    "make_smoke_source",
+    "normal_quantile",
+    "reference_cells",
+    "run_pinned_strike",
+    "smoke_census",
+    "smoke_sensitivity",
+    "strike_is_sdc",
+]

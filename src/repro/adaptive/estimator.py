@@ -1,0 +1,141 @@
+"""Horvitz–Thompson reweighting for importance-sampled campaigns.
+
+The quantity every fault campaign ultimately reports is the
+**flux-weighted SDC rate**
+
+    mu = sum_c f_c * p_c
+
+— the probability that a particle drawn from the uniform-fluence
+distribution (cell ``c`` with probability ``f_c``, its live-bit share)
+causes silent data corruption (``p_c``). Uniform campaigns estimate
+``mu`` by striking cells with probability ``f_c`` and averaging the
+0/1 outcomes. The adaptive sampler strikes cell ``c`` with a
+*different*, model-informed probability ``q_c`` — so the raw SDC
+fraction of its trials is biased (it over-counts sensitive cells on
+purpose). The Horvitz–Thompson estimator removes exactly that bias:
+
+    z_i = (f_{c_i} / q_{c_i}) * y_i,        mu_hat = mean(z_i)
+
+``E[z] = sum_c q_c (f_c/q_c) p_c = mu`` for *any* ``q`` that gives
+every flux-bearing cell non-zero probability — which the sampler's
+epsilon-mixture guarantees. Its variance is
+``Var(z) = sum_c f_c^2 p_c / q_c - mu^2``, minimized (Lagrange on
+``sum q = 1``) at ``q* ∝ f_c * sqrt(p_c)`` — the allocation the
+sampler targets with the model's predicted sensitivities. When
+sensitivity is heterogeneous (a few small unprotected regions carry
+most of the SDC mass — exactly the Radshield threat model), ``q*``
+shrinks the variance by orders of magnitude relative to uniform
+``q = f``, which is where the trials-to-target-CI-width win comes
+from.
+
+Confidence intervals use the same machinery for both samplers
+(mean ± z * sd/sqrt(n) over the ``z_i`` sample; for uniform sampling
+``z_i = y_i`` and this degenerates to the textbook binomial-normal
+interval), so adaptive and uniform widths are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["HTEstimate", "ht_estimate", "normal_quantile"]
+
+
+def normal_quantile(p: float) -> float:
+    """Standard-normal inverse CDF (Acklam's rational approximation).
+
+    Deterministic, dependency-free, |error| < 1.2e-9 over (0, 1) —
+    used for CI z-values so the stopping rule never depends on scipy
+    being importable in a stripped container.
+    """
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"quantile needs 0 < p < 1, got {p}")
+    # Coefficients for the central and tail rational approximations.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
+@dataclass(frozen=True)
+class HTEstimate:
+    """A reweighted rate estimate with its normal-theory interval."""
+
+    n: int
+    estimate: float
+    se: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        """Full CI width: ``2 * z_{(1+conf)/2} * se`` (inf until n >= 2)."""
+        if not math.isfinite(self.se):
+            return math.inf
+        return 2.0 * normal_quantile(0.5 + self.confidence / 2.0) * self.se
+
+    @property
+    def interval(self) -> "tuple[float, float]":
+        half = self.width / 2.0
+        return (self.estimate - half, self.estimate + half)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "estimate": self.estimate,
+            "se": self.se if math.isfinite(self.se) else None,
+            "confidence": self.confidence,
+            "width": self.width if math.isfinite(self.width) else None,
+        }
+
+
+def ht_estimate(
+    pairs: "list[tuple[float, float]]",
+    confidence: float = 0.95,
+) -> HTEstimate:
+    """Fold ``(y_i, w_i)`` trial outcomes into the reweighted estimate.
+
+    ``y_i`` is the 0/1 outcome (was the strike an SDC?), ``w_i`` the
+    trial's importance weight ``f/q`` (1.0 for uniform sampling).
+    Returns mean and standard error of ``z_i = w_i * y_i``; with
+    fewer than two trials the SE (and CI width) is infinite, which
+    the stopping rule reads as "keep sampling".
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    n = len(pairs)
+    if n == 0:
+        return HTEstimate(n=0, estimate=0.0, se=math.inf, confidence=confidence)
+    z = [w * y for y, w in pairs]
+    mean = sum(z) / n
+    if n < 2:
+        return HTEstimate(n=n, estimate=mean, se=math.inf, confidence=confidence)
+    var = sum((v - mean) ** 2 for v in z) / (n - 1)
+    return HTEstimate(
+        n=n,
+        estimate=mean,
+        se=math.sqrt(var / n),
+        confidence=confidence,
+    )

@@ -1,0 +1,151 @@
+"""The smoke surface: a synthetic census with known sensitivities.
+
+CI needs to prove the adaptive sampler's claim — target CI width in
+at most half the uniform baseline's trials — without paying for
+thousands of real machine simulations. This module builds a
+Table-7-shaped *synthetic* fault surface whose per-cell SDC
+probabilities are known in closed form, so:
+
+* each trial is a seeded Bernoulli draw (microseconds, not a full
+  workload run under injection);
+* the exact flux-weighted SDC rate ``mu = sum f_c p_c`` is computable
+  (:func:`make_smoke_source` returns it), which is what the
+  estimator-unbiasedness test compares against;
+* the sensitivity structure matches the Radshield threat model the
+  importance sampler exploits: most flux mass lands on protected or
+  dead state (SECDED DRAM heap, scrubbed L2/flash) with ``p = 0``,
+  while a small unprotected stack region carries nearly all the SDC
+  mass — exactly the heterogeneity that makes ``q ∝ f * sqrt(p)``
+  collapse the estimator variance.
+
+The smoke trial function draws its outcome from the trial's own
+pinned generator, so smoke streams inherit the full campaign
+determinism contract (resumable, byte-identical at any worker count)
+and exercise every stream/store/digest code path the real strike
+campaigns use.
+"""
+
+from __future__ import annotations
+
+from ..sim.faults import CensusEntry, FaultRegion
+from .features import SurfaceCell, cells_from_census
+from .sampler import AdaptiveConfig, AdaptiveSource
+
+__all__ = [
+    "make_smoke_source",
+    "smoke_census",
+    "smoke_label",
+    "smoke_sensitivity",
+    "smoke_trial",
+]
+
+#: The synthetic census: (domain, region, live bits, protection,
+#: scope, die bucket). Shaped like a warmed rpi_zero2w census — a
+#: large protected heap, scrubbed cache/flash planes, and two small
+#: unprotected spans (stack words, core register file).
+_SMOKE_REGIONS = (
+    ("dram", "heap", 1 << 20, "secded", "shared", None),
+    ("dram", "stack", 1 << 16, "none", "shared", None),
+    ("l2", "lines", 1 << 18, "scrubbed", "shared", "shared_cache"),
+    ("flash", "pages", 1 << 19, "scrubbed", "shared", None),
+    ("core0", "regfile", 1 << 12, "none", "private", "pipelines"),
+)
+
+
+def smoke_census() -> "tuple[CensusEntry, ...]":
+    """The synthetic surface as census entries (no machine needed)."""
+    return tuple(
+        CensusEntry(
+            domain=domain,
+            region=FaultRegion(
+                name=region, bits=bits, protection=protection,
+                scope=scope, die_bucket=bucket,
+            ),
+        )
+        for domain, region, bits, protection, scope, bucket in _SMOKE_REGIONS
+    )
+
+
+def smoke_sensitivity(cell: SurfaceCell) -> float:
+    """Ground-truth P(SDC) for a strike landing in ``cell``.
+
+    Protected planes mask everything. The unprotected stack is the
+    hotspot, with a mild gradient across offset bands (deeper frames
+    hold more live pointers) so the model has sub-region structure to
+    learn; the register file is a small, moderately sensitive span.
+    """
+    if cell.domain == "dram" and cell.region == "stack":
+        return 0.55 + 0.2 * ((cell.band + 0.5) / cell.n_bands)
+    if cell.domain == "core0" and cell.region == "regfile":
+        return 0.12
+    return 0.0
+
+
+def smoke_trial(item: dict, rng, tracer=None) -> dict:
+    """One synthetic strike: a Bernoulli draw at the cell's true rate.
+
+    Top-level and picklable like every campaign trial function; the
+    outcome comes from the trial's pinned generator, so the stream is
+    deterministic at any worker count.
+    """
+    return {"sdc": int(rng.random() < item["p"])}
+
+
+def smoke_label(value: dict) -> bool:
+    """Decoded trial value -> was the strike an SDC?"""
+    return bool(value["sdc"])
+
+
+def _smoke_item(cell: SurfaceCell, offset: int, bit: int) -> dict:
+    return {"p": smoke_sensitivity(cell)}
+
+
+def make_smoke_source(
+    seed: int = 0,
+    *,
+    config: "AdaptiveConfig | None" = None,
+    name: str = "adaptive-smoke",
+    epsilon: "float | None" = None,
+) -> "tuple[AdaptiveSource, float]":
+    """Build the smoke stream; returns ``(source, true_rate)``.
+
+    ``epsilon`` overrides the config's exploration share —
+    ``epsilon=1.0`` is the uniform baseline (same cells, same
+    stopping rule, flux-weighted forever). Give baseline runs a
+    distinct ``name``: the name enters every fingerprint, so adaptive
+    and uniform streams sharing one store never collide.
+    """
+    cells = cells_from_census(smoke_census(), band_bits=1 << 14, max_bands=4)
+    if config is None:
+        config = AdaptiveConfig(
+            wave_size=32,
+            max_rounds=64,
+            min_rounds=2,
+            target_width=0.015,
+            epsilon=0.1,
+            score_floor=0.001,
+            n_trees=30,
+            max_depth=8,
+            min_samples_leaf=1,
+        )
+    if epsilon is not None:
+        from dataclasses import replace
+
+        config = replace(config, epsilon=epsilon)
+    source = AdaptiveSource(
+        name,
+        cells,
+        smoke_trial,
+        _smoke_item,
+        smoke_label,
+        config=config,
+        seed=seed,
+        context={"surface": "smoke"},
+    )
+    true_rate = float(
+        sum(
+            float(f) * smoke_sensitivity(cell)
+            for f, cell in zip(source.flux, cells)
+        )
+    )
+    return source, true_rate

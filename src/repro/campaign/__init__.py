@@ -8,8 +8,18 @@ to make the run resumable: completed trials are fingerprinted
 (:class:`TrialSpec`), persisted, and skipped on rerun, with aggregate
 output byte-identical to an uninterrupted run.
 
+Since the round-based refactor the executor is a *stream drain*: a
+:class:`TrialSource` emits rounds (each round is a ``Campaign``), and
+:func:`execute_stream` drains it — a static grid is the trivial
+one-round source (:class:`GridSource`), and adaptive multi-round
+sources (:mod:`repro.adaptive`) ride the same store/trace/quarantine
+machinery with round seeds derived from outcome digests
+(:func:`round_seed`), so they stay resumable and byte-identical at
+any worker count.
+
 See ``docs/campaigns.md`` for the spec format, fingerprinting rules
-and resume semantics.
+and resume semantics, and ``docs/adaptive.md`` for multi-round
+streams.
 """
 
 from .batch import Diverged, execute_batched
@@ -25,6 +35,19 @@ from .spec import (
     trial_rng,
 )
 from .store import STORE_SCHEMA, TrialStore
+from .stream import (
+    GridSource,
+    RoundResult,
+    StreamHistory,
+    StreamResult,
+    StreamStatus,
+    TrialSource,
+    execute_stream,
+    replay_round,
+    round_seed,
+    stream_status,
+    values_digest,
+)
 
 __all__ = [
     "CODE_VERSION",
@@ -33,7 +56,13 @@ __all__ = [
     "CampaignResult",
     "CampaignStatus",
     "Diverged",
+    "GridSource",
+    "RoundResult",
+    "StreamHistory",
+    "StreamResult",
+    "StreamStatus",
     "Trial",
+    "TrialSource",
     "TrialSpec",
     "TrialStore",
     "canonical_json",
@@ -41,7 +70,12 @@ __all__ = [
     "encode_report",
     "execute",
     "execute_batched",
+    "execute_stream",
     "jsonify",
+    "replay_round",
+    "round_seed",
     "status",
+    "stream_status",
     "trial_rng",
+    "values_digest",
 ]

@@ -36,7 +36,7 @@ traces use the scalar :func:`~repro.campaign.engine.execute`.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
-from .engine import CampaignResult, _canonical_result
+from .engine import CampaignResult, RoundExecution, _canonical_result
 from .spec import Campaign, trial_rng
 from .store import STORE_SCHEMA, TrialStore
 
@@ -72,22 +72,19 @@ def _groups(indices: "list[int]", group_size: "int | None"):
         yield indices[start : start + group_size]
 
 
-def execute_batched(
+def run_round_batched(
     campaign: Campaign,
     batch_fn,
     *,
-    store=None,
+    store: "TrialStore | None" = None,
     metrics=None,
     group_size: "int | None" = None,
-) -> CampaignResult:
-    """Run ``campaign`` in lockstep groups, skipping stored trials.
+) -> RoundExecution:
+    """Execute one round in lockstep groups through ``batch_fn``.
 
-    ``batch_fn(items, rngs)`` receives the pending trials' ``item``
-    payloads and their per-lane generators (grid order within the
-    group) and must return one result per lane — a trial value, or
-    :class:`Diverged` for lanes that left lockstep and need the
-    scalar fallback. ``group_size`` caps how many lanes ride in one
-    batch call (``None`` = all pending trials in a single group).
+    The batched sibling of :func:`repro.campaign.engine.run_round`;
+    callers outside the stream machinery want :func:`execute_batched`
+    / :func:`~repro.campaign.stream.execute_stream`.
     """
     if not callable(batch_fn):
         raise ConfigurationError("execute_batched needs a callable batch_fn")
@@ -166,7 +163,7 @@ def execute_batched(
         if n_diverged:
             metrics.counter("campaign.batch.diverged").inc(n_diverged)
 
-    return CampaignResult(
+    result = CampaignResult(
         name=campaign.name,
         values=values,
         specs=specs,
@@ -174,3 +171,42 @@ def execute_batched(
         store_hits=len(hits),
         report=None,
     )
+    return RoundExecution(
+        result=result,
+        canonical=[canonical[i] for i in range(len(specs))],
+        records=None,
+    )
+
+
+def execute_batched(
+    campaign: Campaign,
+    batch_fn,
+    *,
+    store=None,
+    metrics=None,
+    group_size: "int | None" = None,
+) -> CampaignResult:
+    """Run ``campaign`` in lockstep groups, skipping stored trials.
+
+    ``batch_fn(items, rngs)`` receives the pending trials' ``item``
+    payloads and their per-lane generators (grid order within the
+    group) and must return one result per lane — a trial value, or
+    :class:`Diverged` for lanes that left lockstep and need the
+    scalar fallback. ``group_size`` caps how many lanes ride in one
+    batch call (``None`` = all pending trials in a single group).
+
+    Like :func:`~repro.campaign.engine.execute`, this routes through
+    the round-based stream core — the static grid is the trivial
+    one-round source — and stays byte-identical to the pre-stream
+    executor.
+    """
+    from .stream import GridSource, execute_stream
+
+    stream = execute_stream(
+        GridSource(campaign),
+        store=store,
+        metrics=metrics,
+        batch_fn=batch_fn,
+        group_size=group_size,
+    )
+    return stream.rounds[0].result

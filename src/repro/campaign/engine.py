@@ -1,9 +1,15 @@
 """The campaign executor: run a declared grid, skip what's done.
 
 :func:`execute` is the one way any experiment's trials reach
-:func:`repro.parallel.pmap`. For each trial it:
+:func:`repro.parallel.pmap`. Since the round-based refactor it is a
+thin wrapper: the campaign becomes the trivial one-round
+:class:`~repro.campaign.stream.TrialSource`
+(:class:`~repro.campaign.stream.GridSource`) and drains through
+:func:`~repro.campaign.stream.execute_stream` — the same core that
+runs multi-round adaptive streams (:mod:`repro.adaptive`). For each
+round the engine:
 
-1. resolves the trial's fingerprint (:meth:`Campaign.specs`);
+1. resolves the round's trial fingerprints (:meth:`Campaign.specs`);
 2. consults the :class:`~repro.campaign.store.TrialStore` (if given)
    and **skips** trials whose fingerprint is already stored;
 3. runs the missing trials through ``pmap`` — each in a worker with
@@ -14,8 +20,8 @@
    cold runs aggregate **byte-identically**;
 5. persists each fresh result (with its trace records) *as it lands*
    — not after the batch — so a run killed mid-grid keeps every
-   completed trial; finally merges all trace records, in grid order,
-   into one JSONL file.
+   completed trial; finally the stream merges all trace records, in
+   round-major grid order, into one JSONL file.
 
 Store accounting lands in the caller's
 :class:`~repro.obs.metrics.MetricsRegistry` under
@@ -28,10 +34,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..parallel import ParallelReport, pmap_report
 from .spec import Campaign, TrialSpec, jsonify, trial_rng
 from .store import STORE_SCHEMA, TrialStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ground.supervision import QuarantinedTrial
 
 __all__ = ["CampaignResult", "CampaignStatus", "execute", "status"]
 
@@ -60,7 +70,8 @@ class CampaignStatus:
 
     ``corrupt`` counts defective entries (bad checksum, truncation,
     stale schema) the scan quarantined — they show as pending because
-    they will be re-run.
+    they will be re-run. A fast scan (``status(..., fast=True)``)
+    never reads entries, so it always reports ``corrupt=0``.
     """
 
     name: str
@@ -75,7 +86,7 @@ class CampaignStatus:
 
 @dataclass
 class CampaignResult:
-    """Everything :func:`execute` produced, in grid order.
+    """Everything one campaign (or stream round) produced, grid order.
 
     ``quarantined`` is non-empty only for supervised runs
     (``supervision=``): trials that exhausted their retry budget, as
@@ -84,16 +95,32 @@ class CampaignResult:
     """
 
     name: str
-    values: "list"
+    values: "list[object]"
     specs: "list[TrialSpec]"
     executed: int
     store_hits: int
     report: "ParallelReport | None"
-    quarantined: "tuple" = ()
+    quarantined: "tuple[QuarantinedTrial, ...]" = ()
 
     @property
     def fingerprints(self) -> "list[str]":
         return [spec.fingerprint for spec in self.specs]
+
+
+@dataclass
+class RoundExecution:
+    """One executed round, before the stream folds it.
+
+    ``canonical`` holds the JSON-safe (pre-``decode``) values the
+    outcome digest — and therefore the next round's seeds — derive
+    from. ``records`` carries per-trial trace-record lists in grid
+    order (``None`` when tracing is off); the stream merges them
+    across rounds into one file.
+    """
+
+    result: CampaignResult
+    canonical: "list[object]"
+    records: "list[list] | None"
 
 
 def _canonical_result(campaign: Campaign, value):
@@ -111,29 +138,27 @@ def _defects(store: "TrialStore | None") -> int:
     )
 
 
-def execute(
+def run_round(
     campaign: Campaign,
     *,
     workers: "int | None" = 1,
-    store=None,
-    trace_path: "str | None" = None,
+    store: "TrialStore | None" = None,
+    with_tracer: bool = False,
     metrics=None,
     force_pool: bool = False,
     chunksize: "int | None" = None,
     supervision=None,
-) -> CampaignResult:
-    """Run ``campaign``, skipping trials the store already holds.
+) -> RoundExecution:
+    """Execute one round (a fully resolved grid) through ``pmap``.
 
-    With ``supervision`` (a :class:`repro.ground.GroundPolicy`) the
-    missing trials run under the fault-tolerant ground executor:
-    crashed/hung workers are replaced, failing trials retried with
-    byte-identical seeds, and poison trials quarantined — the campaign
-    then *completes* with ``result.quarantined`` naming the survivors'
-    missing peers instead of the whole run dying.
+    This is the body the pre-stream ``execute`` had, minus trace-file
+    writing: records are *returned* (``RoundExecution.records``) so
+    the stream can merge every round into one file. Callers outside
+    the stream machinery want :func:`execute` /
+    :func:`~repro.campaign.stream.execute_stream`.
     """
     store = TrialStore.coerce(store)
     specs = campaign.specs()
-    with_tracer = trace_path is not None
 
     defects_before = _defects(store)
     hits: "dict[int, dict]" = {}
@@ -197,7 +222,7 @@ def execute(
 
     # Resolve pmap-level quarantines (positions in `pending`) to their
     # campaign identities, and splice ground events into trial traces.
-    quarantined: "list" = []
+    quarantined: "list[QuarantinedTrial]" = []
     quarantined_grid: "set[int]" = set()
     if report.quarantined:
         from ..ground.supervision import QuarantinedTrial
@@ -240,16 +265,14 @@ def execute(
         for i in range(len(specs))
     ]
 
+    records = None
     if with_tracer:
-        from ..obs import TraceRecord, merge_task_records
+        from ..obs import TraceRecord
 
-        merge_task_records(
-            [
-                [TraceRecord.from_dict(d) for d in (record_dicts[i] or [])]
-                for i in range(len(specs))
-            ],
-            trace_path,
-        )
+        records = [
+            [TraceRecord.from_dict(d) for d in (record_dicts[i] or [])]
+            for i in range(len(specs))
+        ]
 
     if metrics is not None:
         metrics.counter("campaign.trials.total").inc(len(specs))
@@ -266,7 +289,7 @@ def execute(
         if trace_missing:
             metrics.counter("campaign.trace.missing").inc(trace_missing)
 
-    return CampaignResult(
+    result = CampaignResult(
         name=campaign.name,
         values=values,
         specs=specs,
@@ -275,25 +298,81 @@ def execute(
         report=report,
         quarantined=tuple(quarantined),
     )
+    return RoundExecution(
+        result=result,
+        canonical=[canonical[i] for i in range(len(specs))],
+        records=records,
+    )
 
 
-def status(campaign: Campaign, store) -> CampaignStatus:
+def execute(
+    campaign: Campaign,
+    *,
+    workers: "int | None" = 1,
+    store=None,
+    trace_path: "str | None" = None,
+    metrics=None,
+    force_pool: bool = False,
+    chunksize: "int | None" = None,
+    supervision=None,
+) -> CampaignResult:
+    """Run ``campaign``, skipping trials the store already holds.
+
+    The static grid is the trivial one-round trial stream: this wraps
+    the campaign in a :class:`~repro.campaign.stream.GridSource` and
+    drains it through :func:`~repro.campaign.stream.execute_stream` —
+    byte-identical to the historical one-shot executor (same
+    fingerprints, same store entries, same trace bytes).
+
+    With ``supervision`` (a :class:`repro.ground.GroundPolicy`) the
+    missing trials run under the fault-tolerant ground executor:
+    crashed/hung workers are replaced, failing trials retried with
+    byte-identical seeds, and poison trials quarantined — the campaign
+    then *completes* with ``result.quarantined`` naming the survivors'
+    missing peers instead of the whole run dying.
+    """
+    from .stream import GridSource, execute_stream
+
+    stream = execute_stream(
+        GridSource(campaign),
+        workers=workers,
+        store=store,
+        trace_path=trace_path,
+        metrics=metrics,
+        force_pool=force_pool,
+        chunksize=chunksize,
+        supervision=supervision,
+    )
+    return stream.rounds[0].result
+
+
+def status(campaign: Campaign, store, *, fast: bool = False) -> CampaignStatus:
     """How many of ``campaign``'s trials ``store`` already holds.
 
-    The scan itself verifies checksums: defective entries found along
-    the way are quarantined, counted in ``corrupt``, and reported as
-    pending (they will re-run).
+    The default scan reads and checksums every held entry: defective
+    entries found along the way are quarantined, counted in
+    ``corrupt``, and reported as pending (they will re-run). With
+    ``fast=True`` the scan is a pure existence probe
+    (:meth:`TrialStore.contains`) — no reads, no checksum verification
+    — which is O(stat) per trial on multi-thousand-trial grids; the
+    full verify still happens on :func:`execute`'s hit path before any
+    stored value is trusted.
     """
     store = TrialStore.coerce(store)
     specs = campaign.specs()
     completed = 0
     corrupt = 0
     if store is not None:
-        defects_before = _defects(store)
-        completed = sum(
-            1 for spec in specs if store.get(spec.fingerprint) is not None
-        )
-        corrupt = _defects(store) - defects_before
+        if fast:
+            completed = sum(
+                1 for spec in specs if store.contains(spec.fingerprint)
+            )
+        else:
+            defects_before = _defects(store)
+            completed = sum(
+                1 for spec in specs if store.get(spec.fingerprint) is not None
+            )
+            corrupt = _defects(store) - defects_before
     return CampaignStatus(
         name=campaign.name,
         total=len(specs),

@@ -310,8 +310,21 @@ class TrialStore:
         }
 
     # ------------------------------------------------------------------
-    def __contains__(self, fingerprint: str) -> bool:
+    def contains(self, fingerprint: str) -> bool:
+        """Cheap existence probe: one ``stat``, no read, no checksum.
+
+        A ``True`` answer means *a file is present*, not that its
+        content is sound — defective entries still show as present
+        until something reads them (:meth:`get`, :meth:`scrub`). This
+        is the right trade for ``status --fast`` progress counting
+        over multi-thousand-trial grids; anything that will *trust*
+        the stored value (``execute``'s hit path) goes through
+        :meth:`get`, which verifies the checksum.
+        """
         return self.path(fingerprint).exists()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.contains(fingerprint)
 
     def fingerprints(self) -> "list[str]":
         """Every fingerprint currently stored (sorted)."""

@@ -22,6 +22,7 @@ from . import (
     table4_protected_area,
     table5_workloads,
     table6_breakdown,
+    table7_adaptive,
     table7_fault_injection,
     table8_dev_overhead,
 )
@@ -59,6 +60,7 @@ EXTENSIONS = {
     "flightsw_ild": extensions.flightsw_ild_accuracy,
     "feature_selection": extensions.feature_selection,
     "mission_survival": extensions.mission_survival,
+    "adaptive_table7": table7_adaptive.run,
 }
 
 #: experiment id -> zero-argument campaign factory (bench-scale

@@ -43,6 +43,7 @@ expires (craft lost).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -78,6 +79,9 @@ from .calibration import (
 from .presets import build_utilization, get_preset, get_profile
 from .report import build_report
 from .spec import FleetSpec, fleet_mode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ground.supervision import QuarantinedTrial
 
 __all__ = [
     "FleetRunResult",
@@ -624,12 +628,12 @@ class FleetRunResult:
     """
 
     spec: FleetSpec
-    values: list
-    flight_values: list
+    values: "list[object]"
+    flight_values: "list[object]"
     report: dict
     executed: int
     store_hits: int
-    quarantined: "tuple" = ()
+    quarantined: "tuple[QuarantinedTrial, ...]" = ()
 
 
 def run_fleet(
@@ -674,7 +678,7 @@ def run_fleet(
 
     executed = 0
     store_hits = 0
-    quarantined: "tuple" = ()
+    quarantined: "tuple[QuarantinedTrial, ...]" = ()
     by_fingerprint = {}
     if batch_trials:
         sub = _sub_campaign(campaign, batch_trials)

@@ -122,22 +122,33 @@ class QuarantinedTask:
 
 @dataclass(frozen=True)
 class QuarantinedTrial:
-    """A quarantined task resolved to its campaign identity."""
+    """A quarantined task resolved to its campaign identity.
 
-    index: int  # grid position
+    ``round`` is the stream round ordinal for trials quarantined
+    inside a multi-round stream (:mod:`repro.campaign.stream`);
+    ``None`` for plain one-shot campaigns, and omitted from the
+    manifest dict in that case so single-round manifests keep their
+    historical shape.
+    """
+
+    index: int  # grid position (within its round, for streams)
     fingerprint: str
     params: dict
     attempts: int
     error: str
+    round: "int | None" = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "index": self.index,
             "fingerprint": self.fingerprint,
             "params": self.params,
             "attempts": self.attempts,
             "error": self.error,
         }
+        if self.round is not None:
+            out["round"] = self.round
+        return out
 
 
 def quarantine_manifest(result) -> dict:

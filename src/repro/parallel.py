@@ -42,10 +42,15 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ground.supervision import QuarantinedTask
+    from .obs.trace import TraceRecord
 
 __all__ = [
     "TaskTiming",
@@ -79,17 +84,17 @@ class ParallelReport:
     order.
     """
 
-    values: "list"
+    values: "list[object]"
     timings: "tuple[TaskTiming, ...]"
     workers: int  # effective worker count actually used
     mode: str  # "serial", "fork-pool", "ground-pool", or "ground-serial"
     wall_seconds: float
-    quarantined: "tuple" = ()
+    quarantined: "tuple[QuarantinedTask, ...]" = ()
     retries: int = 0
     timeouts: int = 0
     worker_losses: int = 0
     serial_fallback: bool = False
-    ground_events: "tuple" = ()
+    ground_events: "tuple[list[TraceRecord], ...]" = ()
 
     @property
     def task_seconds(self) -> float:

@@ -283,6 +283,38 @@ class TestExecute:
         st = status(_grid(), store)
         assert (st.total, st.completed, st.pending) == (4, 3, 1)
 
+    def test_contains_is_presence_only(self, tmp_path):
+        store = TrialStore(tmp_path)
+        camp = _grid()
+        execute(camp, store=store)
+        fp = camp.specs()[0].fingerprint
+        assert store.contains(fp)
+        assert fp in store
+        assert not store.contains("0" * 64)
+        # contains() is one stat: it does NOT checksum, so a corrupted
+        # entry still reports present (get() is the verifying read).
+        path = tmp_path / fp[:2] / f"{fp}.json"
+        path.write_text("{garbage")
+        assert store.contains(fp)
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            assert store.get(fp) is None
+
+    def test_status_fast_skips_verification(self, tmp_path):
+        store = TrialStore(tmp_path)
+        execute(_grid(), store=store)
+        fp = _grid().specs()[1].fingerprint
+        (tmp_path / fp[:2] / f"{fp}.json").write_text("{garbage")
+
+        fast = status(_grid(), store, fast=True)
+        # The fast scan is presence-only: the defective entry still
+        # counts as completed and nothing is quarantined.
+        assert (fast.completed, fast.corrupt) == (4, 0)
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            full = status(_grid(), store)
+        assert (full.completed, full.corrupt, full.pending) == (3, 1, 1)
+        # The full scan quarantined the defect; fast now sees 3.
+        assert status(_grid(), store, fast=True).completed == 3
+
 
 class TestReportCodec:
     def test_table_render_round_trips(self):

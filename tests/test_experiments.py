@@ -48,7 +48,7 @@ class TestRegistry:
         }
         assert set(EXTENSIONS) == {
             "checksum_comparison", "physics_rates", "flightsw_ild",
-            "feature_selection", "mission_survival",
+            "feature_selection", "mission_survival", "adaptive_table7",
         }
 
     def test_cheap_drivers_return_renderables(self):
